@@ -1,0 +1,56 @@
+// Ablation: the Ordered Hierarchical mechanism's budget split
+// eps_S : eps_H. Sweeps the S-fraction and compares measured range-query
+// MSE against the Eqn 14 analytic model and its Eqn 15 optimum, on the
+// adult-like capital-loss data at theta = 100.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+namespace blowfish {
+namespace {
+
+int Run() {
+  Random rng(7919);
+  Dataset data = GenerateAdultCapitalLossLike(48842, rng).value();
+  Histogram hist = data.CompleteHistogram().value();
+  auto dom = data.domain_ptr();
+  const double theta = 100.0;
+  const double eps = 0.5;
+  Policy p = Policy::DistanceThreshold(dom, theta).value();
+  auto queries = bench::RandomRanges(dom->size(), 1000, 7);
+  const size_t reps = BenchReps(15);
+
+  OHErrorModel model = OHErrorModel::Compute(dom->size(), 100, 16);
+  std::printf("figure,eps_s_fraction,measured_mse,model_mse\n");
+  for (double frac : {0.05, 0.2, 0.4, 0.6, 0.8, 0.95,
+                      model.OptimalSFraction()}) {
+    OrderedHierarchicalOptions opts;
+    opts.fanout = 16;
+    opts.eps_s_fraction = frac;
+    double mse = 0.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      Random fork = rng.Fork();
+      auto m = OrderedHierarchicalMechanism::Release(hist, p, eps, opts,
+                                                     fork)
+                   .value();
+      for (auto [lo, hi] : queries) {
+        double e =
+            m.RangeQuery(lo, hi).value() - hist.RangeSum(lo, hi).value();
+        mse += e * e;
+      }
+    }
+    mse /= static_cast<double>(reps * queries.size());
+    std::printf("ablation_oh,%.3f,%.3f,%.3f\n", frac, mse,
+                model.RangeError(frac * eps, (1.0 - frac) * eps));
+  }
+  std::printf("# Eqn 15 optimum: eps_S*/eps = %.3f, model MSE %.3f\n",
+              model.OptimalSFraction(), model.OptimalRangeError(eps));
+  return 0;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main() { return blowfish::Run(); }

@@ -1,0 +1,105 @@
+// Extended baseline comparison for the Sec 7 workloads: Ordered Mechanism
+// (line-graph Blowfish), Ordered-Hierarchical (theta = 50), hierarchical
+// (uniform and geometric budgets), and the Privelet-style Haar wavelet
+// mechanism, all answering the same random range queries on the
+// adult-like capital-loss data.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "mech/hierarchical.h"
+#include "mech/ordered.h"
+#include "mech/wavelet.h"
+
+namespace blowfish {
+namespace {
+
+int Run() {
+  Random rng(60221023);
+  Dataset data = GenerateAdultCapitalLossLike(48842, rng).value();
+  Histogram hist = data.CompleteHistogram().value();
+  auto dom = data.domain_ptr();
+  const size_t reps = BenchReps(10);
+  auto queries = bench::RandomRanges(dom->size(), 1000, 55);
+  std::vector<double> truth;
+  for (auto [lo, hi] : queries) truth.push_back(hist.RangeSum(lo, hi).value());
+
+  auto report = [&](const char* label, auto release_and_query) {
+    for (double eps : {0.1, 0.5, 1.0}) {
+      double mse = 0.0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        Random fork = rng.Fork();
+        mse += release_and_query(eps, fork);
+      }
+      std::printf("wavelet_cmp,%s,%.1f,%.3f\n", label, eps,
+                  mse / static_cast<double>(reps));
+    }
+  };
+
+  std::printf("figure,mechanism,eps,range_mse\n");
+  Policy line = Policy::Line(dom).value();
+  report("ordered(theta=1)", [&](double eps, Random& r) {
+    auto m = OrderedMechanism(hist, line, eps, r, false).value();
+    double mse = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      double e = m.RangeQuery(queries[q].first, queries[q].second).value() -
+                 truth[q];
+      mse += e * e;
+    }
+    return mse / static_cast<double>(queries.size());
+  });
+
+  Policy theta50 = Policy::DistanceThreshold(dom, 50.0).value();
+  report("OH(theta=50)", [&](double eps, Random& r) {
+    OrderedHierarchicalOptions opts;
+    opts.fanout = 16;
+    auto m =
+        OrderedHierarchicalMechanism::Release(hist, theta50, eps, opts, r)
+            .value();
+    double mse = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      double e = m.RangeQuery(queries[q].first, queries[q].second).value() -
+                 truth[q];
+      mse += e * e;
+    }
+    return mse / static_cast<double>(queries.size());
+  });
+
+  for (auto [label, budget] :
+       std::initializer_list<std::pair<const char*, BudgetSplit>>{
+           {"hierarchical(uniform)", BudgetSplit::kUniform},
+           {"hierarchical(geometric)", BudgetSplit::kGeometric}}) {
+    report(label, [&, budget = budget](double eps, Random& r) {
+      HierarchicalOptions opts;
+      opts.fanout = 16;
+      opts.budget = budget;
+      auto m = HierarchicalMechanism::Release(hist, eps, opts, r).value();
+      double mse = 0.0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        double e =
+            m.RangeQuery(queries[q].first, queries[q].second).value() -
+            truth[q];
+        mse += e * e;
+      }
+      return mse / static_cast<double>(queries.size());
+    });
+  }
+
+  report("wavelet(haar)", [&](double eps, Random& r) {
+    auto m = WaveletMechanism::Release(hist, eps, r).value();
+    double mse = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      double e = m.RangeQuery(queries[q].first, queries[q].second).value() -
+                 truth[q];
+      mse += e * e;
+    }
+    return mse / static_cast<double>(queries.size());
+  });
+  return 0;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main() { return blowfish::Run(); }

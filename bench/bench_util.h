@@ -1,0 +1,105 @@
+// Shared runners for the figure-reproduction benches.
+//
+// Fig 1 benches report the paper's metric: the ratio of the mean k-means
+// objective (Eqn 10) under a private mechanism to the non-private Lloyd
+// objective, as a function of epsilon. Fig 2 benches report the mean
+// squared error of random range queries. Repetition counts default to
+// bench-friendly values and can be raised to the paper's 50 via
+// BLOWFISH_BENCH_REPS.
+
+#ifndef BLOWFISH_BENCH_BENCH_UTIL_H_
+#define BLOWFISH_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "data/experiment.h"
+#include "mech/kmeans.h"
+#include "mech/ordered_hierarchical.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace bench {
+
+/// Non-private k-means objective: best of `restarts` Lloyd runs.
+inline double NonPrivateObjective(const std::vector<std::vector<double>>& pts,
+                                  const KMeansOptions& opts, Random& rng,
+                                  int restarts = 3) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < restarts; ++r) {
+    best = std::min(best, LloydKMeans(pts, opts, rng).value().objective);
+  }
+  return best;
+}
+
+/// One Fig-1 series: for each epsilon, mean ratio
+/// objective(private under `policy`) / objective(non-private).
+inline std::vector<SeriesPoint> KMeansErrorSeries(
+    const std::string& label, const Dataset& data, const Policy& policy,
+    const KMeansOptions& opts, double nonprivate_objective, size_t reps,
+    Random& rng) {
+  std::vector<SeriesPoint> points;
+  for (double eps : PaperEpsilons()) {
+    Summary s = Repeat(reps, rng, [&](Random& r) {
+      double obj = BlowfishKMeans(data, policy, eps, opts, r).value()
+                       .objective;
+      return obj / nonprivate_objective;
+    });
+    points.push_back(SeriesPoint{label, eps, s});
+  }
+  return points;
+}
+
+/// Random range-query workload over a 1-D domain.
+inline std::vector<std::pair<size_t, size_t>> RandomRanges(size_t domain,
+                                                           size_t count,
+                                                           uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(domain) - 1));
+    auto b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(domain) - 1));
+    out.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  return out;
+}
+
+/// One Fig-2 series: mean squared range-query error of the OH mechanism
+/// under `policy` for each epsilon.
+inline std::vector<SeriesPoint> RangeQueryErrorSeries(
+    const std::string& label, const Histogram& hist, const Policy& policy,
+    const std::vector<std::pair<size_t, size_t>>& queries,
+    const OrderedHierarchicalOptions& opts, size_t reps, Random& rng) {
+  std::vector<SeriesPoint> points;
+  std::vector<double> truth;
+  truth.reserve(queries.size());
+  for (auto [lo, hi] : queries) {
+    truth.push_back(hist.RangeSum(lo, hi).value());
+  }
+  for (double eps : PaperEpsilons()) {
+    Summary s = Repeat(reps, rng, [&](Random& r) {
+      auto m = OrderedHierarchicalMechanism::Release(hist, policy, eps,
+                                                     opts, r)
+                   .value();
+      double mse = 0.0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        double e = m.RangeQuery(queries[q].first, queries[q].second).value() -
+                   truth[q];
+        mse += e * e;
+      }
+      return mse / static_cast<double>(queries.size());
+    });
+    points.push_back(SeriesPoint{label, eps, s});
+  }
+  return points;
+}
+
+}  // namespace bench
+}  // namespace blowfish
+
+#endif  // BLOWFISH_BENCH_BENCH_UTIL_H_

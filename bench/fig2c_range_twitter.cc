@@ -1,0 +1,39 @@
+// Figure 2(c): range-query MSE vs epsilon on the twitter latitude
+// projection (|T| = 400, ~2222 km extent) under G^{d,theta} with
+// theta in {full, 500km, 50km, 5km}. At ~5.55 km per cell, theta = 5km is
+// the line graph (pure Ordered Mechanism).
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+namespace blowfish {
+namespace {
+
+int Run() {
+  Random rng(20140619);
+  Dataset data = GenerateTwitterLatitudeLike(193563, rng).value();
+  Histogram hist = data.CompleteHistogram().value();
+  auto dom = data.domain_ptr();
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 16;
+  const size_t reps = BenchReps(10);  // paper: 50
+  auto queries = bench::RandomRanges(dom->size(), 2000, 101);
+
+  std::vector<SeriesPoint> all;
+  auto add = [&](const std::string& label, const Policy& policy) {
+    auto series = bench::RangeQueryErrorSeries(label, hist, policy, queries,
+                                               opts, reps, rng);
+    all.insert(all.end(), series.begin(), series.end());
+  };
+  add("theta=full domain", Policy::FullDomain(dom).value());
+  add("theta=500km", Policy::DistanceThreshold(dom, 500.0).value());
+  add("theta=50km", Policy::DistanceThreshold(dom, 50.0).value());
+  add("theta=5km", Policy::Line(dom).value());
+  PrintSeries("fig2c", all);
+  return 0;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main() { return blowfish::Run(); }

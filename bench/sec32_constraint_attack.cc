@@ -1,0 +1,41 @@
+// Section 3.2: the constraint averaging attack. A table of k counts is
+// released DP-style with Lap(2/eps) noise per count; an adversary who
+// knows the k-1 pairwise sums c_i + c_{i+1} builds k independent
+// estimators of every count and averages them, reducing the variance from
+// 2(2/eps)^2 to 2(2/eps)^2/k — near-exact reconstruction for large k.
+//
+// Columns: k, eps, raw MAE (noisy counts), attack MAE, fraction of counts
+// reconstructed exactly, empirical vs predicted estimator variance.
+
+#include <cstdio>
+
+#include "core/attack.h"
+#include "data/experiment.h"
+
+namespace blowfish {
+namespace {
+
+int Run() {
+  Random rng(31415);
+  const size_t reps = BenchReps(100);
+  std::printf(
+      "figure,k,eps,raw_mae,attack_mae,frac_exact,empirical_var,"
+      "predicted_var\n");
+  for (size_t k : {16, 64, 256, 1024}) {
+    std::vector<double> counts(k);
+    for (size_t i = 0; i < k; ++i) counts[i] = 50.0 + (i * 7) % 23;
+    for (double eps : {0.5, 1.0}) {
+      auto res = RunAveragingAttack(counts, 2.0 / eps, reps, rng).value();
+      std::printf("sec32,%zu,%.2f,%.4f,%.4f,%.4f,%.5f,%.5f\n", k, eps,
+                  res.raw_mean_abs_error, res.mean_abs_error,
+                  res.fraction_exact, res.empirical_variance,
+                  res.predicted_variance);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main() { return blowfish::Run(); }

@@ -1,0 +1,70 @@
+// Loading a policy from a declarative spec and data from CSV — the
+// "data publisher who is not a privacy expert" workflow the paper
+// motivates in Sec 4.2.
+//
+// The publisher writes a small text policy, points the tool at a CSV
+// export, and gets a privately released CDF plus noisy quantiles and an
+// equi-depth histogram.
+
+#include <cstdio>
+
+#include "core/policy_spec.h"
+#include "data/csv_loader.h"
+#include "mech/cdf_applications.h"
+#include "mech/ordered.h"
+
+using namespace blowfish;
+
+int main() {
+  // In production these would be files; inlined here so the example is
+  // self-contained.
+  const char* policy_spec = R"(
+# Hospital billing amounts, $100 buckets up to $50k.
+# Adjacent bills within $500 of each other are indistinguishable.
+attribute = bill_100s : 500 : 100.0
+graph = distance : 500
+epsilon = 0.5
+)";
+  const char* csv =
+      "patient_id,bill\n"
+      "1,1200\n1,300\n2,4500\n3,800\n4,2500\n5,1100\n6,900\n7,15000\n"
+      "8,700\n9,2200\n10,1250\n11,650\n12,980\n13,3100\n14,410\n15,5600\n";
+
+  ParsedPolicy parsed = ParsePolicySpec(policy_spec).value();
+  std::printf("policy: %s, advisory eps = %.2f\n",
+              parsed.policy.ToString().c_str(),
+              parsed.epsilon.value_or(1.0));
+
+  CsvColumnSpec bill;
+  bill.column = 1;
+  bill.attribute = parsed.policy.domain().attribute(0);
+  bill.bin_width = 100.0;  // dollars per bucket
+  Dataset data = LoadCsv(csv, {bill}).value();
+  std::printf("loaded %zu rows\n\n", data.size());
+
+  Histogram hist = data.CompleteHistogram().value();
+  Random rng(99);
+  auto released =
+      OrderedMechanism(hist, parsed.policy, parsed.epsilon.value_or(1.0),
+                       rng)
+          .value();
+  std::printf("released cumulative histogram (sensitivity %.0f index "
+              "steps)\n",
+              released.sensitivity);
+
+  auto median =
+      QuantileFromCumulative(released.inferred_cumulative, 0.5).value();
+  std::printf("noisy median bill: ~$%zu\n", median * 100);
+
+  auto bounds =
+      EquiDepthBoundaries(released.inferred_cumulative, 4).value();
+  std::printf("equi-depth quartile boundaries: $%zu, $%zu, $%zu\n",
+              bounds[0] * 100, bounds[1] * 100, bounds[2] * 100);
+
+  CdfIndex index =
+      CdfIndex::Build(released.inferred_cumulative, 3).value();
+  std::printf("built a depth-3 CDF index with %zu split points; "
+              "rank($2000) ~ %.1f records\n",
+              index.splits().size(), index.Rank(20).value());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: define a domain, pick a Blowfish policy, and privately
+// release a histogram — the smallest end-to-end use of the library.
+//
+//   $ ./examples/quickstart
+//
+// Walks through four policies over a small salary domain and shows how
+// the policy-specific sensitivity (and hence the injected noise) shrinks
+// as the sensitive-information specification weakens.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/policy.h"
+#include "core/sensitivity.h"
+#include "mech/laplace.h"
+#include "mech/ordered.h"
+
+using namespace blowfish;
+
+int main() {
+  // 1. A 1-D ordered domain: salaries in $1k buckets from $0k to $199k.
+  auto domain = std::make_shared<const Domain>(
+      Domain::Line(200, /*scale=*/1.0, "salary_k").value());
+
+  // 2. A toy dataset: one tuple per individual.
+  Random data_rng(7);
+  std::vector<ValueIndex> tuples;
+  for (int i = 0; i < 1000; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        std::min<int64_t>(199, 40 + data_rng.UniformInt(0, 80))));
+  }
+  Dataset dataset = Dataset::Create(domain, tuples).value();
+  Histogram hist = dataset.CompleteHistogram().value();
+
+  // 3. Policies, strongest to weakest. Full-domain = differential privacy.
+  Policy full = Policy::FullDomain(domain).value();
+  Policy theta10 = Policy::DistanceThreshold(domain, 10.0).value();
+  Policy line = Policy::Line(domain).value();
+
+  const double eps = 0.5;
+  Random rng(42);
+
+  // 4a. Complete histogram: the policy does not help here (S = 2 for any
+  // graph with an edge) — Sec 5's observation.
+  CompleteHistogramQuery hist_query(domain->size());
+  std::printf("Complete histogram sensitivity under any policy: %.0f\n",
+              HistogramSensitivity(full.graph()));
+  auto noisy_hist = LaplaceMechanism(hist_query, full, hist, eps, rng);
+  std::printf("  released %zu noisy counts (eps = %.2f)\n\n",
+              noisy_hist.value().size(), eps);
+
+  // 4b. Cumulative histogram: the policy matters enormously (Sec 7).
+  for (const Policy* p : {&full, &theta10, &line}) {
+    double sens = CumulativeHistogramSensitivity(*p).value();
+    auto released = OrderedMechanism(hist, *p, eps, rng).value();
+    // Answer a range query "how many people earn $60k-$80k?".
+    double truth = hist.RangeSum(60, 80).value();
+    double noisy = released.RangeQuery(60, 80).value();
+    std::printf(
+        "policy %-28s  S(S_T, P) = %6.0f   q[60,80] = %.0f (true %.0f)\n",
+        p->ToString().c_str(), sens, noisy, truth);
+  }
+
+  std::printf(
+      "\nWeaker secrets (adjacent salaries indistinguishable, rather than\n"
+      "all salaries) cut the cumulative-histogram sensitivity from |T|-1 =\n"
+      "199 down to 1, and the range-query noise follows suit.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Releasing a CDF / answering range queries over an ordinal attribute
+// (the Sec 7 scenario) with the Ordered Hierarchical mechanism.
+//
+// A census bureau wants to publish the distribution of capital-loss
+// amounts (domain 4357). Under a G^{d,theta} policy, amounts within
+// $theta of each other are indistinguishable; the OH mechanism exploits
+// that to answer every range query with error orders of magnitude below
+// the differentially-private hierarchical baseline.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "mech/ordered_hierarchical.h"
+#include "util/stats.h"
+
+using namespace blowfish;
+
+int main() {
+  Random rng(48842);
+  Dataset census = GenerateAdultCapitalLossLike(48842, rng).value();
+  Histogram hist = census.CompleteHistogram().value();
+  auto domain = census.domain_ptr();
+  const double eps = 0.5;
+
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 16;
+
+  // A fixed set of analyst queries.
+  struct Query {
+    const char* label;
+    size_t lo, hi;
+  };
+  Query queries[] = {
+      {"loss in [1500, 2000]", 1500, 2000},
+      {"loss in [1, 4356] (any loss)", 1, 4356},
+      {"loss in [1900, 1910]", 1900, 1910},
+  };
+
+  std::printf("%-22s", "policy");
+  for (const Query& q : queries) std::printf(" | %-28s", q.label);
+  std::printf("\n");
+
+  for (double theta : {4357.0, 500.0, 50.0, 1.0}) {
+    Policy policy =
+        theta >= domain->size()
+            ? Policy::FullDomain(domain).value()
+            : (theta <= 1.0
+                   ? Policy::Line(domain).value()
+                   : Policy::DistanceThreshold(domain, theta).value());
+    auto mech =
+        OrderedHierarchicalMechanism::Release(hist, policy, eps, opts, rng)
+            .value();
+    std::printf("theta=%-16.0f", theta);
+    for (const Query& q : queries) {
+      double truth = hist.RangeSum(q.lo, q.hi).value();
+      double noisy = mech.RangeQuery(q.lo, q.hi).value();
+      std::printf(" | est %8.0f (true %6.0f)", noisy, truth);
+    }
+    std::printf("\n");
+  }
+
+  // The released structure also yields the full CDF: print a few deciles
+  // computed from cumulative counts under the line policy.
+  Policy line = Policy::Line(domain).value();
+  auto mech =
+      OrderedHierarchicalMechanism::Release(hist, line, eps, opts, rng)
+          .value();
+  const double n = hist.Total();
+  std::printf("\nnoisy deciles of capital loss (theta=1):\n");
+  for (double q : {0.5, 0.9, 0.96, 0.99}) {
+    // First index whose noisy cumulative count crosses q*n.
+    size_t lo = 0, hi = domain->size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (mech.CumulativeCount(mid).value() < q * n) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    std::printf("  q%.0f%% ~ %zu\n", q * 100, lo);
+  }
+  std::printf(
+      "\n(~95%% of records have zero capital loss, so low quantiles sit at "
+      "0\nand the tail quantiles land on the IRS-schedule modes.)\n");
+  return 0;
+}

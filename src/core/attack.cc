@@ -1,0 +1,98 @@
+#include "core/attack.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace blowfish {
+
+std::vector<double> AveragingAttackReconstruct(
+    const std::vector<double>& noisy_counts, const std::vector<double>& a) {
+  const size_t k = noisy_counts.size();
+  std::vector<double> reconstructed(k, 0.0);
+  // alt[i] = a_0 - a_1 + a_2 - ... +- a_{i-1}  (alternating prefix sums),
+  // so  sum_{t=l}^{r} (-1)^{t-l} a_t = +-(alt[r+1] - alt[l]).
+  std::vector<double> alt(a.size() + 1, 0.0);
+  double sign = 1.0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    alt[t + 1] = alt[t] + sign * a[t];
+    sign = -sign;
+  }
+  auto alt_sum = [&alt](size_t l, size_t r) {
+    // sum_{t=l}^{r} (-1)^{t-l} a_t
+    double raw = alt[r + 1] - alt[l];
+    return (l % 2 == 0) ? raw : -raw;
+  };
+  for (size_t j = 0; j < k; ++j) {
+    double total = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      double est;
+      if (i == j) {
+        est = noisy_counts[i];
+      } else if (i > j) {
+        // c_j = sum_{t=j}^{i-1} (-1)^{t-j} a_t + (-1)^{i-j} c_i.
+        double s = alt_sum(j, i - 1);
+        double parity = ((i - j) % 2 == 0) ? 1.0 : -1.0;
+        est = s + parity * noisy_counts[i];
+      } else {
+        // c_j = sum_{t=i}^{j-1} (-1)^{j-1-t} a_t + (-1)^{j-i} c_i.
+        // Reverse the alternation: (-1)^{j-1-t} = (-1)^{j-1-i} (-1)^{t-i}.
+        double s = alt_sum(i, j - 1);
+        double lead = ((j - 1 - i) % 2 == 0) ? 1.0 : -1.0;
+        double parity = ((j - i) % 2 == 0) ? 1.0 : -1.0;
+        est = lead * s + parity * noisy_counts[i];
+      }
+      total += est;
+    }
+    reconstructed[j] = total / static_cast<double>(k);
+  }
+  return reconstructed;
+}
+
+StatusOr<AveragingAttackResult> RunAveragingAttack(
+    const std::vector<double>& true_counts, double noise_scale, size_t reps,
+    Random& rng) {
+  const size_t k = true_counts.size();
+  if (k < 2) {
+    return Status::InvalidArgument("attack needs at least two counts");
+  }
+  if (!(noise_scale > 0.0) || reps == 0) {
+    return Status::InvalidArgument("need positive noise scale and reps");
+  }
+  std::vector<double> a(k - 1);
+  for (size_t i = 0; i + 1 < k; ++i) a[i] = true_counts[i] + true_counts[i + 1];
+
+  std::vector<double> first_count_estimates;
+  first_count_estimates.reserve(reps);
+  double abs_err_total = 0.0;
+  double raw_abs_err_total = 0.0;
+  uint64_t exact = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    std::vector<double> noisy(k);
+    for (size_t i = 0; i < k; ++i) {
+      noisy[i] = true_counts[i] + rng.Laplace(noise_scale);
+      raw_abs_err_total += std::fabs(noisy[i] - true_counts[i]);
+    }
+    std::vector<double> rec = AveragingAttackReconstruct(noisy, a);
+    first_count_estimates.push_back(rec[0]);
+    for (size_t i = 0; i < k; ++i) {
+      abs_err_total += std::fabs(rec[i] - true_counts[i]);
+      if (std::llround(rec[i]) ==
+          static_cast<long long>(std::llround(true_counts[i]))) {
+        ++exact;
+      }
+    }
+  }
+  AveragingAttackResult result;
+  result.empirical_variance = Variance(first_count_estimates);
+  result.predicted_variance =
+      2.0 * noise_scale * noise_scale / static_cast<double>(k);
+  result.mean_abs_error = abs_err_total / static_cast<double>(reps * k);
+  result.raw_mean_abs_error =
+      raw_abs_err_total / static_cast<double>(reps * k);
+  result.fraction_exact =
+      static_cast<double>(exact) / static_cast<double>(reps * k);
+  return result;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,57 @@
+#include "core/bottom_extension.h"
+
+#include <utility>
+
+namespace blowfish {
+
+StatusOr<BottomExtension> ExtendWithBottom(
+    const Policy& policy, const std::vector<ValueIndex>& presence_secret_values,
+    uint64_t max_edges) {
+  if (policy.has_constraints()) {
+    return Status::Unimplemented(
+        "the bottom extension currently supports unconstrained policies");
+  }
+  const uint64_t n = policy.domain().size();
+  const ValueIndex bottom = n;
+
+  std::vector<std::pair<ValueIndex, ValueIndex>> edges;
+  BLOWFISH_RETURN_IF_ERROR(policy.graph().ForEachEdge(
+      [&edges](ValueIndex x, ValueIndex y) { edges.emplace_back(x, y); },
+      max_edges));
+  if (presence_secret_values.empty()) {
+    for (ValueIndex x = 0; x < n; ++x) edges.emplace_back(x, bottom);
+  } else {
+    for (ValueIndex x : presence_secret_values) {
+      if (x >= n) {
+        return Status::OutOfRange("presence secret value outside domain");
+      }
+      edges.emplace_back(x, bottom);
+    }
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(auto graph,
+                            ExplicitGraph::Create(n + 1, edges));
+  BLOWFISH_ASSIGN_OR_RETURN(
+      Domain ext_domain_v,
+      Domain::Line(n + 1, /*scale=*/1.0, "extended_with_bottom"));
+  auto ext_domain = std::make_shared<const Domain>(std::move(ext_domain_v));
+  BLOWFISH_ASSIGN_OR_RETURN(
+      Policy ext_policy,
+      Policy::Create(ext_domain,
+                     std::shared_ptr<const SecretGraph>(std::move(graph))));
+  return BottomExtension{std::move(ext_domain), std::move(ext_policy),
+                         bottom};
+}
+
+StatusOr<Dataset> LiftWithAbsent(const BottomExtension& ext,
+                                 const Dataset& data, size_t num_absent) {
+  if (data.domain().size() + 1 != ext.domain->size()) {
+    return Status::InvalidArgument(
+        "dataset domain does not match the extension's base domain");
+  }
+  std::vector<ValueIndex> tuples = data.tuples();
+  tuples.reserve(tuples.size() + num_absent);
+  for (size_t i = 0; i < num_absent; ++i) tuples.push_back(ext.bottom);
+  return Dataset::Create(ext.domain, std::move(tuples));
+}
+
+}  // namespace blowfish

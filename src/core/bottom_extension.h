@@ -1,0 +1,62 @@
+// The "bottom" extension (Sec 3.1, deferred by the paper as future work):
+// dropping the known-cardinality assumption by adding a distinguished
+// value `bot` to the domain and secrets of the form s_i_bot ("individual
+// i is not in the dataset") to the discriminative graph.
+//
+// A tuple taking the value bot encodes absence; a change x -> bot models
+// deletion and bot -> x insertion. Making (x, bot) an edge for x in
+// `presence_secret_values` means the adversary must not learn whether an
+// individual with such a value is present at all. With *every* x
+// connected to bot and a complete graph otherwise, Blowfish on the
+// extended domain recovers unbounded differential privacy
+// (add/remove-one neighbours).
+//
+// The extension materializes an explicit graph, so it is intended for
+// the small-to-medium domains where presence secrets are typically
+// needed (surveys, cohort tables) — consistent with Def 4.1 continuing
+// to operate on I_n over the extended domain.
+
+#ifndef BLOWFISH_CORE_BOTTOM_EXTENSION_H_
+#define BLOWFISH_CORE_BOTTOM_EXTENSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+struct BottomExtension {
+  /// The extended domain: one extra 1-level attribute never used for
+  /// distance... no — the extended domain is the original flattened
+  /// domain plus one trailing index. Represented as a 1-attribute domain
+  /// of size |T| + 1 whose index i < |T| maps to original value i and
+  /// index |T| is bot.
+  std::shared_ptr<const Domain> domain;
+  /// Extended policy: original edges plus (x, bot) for each presence
+  /// secret value.
+  Policy policy;
+  /// The index of bot in the extended domain.
+  ValueIndex bottom;
+};
+
+/// Extends an unconstrained policy with a bottom value. Edges of the
+/// original graph are preserved (by index); additionally (x, bot) is an
+/// edge for every x in `presence_secret_values` (empty means: every
+/// domain value — full presence protection). Enumerates the original
+/// graph's edges (budget `max_edges`).
+StatusOr<BottomExtension> ExtendWithBottom(
+    const Policy& policy,
+    const std::vector<ValueIndex>& presence_secret_values = {},
+    uint64_t max_edges = uint64_t{1} << 24);
+
+/// Lifts a dataset over the original domain into the extended domain,
+/// appending `num_absent` tuples holding bot. The total row count (real +
+/// absent slots) is what the extended-domain adversary knows.
+StatusOr<Dataset> LiftWithAbsent(const BottomExtension& ext,
+                                 const Dataset& data, size_t num_absent);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_BOTTOM_EXTENSION_H_

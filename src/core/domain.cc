@@ -1,0 +1,124 @@
+#include "core/domain.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace blowfish {
+
+StatusOr<Domain> Domain::Create(std::vector<Attribute> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("domain needs at least one attribute");
+  }
+  constexpr uint64_t kMaxSize = uint64_t{1} << 62;
+  uint64_t size = 1;
+  for (const Attribute& a : attributes) {
+    if (a.cardinality == 0) {
+      return Status::InvalidArgument("attribute '" + a.name +
+                                     "' has zero cardinality");
+    }
+    if (!(a.scale > 0.0)) {
+      return Status::InvalidArgument("attribute '" + a.name +
+                                     "' has non-positive scale");
+    }
+    if (size > kMaxSize / a.cardinality) {
+      return Status::ResourceExhausted("domain size exceeds 2^62");
+    }
+    size *= a.cardinality;
+  }
+  return Domain(std::move(attributes));
+}
+
+StatusOr<Domain> Domain::Line(uint64_t size, double scale, std::string name) {
+  return Create({Attribute{std::move(name), size, scale}});
+}
+
+StatusOr<Domain> Domain::Grid(uint64_t m, size_t k, double scale) {
+  if (k == 0) return Status::InvalidArgument("grid needs k >= 1");
+  std::vector<Attribute> attrs;
+  attrs.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    attrs.push_back(Attribute{"axis" + std::to_string(i), m, scale});
+  }
+  return Create(std::move(attrs));
+}
+
+Domain::Domain(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  strides_.resize(attributes_.size());
+  uint64_t stride = 1;
+  for (size_t i = attributes_.size(); i-- > 0;) {
+    strides_[i] = stride;
+    stride *= attributes_[i].cardinality;
+  }
+  size_ = stride;
+}
+
+ValueIndex Domain::Encode(const std::vector<uint64_t>& coords) const {
+  assert(coords.size() == attributes_.size());
+  ValueIndex x = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    assert(coords[i] < attributes_[i].cardinality);
+    x += coords[i] * strides_[i];
+  }
+  return x;
+}
+
+std::vector<uint64_t> Domain::Decode(ValueIndex x) const {
+  assert(x < size_);
+  std::vector<uint64_t> coords(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    coords[i] = (x / strides_[i]) % attributes_[i].cardinality;
+  }
+  return coords;
+}
+
+uint64_t Domain::Coordinate(ValueIndex x, size_t attr) const {
+  assert(attr < attributes_.size());
+  return (x / strides_[attr]) % attributes_[attr].cardinality;
+}
+
+ValueIndex Domain::WithCoordinate(ValueIndex x, size_t attr,
+                                  uint64_t level) const {
+  assert(attr < attributes_.size());
+  assert(level < attributes_[attr].cardinality);
+  uint64_t old_level = Coordinate(x, attr);
+  return x + (level - old_level) * strides_[attr];
+}
+
+double Domain::L1Distance(ValueIndex x, ValueIndex y) const {
+  double total = 0.0;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    int64_t cx = static_cast<int64_t>(Coordinate(x, i));
+    int64_t cy = static_cast<int64_t>(Coordinate(y, i));
+    total += attributes_[i].scale * static_cast<double>(std::llabs(cx - cy));
+  }
+  return total;
+}
+
+size_t Domain::HammingDistance(ValueIndex x, ValueIndex y) const {
+  size_t differing = 0;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (Coordinate(x, i) != Coordinate(y, i)) ++differing;
+  }
+  return differing;
+}
+
+double Domain::Diameter() const {
+  double total = 0.0;
+  for (const Attribute& a : attributes_) {
+    total += a.scale * static_cast<double>(a.cardinality - 1);
+  }
+  return total;
+}
+
+std::vector<double> Domain::Point(ValueIndex x) const {
+  std::vector<double> point(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    point[i] =
+        attributes_[i].scale * static_cast<double>(Coordinate(x, i));
+  }
+  return point;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,151 @@
+#include "core/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace blowfish {
+
+namespace {
+
+/// Delta(D1, D2) = D1 \ D2 union D2 \ D1 as a set of (id, value) tuples;
+/// tuples carry their ids, so the symmetric difference is over (id, value).
+std::set<std::pair<size_t, ValueIndex>> SymmetricDifference(
+    const Dataset& d1, const Dataset& d2) {
+  std::set<std::pair<size_t, ValueIndex>> delta;
+  for (size_t id = 0; id < d1.size(); ++id) {
+    if (d1.tuple(id) != d2.tuple(id)) {
+      delta.emplace(id, d1.tuple(id));
+      delta.emplace(id, d2.tuple(id));
+    }
+  }
+  return delta;
+}
+
+template <typename T>
+bool IsProperSubset(const std::set<T>& a, const std::set<T>& b) {
+  if (a.size() >= b.size()) return false;
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::set<std::tuple<size_t, ValueIndex, ValueIndex>> DiscriminativeSetAsSet(
+    const Policy& policy, const Dataset& d1, const Dataset& d2) {
+  std::set<std::tuple<size_t, ValueIndex, ValueIndex>> t;
+  for (size_t id = 0; id < d1.size(); ++id) {
+    ValueIndex x = d1.tuple(id);
+    ValueIndex y = d2.tuple(id);
+    if (x != y && policy.graph().Adjacent(x, y)) {
+      t.emplace(id, x, y);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Dataset>> EnumeratePossibleDatasets(
+    const Policy& policy, size_t n, uint64_t max_datasets) {
+  const uint64_t domain_size = policy.domain().size();
+  // Check |T|^n <= max_datasets without overflow.
+  double log_count = static_cast<double>(n) *
+                     std::log2(static_cast<double>(domain_size));
+  if (log_count > 63.0 ||
+      static_cast<double>(max_datasets) <
+          std::pow(static_cast<double>(domain_size),
+                   static_cast<double>(n))) {
+    return Status::ResourceExhausted(
+        "|T|^n exceeds the dataset enumeration budget");
+  }
+  std::vector<Dataset> universe;
+  std::vector<ValueIndex> tuples(n, 0);
+  while (true) {
+    BLOWFISH_ASSIGN_OR_RETURN(Dataset d,
+                              Dataset::Create(policy.domain_ptr(), tuples));
+    if (policy.constraints().SatisfiedBy(d)) {
+      universe.push_back(std::move(d));
+    }
+    // Odometer over tuple values.
+    size_t i = n;
+    bool done = true;
+    while (i > 0) {
+      --i;
+      if (++tuples[i] < domain_size) {
+        done = false;
+        break;
+      }
+      tuples[i] = 0;
+    }
+    if (done) break;
+  }
+  return universe;
+}
+
+std::vector<std::tuple<size_t, ValueIndex, ValueIndex>> DiscriminativeSet(
+    const Policy& policy, const Dataset& d1, const Dataset& d2) {
+  auto s = DiscriminativeSetAsSet(policy, d1, d2);
+  return {s.begin(), s.end()};
+}
+
+bool AreNeighbors(const Policy& policy, const Dataset& d1, const Dataset& d2,
+                  const std::vector<Dataset>& universe) {
+  // Condition 1 is implicit: callers pass d1, d2 from the universe (I_Q).
+  // Condition 2: T(D1, D2) non-empty.
+  auto t12 = DiscriminativeSetAsSet(policy, d1, d2);
+  if (t12.empty()) return false;
+
+  auto delta21 = SymmetricDifference(d2, d1);
+
+  // Condition 3: no D3 |= Q is "closer" to D1 than D2 is. D3 candidates
+  // with an empty discriminative set against D1 carry no secret-pair
+  // change and do not disqualify (D3 = D1 in particular must not).
+  for (const Dataset& d3 : universe) {
+    auto t13 = DiscriminativeSetAsSet(policy, d1, d3);
+    if (t13.empty()) continue;
+    if (IsProperSubset(t13, t12)) return false;  // 3(a)
+    if (t13 == t12) {
+      auto delta31 = SymmetricDifference(d3, d1);
+      if (IsProperSubset(delta31, delta21)) return false;  // 3(b)
+    }
+  }
+  return true;
+}
+
+StatusOr<NeighborhoodResult> EnumerateNeighbors(const Policy& policy,
+                                                size_t n,
+                                                uint64_t max_datasets) {
+  NeighborhoodResult result;
+  BLOWFISH_ASSIGN_OR_RETURN(
+      result.universe, EnumeratePossibleDatasets(policy, n, max_datasets));
+  for (size_t i = 0; i < result.universe.size(); ++i) {
+    for (size_t j = i + 1; j < result.universe.size(); ++j) {
+      // N(P) is symmetric in our usage (the privacy inequality is required
+      // both ways); record unordered pairs that qualify in either
+      // orientation.
+      if (AreNeighbors(policy, result.universe[i], result.universe[j],
+                       result.universe) ||
+          AreNeighbors(policy, result.universe[j], result.universe[i],
+                       result.universe)) {
+        result.neighbor_pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<double> BruteForceSensitivity(
+    const Policy& policy, size_t n, uint64_t max_datasets,
+    const std::function<std::vector<double>(const Dataset&)>& f) {
+  BLOWFISH_ASSIGN_OR_RETURN(NeighborhoodResult nbrs,
+                            EnumerateNeighbors(policy, n, max_datasets));
+  double sensitivity = 0.0;
+  for (const auto& [i, j] : nbrs.neighbor_pairs) {
+    std::vector<double> fi = f(nbrs.universe[i]);
+    std::vector<double> fj = f(nbrs.universe[j]);
+    double l1 = 0.0;
+    for (size_t d = 0; d < fi.size(); ++d) l1 += std::fabs(fi[d] - fj[d]);
+    sensitivity = std::max(sensitivity, l1);
+  }
+  return sensitivity;
+}
+
+}  // namespace blowfish

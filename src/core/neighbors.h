@@ -1,0 +1,61 @@
+// Brute-force neighbour enumeration (Def 4.1) — the reference oracle.
+//
+// For tiny domains and dataset sizes this module enumerates I_Q and the
+// full neighbour relation N(P), including the minimality condition 3 of
+// Def 4.1 that governs constrained policies. Everything else in the
+// library (closed-form sensitivities, the policy-graph bound of Thm 8.2,
+// mechanism privacy) is validated against this oracle in tests, and the
+// policy-specific global sensitivity (Def 5.1) can be computed exactly
+// from it.
+
+#ifndef BLOWFISH_CORE_NEIGHBORS_H_
+#define BLOWFISH_CORE_NEIGHBORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// All datasets of size n over the policy's domain that satisfy the
+/// policy's constraints (I_Q restricted to I_n). Errors with
+/// ResourceExhausted when |T|^n exceeds `max_datasets`.
+StatusOr<std::vector<Dataset>> EnumeratePossibleDatasets(
+    const Policy& policy, size_t n, uint64_t max_datasets);
+
+/// The set T(D1, D2) of Def 4.1: ids whose tuples differ between D1 and D2
+/// *and* form an edge of G, together with the value pair. Represented as
+/// sorted (id, x, y) triples.
+std::vector<std::tuple<size_t, ValueIndex, ValueIndex>> DiscriminativeSet(
+    const Policy& policy, const Dataset& d1, const Dataset& d2);
+
+/// True iff (D1, D2) in N(P) per Def 4.1, checking minimality (condition 3)
+/// against every candidate D3 in `universe` (which must contain all of
+/// I_Q restricted to I_n — as produced by EnumeratePossibleDatasets).
+bool AreNeighbors(const Policy& policy, const Dataset& d1, const Dataset& d2,
+                  const std::vector<Dataset>& universe);
+
+/// All neighbour pairs (as index pairs into the returned universe order).
+struct NeighborhoodResult {
+  std::vector<Dataset> universe;
+  std::vector<std::pair<size_t, size_t>> neighbor_pairs;  // unordered pairs
+};
+StatusOr<NeighborhoodResult> EnumerateNeighbors(const Policy& policy,
+                                                size_t n,
+                                                uint64_t max_datasets);
+
+/// Exact policy-specific global sensitivity (Def 5.1) of an arbitrary
+/// vector-valued query by brute force over N(P):
+///   S(f, P) = max_{(D1,D2) in N(P)} ||f(D1) - f(D2)||_1.
+StatusOr<double> BruteForceSensitivity(
+    const Policy& policy, size_t n, uint64_t max_datasets,
+    const std::function<std::vector<double>(const Dataset&)>& f);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_NEIGHBORS_H_

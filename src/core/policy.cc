@@ -1,0 +1,58 @@
+#include "core/policy.h"
+
+namespace blowfish {
+
+StatusOr<Policy> Policy::Create(std::shared_ptr<const Domain> domain,
+                                std::shared_ptr<const SecretGraph> graph,
+                                ConstraintSet constraints) {
+  if (domain == nullptr || graph == nullptr) {
+    return Status::InvalidArgument("policy needs a domain and a graph");
+  }
+  if (graph->num_vertices() != domain->size()) {
+    return Status::InvalidArgument(
+        "secret graph vertex count does not match the domain size");
+  }
+  return Policy(std::move(domain), std::move(graph), std::move(constraints));
+}
+
+StatusOr<Policy> Policy::FullDomain(std::shared_ptr<const Domain> domain) {
+  auto graph = std::make_shared<FullGraph>(domain->size());
+  return Create(std::move(domain), std::move(graph));
+}
+
+StatusOr<Policy> Policy::Attribute(std::shared_ptr<const Domain> domain) {
+  auto graph = std::make_shared<AttributeGraph>(domain);
+  return Create(std::move(domain), std::move(graph));
+}
+
+StatusOr<Policy> Policy::GridPartition(std::shared_ptr<const Domain> domain,
+                                       std::vector<uint64_t> cells_per_axis) {
+  BLOWFISH_ASSIGN_OR_RETURN(
+      auto graph,
+      PartitionGraph::UniformGrid(domain, std::move(cells_per_axis)));
+  return Create(std::move(domain),
+                std::shared_ptr<const SecretGraph>(std::move(graph)));
+}
+
+StatusOr<Policy> Policy::DistanceThreshold(
+    std::shared_ptr<const Domain> domain, double theta) {
+  BLOWFISH_ASSIGN_OR_RETURN(auto graph,
+                            DistanceThresholdGraph::Create(domain, theta));
+  return Create(std::move(domain),
+                std::shared_ptr<const SecretGraph>(std::move(graph)));
+}
+
+StatusOr<Policy> Policy::Line(std::shared_ptr<const Domain> domain) {
+  if (domain->num_attributes() != 1) {
+    return Status::InvalidArgument("line policy requires a 1-D domain");
+  }
+  auto graph = std::make_shared<LineGraph>(domain->size());
+  return Create(std::move(domain), std::move(graph));
+}
+
+std::string Policy::ToString() const {
+  return "(G=" + graph_->name() + ", |T|=" + std::to_string(domain_->size()) +
+         ", |Q|=" + std::to_string(constraints_.size()) + ")";
+}
+
+}  // namespace blowfish

@@ -1,0 +1,75 @@
+// Policies (Def 3.1) and the Blowfish privacy definition (Def 4.2).
+//
+// A policy P = (T, G, I_Q) is a domain, a discriminative secret graph, and
+// the set of databases possible under publicly known constraints Q. A
+// mechanism M satisfies (eps, P)-Blowfish privacy iff for every pair of
+// P-neighbours (Def 4.1) and every output set S:
+//     Pr[M(D1) in S] <= e^eps Pr[M(D2) in S].
+// Differential privacy is the special case G = complete graph, I_Q = I_n.
+
+#ifndef BLOWFISH_CORE_POLICY_H_
+#define BLOWFISH_CORE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/domain.h"
+#include "core/secret_graph.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// A Blowfish privacy policy P = (T, G, I_Q).
+class Policy {
+ public:
+  /// Builds a policy; `constraints` may be empty (I_Q = I_n).
+  static StatusOr<Policy> Create(std::shared_ptr<const Domain> domain,
+                                 std::shared_ptr<const SecretGraph> graph,
+                                 ConstraintSet constraints = {});
+
+  // ----- Named policies from Sec 3.1 (all unconstrained) -----
+
+  /// S^full_pairs: complete graph; equivalent to differential privacy.
+  static StatusOr<Policy> FullDomain(std::shared_ptr<const Domain> domain);
+
+  /// S^attr_pairs: values adjacent iff exactly one attribute differs.
+  static StatusOr<Policy> Attribute(std::shared_ptr<const Domain> domain);
+
+  /// S^P_pairs with a uniform grid partition (Fig 1(f)).
+  static StatusOr<Policy> GridPartition(std::shared_ptr<const Domain> domain,
+                                        std::vector<uint64_t> cells_per_axis);
+
+  /// S^{d,theta}_pairs under the scaled L1 metric (Figs 1(a)-1(d), 2).
+  static StatusOr<Policy> DistanceThreshold(
+      std::shared_ptr<const Domain> domain, double theta);
+
+  /// Line-graph policy over a 1-D ordered domain (Sec 7.1).
+  static StatusOr<Policy> Line(std::shared_ptr<const Domain> domain);
+
+  const Domain& domain() const { return *domain_; }
+  std::shared_ptr<const Domain> domain_ptr() const { return domain_; }
+  const SecretGraph& graph() const { return *graph_; }
+  std::shared_ptr<const SecretGraph> graph_ptr() const { return graph_; }
+  const ConstraintSet& constraints() const { return constraints_; }
+  bool has_constraints() const { return !constraints_.empty(); }
+
+  /// "(G=<name>, |T|=..., |Q|=...)" for logs and bench output.
+  std::string ToString() const;
+
+ private:
+  Policy(std::shared_ptr<const Domain> domain,
+         std::shared_ptr<const SecretGraph> graph, ConstraintSet constraints)
+      : domain_(std::move(domain)), graph_(std::move(graph)),
+        constraints_(std::move(constraints)) {}
+
+  std::shared_ptr<const Domain> domain_;
+  std::shared_ptr<const SecretGraph> graph_;
+  ConstraintSet constraints_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_POLICY_H_

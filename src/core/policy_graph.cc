@@ -1,0 +1,255 @@
+#include "core/policy_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace blowfish {
+
+StatusOr<PolicyGraph> PolicyGraph::Build(const ConstraintSet& constraints,
+                                         const SecretGraph& graph,
+                                         uint64_t max_edges) {
+  const size_t p = constraints.size();
+  const size_t v_plus = p;
+  const size_t v_minus = p + 1;
+  std::vector<std::set<size_t>> adj(p + 2);
+  // Def 8.3 (iv): the (v+, v-) edge is always present.
+  adj[v_plus].insert(v_minus);
+
+  bool sparse = true;
+  Status st = graph.ForEachEdge(
+      [&](ValueIndex x, ValueIndex y) {
+        if (!sparse) return;
+        // Classify both orientations of the secret pair.
+        for (int dir = 0; dir < 2; ++dir) {
+          ValueIndex from = dir == 0 ? x : y;
+          ValueIndex to = dir == 0 ? y : x;
+          std::vector<size_t> lifted = constraints.Lifted(from, to);
+          std::vector<size_t> lowered = constraints.Lowered(from, to);
+          if (lifted.size() > 1 || lowered.size() > 1) {
+            sparse = false;
+            return;
+          }
+          if (lifted.size() == 1 && lowered.size() == 1) {
+            adj[lowered[0]].insert(lifted[0]);  // edge (q_lowered, q_lifted)
+          } else if (lifted.size() == 1) {
+            adj[v_plus].insert(lifted[0]);
+          } else if (lowered.size() == 1) {
+            adj[lowered[0]].insert(v_minus);
+          }
+        }
+      },
+      max_edges);
+  BLOWFISH_RETURN_IF_ERROR(st);
+  if (!sparse) {
+    return Status::FailedPrecondition(
+        "constraints are not sparse w.r.t. the secret graph (Def 8.2)");
+  }
+  std::vector<std::vector<size_t>> adj_vec(p + 2);
+  for (size_t v = 0; v < adj.size(); ++v) {
+    adj_vec[v].assign(adj[v].begin(), adj[v].end());
+  }
+  return PolicyGraph(p, std::move(adj_vec));
+}
+
+bool PolicyGraph::HasEdge(size_t from, size_t to) const {
+  if (from >= adj_.size()) return false;
+  return std::binary_search(adj_[from].begin(), adj_[from].end(), to);
+}
+
+namespace {
+
+/// Exact longest simple path/cycle search by DFS over simple paths.
+/// `target`: the vertex whose re-entry closes a cycle (for alpha) or the
+/// sink to reach (for xi). Exponential worst case — callers bound size.
+class LongestPathSearch {
+ public:
+  explicit LongestPathSearch(const std::vector<std::vector<size_t>>& adj)
+      : adj_(adj), on_path_(adj.size(), false) {}
+
+  /// Longest simple cycle through any vertex, in edges.
+  uint64_t LongestCycle() {
+    uint64_t best = 0;
+    for (size_t start = 0; start < adj_.size(); ++start) {
+      // Only consider cycles whose minimum vertex is `start` to avoid
+      // rediscovering each cycle at every rotation.
+      min_vertex_ = start;
+      on_path_[start] = true;
+      DfsCycle(start, start, 0, best);
+      on_path_[start] = false;
+    }
+    return best;
+  }
+
+  /// Longest simple path from `source` to `sink`, in edges; 0 if none.
+  uint64_t LongestPath(size_t source, size_t sink) {
+    uint64_t best = 0;
+    min_vertex_ = 0;
+    on_path_[source] = true;
+    DfsPath(source, sink, 0, best);
+    on_path_[source] = false;
+    return best;
+  }
+
+ private:
+  void DfsCycle(size_t start, size_t u, uint64_t depth, uint64_t& best) {
+    for (size_t v : adj_[u]) {
+      if (v == start && depth + 1 >= 2) {
+        best = std::max(best, depth + 1);
+        continue;
+      }
+      if (v < min_vertex_ || on_path_[v]) continue;
+      on_path_[v] = true;
+      DfsCycle(start, v, depth + 1, best);
+      on_path_[v] = false;
+    }
+  }
+
+  void DfsPath(size_t u, size_t sink, uint64_t depth, uint64_t& best) {
+    if (u == sink) {
+      best = std::max(best, depth);
+      return;
+    }
+    for (size_t v : adj_[u]) {
+      if (on_path_[v]) continue;
+      on_path_[v] = true;
+      DfsPath(v, sink, depth + 1, best);
+      on_path_[v] = false;
+    }
+  }
+
+  const std::vector<std::vector<size_t>>& adj_;
+  std::vector<bool> on_path_;
+  size_t min_vertex_ = 0;
+};
+
+}  // namespace
+
+StatusOr<uint64_t> PolicyGraph::LongestSimpleCycle(
+    size_t max_vertices) const {
+  if (num_vertices() > max_vertices) {
+    return Status::ResourceExhausted(
+        "policy graph too large for the exact cycle search (NP-hard; use "
+        "the Sec 8.2 closed forms)");
+  }
+  LongestPathSearch search(adj_);
+  return search.LongestCycle();
+}
+
+StatusOr<uint64_t> PolicyGraph::LongestSourceSinkPath(
+    size_t max_vertices) const {
+  if (num_vertices() > max_vertices) {
+    return Status::ResourceExhausted(
+        "policy graph too large for the exact path search (NP-hard; use "
+        "the Sec 8.2 closed forms)");
+  }
+  LongestPathSearch search(adj_);
+  return search.LongestPath(v_plus(), v_minus());
+}
+
+StatusOr<double> PolicyGraph::HistogramSensitivityBound(
+    size_t max_vertices) const {
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t alpha, LongestSimpleCycle(max_vertices));
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t xi,
+                            LongestSourceSinkPath(max_vertices));
+  return 2.0 * static_cast<double>(std::max(alpha, xi));
+}
+
+double HistogramSensitivityCorollaryBound(size_t num_queries) {
+  return 2.0 * static_cast<double>(std::max<size_t>(num_queries, 1));
+}
+
+StatusOr<double> MarginalFullDomainSensitivity(const Domain& domain,
+                                               const Marginal& marginal) {
+  if (marginal.attribute_indices.empty()) {
+    return Status::InvalidArgument("marginal has no attributes");
+  }
+  std::set<size_t> attrs(marginal.attribute_indices.begin(),
+                         marginal.attribute_indices.end());
+  if (attrs.size() != marginal.attribute_indices.size()) {
+    return Status::InvalidArgument("marginal repeats an attribute");
+  }
+  for (size_t a : attrs) {
+    if (a >= domain.num_attributes()) {
+      return Status::OutOfRange("marginal attribute index out of range");
+    }
+  }
+  // Thm 8.4 requires [C] to be a *proper* subset of the attributes;
+  // otherwise the marginal pins the whole histogram and S(h, P) = 0.
+  if (attrs.size() == domain.num_attributes()) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(marginal.Size(domain));
+}
+
+StatusOr<double> DisjointMarginalsAttributeSensitivity(
+    const Domain& domain, const std::vector<Marginal>& marginals) {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("need at least one marginal");
+  }
+  uint64_t max_size = 0;
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    if (marginals[i].attribute_indices.empty() ||
+        marginals[i].attribute_indices.size() >= domain.num_attributes()) {
+      return Status::InvalidArgument(
+          "each marginal must be a non-empty proper attribute subset");
+    }
+    for (size_t j = i + 1; j < marginals.size(); ++j) {
+      if (!marginals[i].DisjointFrom(marginals[j])) {
+        return Status::FailedPrecondition(
+            "Thm 8.5 requires pairwise-disjoint marginals");
+      }
+    }
+    max_size = std::max(max_size, marginals[i].Size(domain));
+  }
+  return 2.0 * static_cast<double>(max_size);
+}
+
+StatusOr<uint64_t> MaxRectangleComponent(const Domain& domain,
+                                         const std::vector<Rectangle>& rects,
+                                         double theta) {
+  if (!(theta > 0.0)) {
+    return Status::InvalidArgument("theta must be positive");
+  }
+  // Union-find over rectangles; edge iff min L1 distance <= theta.
+  std::vector<size_t> parent(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[i].MinDistance(domain, rects[j]) <= theta) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<uint64_t> comp_size(rects.size(), 0);
+  uint64_t maxcomp = 0;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    maxcomp = std::max(maxcomp, ++comp_size[find(i)]);
+  }
+  return maxcomp;
+}
+
+StatusOr<double> RectangleDistanceSensitivity(
+    const Domain& domain, const std::vector<Rectangle>& rects,
+    double theta) {
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[i].Intersects(rects[j])) {
+        return Status::FailedPrecondition(
+            "Thm 8.6 requires pairwise-disjoint rectangles");
+      }
+    }
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t maxcomp,
+                            MaxRectangleComponent(domain, rects, theta));
+  return 2.0 * static_cast<double>(maxcomp + 1);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,97 @@
+// Policy graphs and sensitivity under sparse count constraints (Sec 8).
+//
+// For a policy P = (T, G, I_Q) whose count-query constraints Q are sparse
+// w.r.t. G (Def 8.2), the policy graph G_P (Def 8.3) has one vertex per
+// query plus v+ and v-, and Thm 8.2 bounds the complete-histogram
+// sensitivity by
+//     S(h, P) <= 2 max{ alpha(G_P), xi(G_P) },
+// with alpha the longest simple directed cycle and xi the longest simple
+// v+ -> v- path (both in edges). Computing alpha/xi exactly is NP-hard in
+// general (Thm 8.1), so the exact DFS solver is size-bounded; the
+// practical scenarios of Sec 8.2 use closed forms:
+//   * one marginal + full-domain secrets:      S = 2 size(C)      (Thm 8.4)
+//   * disjoint marginals + attribute secrets:  S = 2 max size(Ci) (Thm 8.5)
+//   * disjoint rectangles + distance secrets:  S = 2 (maxcomp+1)  (Thm 8.6)
+
+#ifndef BLOWFISH_CORE_POLICY_GRAPH_H_
+#define BLOWFISH_CORE_POLICY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/domain.h"
+#include "core/secret_graph.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// The directed policy graph G_P = (V_P, E_P) of Def 8.3.
+/// Vertices 0..p-1 are the count queries; vertex p is v+, vertex p+1 is v-.
+class PolicyGraph {
+ public:
+  /// Builds G_P by enumerating the secret-graph edges (both orientations)
+  /// and classifying their lift/lower behaviour. Fails with
+  /// FailedPrecondition if Q is not sparse w.r.t. G, or ResourceExhausted
+  /// if the edge budget is exceeded.
+  static StatusOr<PolicyGraph> Build(const ConstraintSet& constraints,
+                                     const SecretGraph& graph,
+                                     uint64_t max_edges);
+
+  size_t num_queries() const { return num_queries_; }
+  size_t v_plus() const { return num_queries_; }
+  size_t v_minus() const { return num_queries_ + 1; }
+  size_t num_vertices() const { return num_queries_ + 2; }
+
+  bool HasEdge(size_t from, size_t to) const;
+  const std::vector<std::vector<size_t>>& adjacency() const { return adj_; }
+
+  /// alpha(G_P): number of edges of the longest simple directed cycle; 0 if
+  /// acyclic. Exact DFS — errors with ResourceExhausted beyond
+  /// `max_vertices` vertices (the problem is NP-hard, Thm 8.1).
+  StatusOr<uint64_t> LongestSimpleCycle(size_t max_vertices = 24) const;
+
+  /// xi(G_P): number of edges of the longest simple v+ -> v- path.
+  StatusOr<uint64_t> LongestSourceSinkPath(size_t max_vertices = 24) const;
+
+  /// The Thm 8.2 bound S(h, P) <= 2 max{alpha, xi}.
+  StatusOr<double> HistogramSensitivityBound(size_t max_vertices = 24) const;
+
+ private:
+  PolicyGraph(size_t num_queries, std::vector<std::vector<size_t>> adj)
+      : num_queries_(num_queries), adj_(std::move(adj)) {}
+
+  size_t num_queries_;
+  std::vector<std::vector<size_t>> adj_;  // sorted out-neighbour lists
+};
+
+/// Corollary 8.3: for sparse Q, S(h, P) <= 2 max{|Q|, 1} without building
+/// the policy graph.
+double HistogramSensitivityCorollaryBound(size_t num_queries);
+
+/// Thm 8.4: one known marginal C with [C] a proper subset of the
+/// attributes, full-domain secrets: S(h, P) = 2 size(C).
+StatusOr<double> MarginalFullDomainSensitivity(const Domain& domain,
+                                               const Marginal& marginal);
+
+/// Thm 8.5: p pairwise-disjoint known marginals, attribute secrets:
+/// S(h, P) = 2 max_i size(C_i).
+StatusOr<double> DisjointMarginalsAttributeSensitivity(
+    const Domain& domain, const std::vector<Marginal>& marginals);
+
+/// maxcomp(Q) of Sec 8.2.3: the size of the largest connected component of
+/// the rectangle graph G_R(Q) (edge iff min-distance <= theta).
+StatusOr<uint64_t> MaxRectangleComponent(const Domain& domain,
+                                         const std::vector<Rectangle>& rects,
+                                         double theta);
+
+/// Thm 8.6: disjoint rectangle range-count constraints, distance-threshold
+/// secrets: S(h, P) <= 2 (maxcomp(Q) + 1), with equality when no
+/// constraint is a point query. Returns the bound.
+StatusOr<double> RectangleDistanceSensitivity(
+    const Domain& domain, const std::vector<Rectangle>& rects, double theta);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_POLICY_GRAPH_H_

@@ -1,0 +1,179 @@
+#include "core/policy_spec.h"
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace blowfish {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(s);
+  while (std::getline(in, token, sep)) out.push_back(Trim(token));
+  return out;
+}
+
+StatusOr<double> ParseDouble(const std::string& s, const char* what) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) {
+      return Status::InvalidArgument(std::string("trailing junk in ") +
+                                     what + ": '" + s + "'");
+    }
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("cannot parse ") + what +
+                                   ": '" + s + "'");
+  }
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& s, const char* what) {
+  BLOWFISH_ASSIGN_OR_RETURN(double v, ParseDouble(s, what));
+  if (v < 0 || v != static_cast<double>(static_cast<uint64_t>(v))) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+StatusOr<ParsedPolicy> ParsePolicySpec(const std::string& text) {
+  std::vector<Attribute> attributes;
+  std::string graph_kind;
+  std::string graph_arg;
+  std::optional<double> epsilon;
+
+  std::istringstream in(text);
+  std::string raw_line;
+  size_t line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    // Strip comments.
+    size_t hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line = raw_line.substr(0, hash);
+    std::string line = Trim(raw_line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected key = value");
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key == "attribute") {
+      std::vector<std::string> parts = Split(value, ':');
+      if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": attribute needs name : cardinality [: scale]");
+      }
+      Attribute attr;
+      attr.name = parts[0];
+      BLOWFISH_ASSIGN_OR_RETURN(attr.cardinality,
+                                ParseUint(parts[1], "cardinality"));
+      if (parts.size() == 3) {
+        BLOWFISH_ASSIGN_OR_RETURN(attr.scale,
+                                  ParseDouble(parts[2], "scale"));
+      }
+      attributes.push_back(std::move(attr));
+    } else if (key == "graph") {
+      std::vector<std::string> parts = Split(value, ':');
+      graph_kind = parts.empty() ? "" : parts[0];
+      graph_arg = parts.size() > 1 ? parts[1] : "";
+      if (parts.size() > 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": too many graph arguments");
+      }
+    } else if (key == "epsilon") {
+      BLOWFISH_ASSIGN_OR_RETURN(double e, ParseDouble(value, "epsilon"));
+      if (!(e > 0.0)) {
+        return Status::InvalidArgument("epsilon must be positive");
+      }
+      epsilon = e;
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+
+  if (attributes.empty()) {
+    return Status::InvalidArgument("spec declares no attributes");
+  }
+  if (graph_kind.empty()) {
+    return Status::InvalidArgument("spec declares no graph");
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(Domain domain_v,
+                            Domain::Create(std::move(attributes)));
+  auto domain = std::make_shared<const Domain>(std::move(domain_v));
+
+  StatusOr<Policy> policy = Status::Internal("unset");
+  if (graph_kind == "full") {
+    policy = Policy::FullDomain(domain);
+  } else if (graph_kind == "attribute") {
+    policy = Policy::Attribute(domain);
+  } else if (graph_kind == "line") {
+    policy = Policy::Line(domain);
+  } else if (graph_kind == "distance") {
+    if (graph_arg.empty()) {
+      return Status::InvalidArgument("distance graph needs a theta");
+    }
+    BLOWFISH_ASSIGN_OR_RETURN(double theta,
+                              ParseDouble(graph_arg, "theta"));
+    policy = Policy::DistanceThreshold(domain, theta);
+  } else if (graph_kind == "grid_partition") {
+    std::vector<uint64_t> cells;
+    for (const std::string& c : Split(graph_arg, ',')) {
+      BLOWFISH_ASSIGN_OR_RETURN(uint64_t v, ParseUint(c, "cell count"));
+      cells.push_back(v);
+    }
+    policy = Policy::GridPartition(domain, std::move(cells));
+  } else {
+    return Status::InvalidArgument("unknown graph kind '" + graph_kind +
+                                   "'");
+  }
+  BLOWFISH_RETURN_IF_ERROR(policy.status());
+  return ParsedPolicy{std::move(policy).value(), epsilon};
+}
+
+StatusOr<std::string> PolicyToSpec(const Policy& policy,
+                                   std::optional<double> epsilon) {
+  if (policy.has_constraints()) {
+    return Status::Unimplemented(
+        "constraint sets are not serializable to the spec format");
+  }
+  std::ostringstream out;
+  for (const Attribute& a : policy.domain().attributes()) {
+    out << "attribute = " << a.name << " : " << a.cardinality << " : "
+        << a.scale << "\n";
+  }
+  const SecretGraph& g = policy.graph();
+  if (dynamic_cast<const FullGraph*>(&g) != nullptr) {
+    out << "graph = full\n";
+  } else if (dynamic_cast<const AttributeGraph*>(&g) != nullptr) {
+    out << "graph = attribute\n";
+  } else if (dynamic_cast<const LineGraph*>(&g) != nullptr) {
+    out << "graph = line\n";
+  } else if (auto* t = dynamic_cast<const DistanceThresholdGraph*>(&g)) {
+    out << "graph = distance : " << t->theta() << "\n";
+  } else {
+    return Status::Unimplemented("graph kind '" + g.name() +
+                                 "' is not serializable");
+  }
+  if (epsilon.has_value()) out << "epsilon = " << *epsilon << "\n";
+  return out.str();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,47 @@
+// Textual policy specifications.
+//
+// The paper pitches Blowfish as an interface for data publishers who are
+// not privacy experts; this module gives them a small declarative format
+// instead of C++ plumbing. A spec is newline-separated key = value pairs:
+//
+//   # salary microdata policy
+//   attribute = salary_k : 200 : 1.0     # name : cardinality : scale
+//   attribute = dept : 12
+//   graph = distance : 10.0              # full | attribute | line |
+//                                        # distance : <theta> |
+//                                        # grid_partition : c1,c2,...
+//   epsilon = 0.5                        # optional, advisory
+//
+// Comments (#) and blank lines are ignored. Parsing is strict: unknown
+// keys, malformed numbers, or a graph incompatible with the attributes
+// produce errors rather than silent defaults.
+
+#ifndef BLOWFISH_CORE_POLICY_SPEC_H_
+#define BLOWFISH_CORE_POLICY_SPEC_H_
+
+#include <optional>
+#include <string>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// The result of parsing a policy spec.
+struct ParsedPolicy {
+  Policy policy;
+  /// The advisory epsilon from the spec, if present.
+  std::optional<double> epsilon;
+};
+
+/// Parses a policy spec (see the header comment for the grammar).
+StatusOr<ParsedPolicy> ParsePolicySpec(const std::string& text);
+
+/// Serializes a policy back into the spec format (constraints are not
+/// serializable and are rejected).
+StatusOr<std::string> PolicyToSpec(const Policy& policy,
+                                   std::optional<double> epsilon = {});
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_POLICY_SPEC_H_

@@ -1,0 +1,54 @@
+#include "core/privacy_loss.h"
+
+#include <algorithm>
+
+namespace blowfish {
+
+Status PrivacyAccountant::SpendSequential(double epsilon, std::string label) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  entries_.push_back(Entry{std::move(label), epsilon, /*parallel=*/false});
+  total_ += epsilon;
+  return Status::OK();
+}
+
+Status PrivacyAccountant::SpendParallel(const std::vector<double>& epsilons,
+                                        std::string label) {
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("parallel group needs at least one eps");
+  }
+  double max_eps = 0.0;
+  for (double e : epsilons) {
+    if (!(e > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    max_eps = std::max(max_eps, e);
+  }
+  entries_.push_back(Entry{std::move(label), max_eps, /*parallel=*/true});
+  total_ += max_eps;
+  return Status::OK();
+}
+
+std::string PrivacyAccountant::ToString() const {
+  std::string out = "PrivacyAccountant(total=" + std::to_string(total_);
+  for (const Entry& e : entries_) {
+    out += "; " + (e.label.empty() ? std::string("release") : e.label) +
+           (e.parallel ? "[parallel]=" : "=") + std::to_string(e.epsilon);
+  }
+  out += ")";
+  return out;
+}
+
+StatusOr<bool> ParallelCompositionValid(const Policy& policy,
+                                        uint64_t max_edges) {
+  const ConstraintSet& q = policy.constraints();
+  for (size_t i = 0; i < q.size(); ++i) {
+    BLOWFISH_ASSIGN_OR_RETURN(
+        bool critical, q.HasCriticalPair(i, policy.graph(), max_edges));
+    if (critical) return false;
+  }
+  return true;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,64 @@
+// Composition accounting (Sec 4.1).
+//
+// Sequential composition (Thm 4.1): privacy losses add. Parallel
+// composition over disjoint id-subsets costs the max loss, provided the
+// policy's constraints cannot couple the subsets: with cardinality-only
+// knowledge this always holds (Thm 4.2); with general constraints it holds
+// when each constraint only affects one subset (Thm 4.3). With uniform
+// secrets (the same discriminative pairs for every individual — the
+// setting of this library and the paper's experiments), a constraint
+// affects *every* subset as soon as crit(q) is non-empty, so the practical
+// check is "every constraint has an empty critical set" — e.g. counts of
+// whole G-components, as in the paper's closing example of Sec 4.1.
+
+#ifndef BLOWFISH_CORE_PRIVACY_LOSS_H_
+#define BLOWFISH_CORE_PRIVACY_LOSS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Ledger of (eps, P)-Blowfish releases against one policy. Sequential
+/// spends add (Thm 4.1); a parallel group contributes only its max
+/// (Thms 4.2/4.3) once validated.
+class PrivacyAccountant {
+ public:
+  /// A sequential release of eps.
+  Status SpendSequential(double epsilon, std::string label = "");
+
+  /// A parallel group: mechanisms applied to disjoint id-subsets. The
+  /// group costs max(epsilons).
+  Status SpendParallel(const std::vector<double>& epsilons,
+                       std::string label = "");
+
+  /// Total (eps, P)-Blowfish loss so far.
+  double TotalEpsilon() const { return total_; }
+
+  /// Human-readable ledger.
+  std::string ToString() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    double epsilon;
+    bool parallel;
+  };
+  std::vector<Entry> entries_;
+  double total_ = 0.0;
+};
+
+/// Thm 4.3 precondition under uniform secrets: parallel composition over
+/// disjoint id-subsets is valid iff every constraint in the policy has an
+/// empty critical set crit(q) — no edge of G changes the constraint's
+/// answer. (Constraints with non-empty crit couple tuples across subsets,
+/// as in the male/female example of Sec 4.1.)
+StatusOr<bool> ParallelCompositionValid(const Policy& policy,
+                                        uint64_t max_edges);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_PRIVACY_LOSS_H_

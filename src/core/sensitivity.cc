@@ -1,0 +1,137 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace blowfish {
+
+double LinearQuery::EdgeNorm(ValueIndex x, ValueIndex y) const {
+  if (x == y) return 0.0;
+  // Combine the two sparse columns row-wise and take the L1 norm of the
+  // difference.
+  std::unordered_map<size_t, double> diff;
+  ForEachColumnEntry(x, [&diff](size_t row, double v) { diff[row] += v; });
+  ForEachColumnEntry(y, [&diff](size_t row, double v) { diff[row] -= v; });
+  double norm = 0.0;
+  for (const auto& [row, v] : diff) {
+    (void)row;
+    norm += std::fabs(v);
+  }
+  return norm;
+}
+
+std::vector<double> LinearQuery::Evaluate(const Histogram& h) const {
+  std::vector<double> out(output_dim(), 0.0);
+  for (size_t x = 0; x < h.size(); ++x) {
+    double count = h[x];
+    if (count == 0.0) continue;
+    ForEachColumnEntry(static_cast<ValueIndex>(x),
+                       [&out, count](size_t row, double v) {
+                         out[row] += v * count;
+                       });
+  }
+  return out;
+}
+
+double ValueWeightedSumQuery::EdgeNorm(ValueIndex x, ValueIndex y) const {
+  if (x == y) return 0.0;
+  return std::fabs(value_(x) - value_(y));
+}
+
+StatusOr<double> UnconstrainedSensitivity(const LinearQuery& query,
+                                          const SecretGraph& graph,
+                                          uint64_t max_edges) {
+  double sensitivity = 0.0;
+  BLOWFISH_RETURN_IF_ERROR(graph.ForEachEdge(
+      [&query, &sensitivity](ValueIndex x, ValueIndex y) {
+        sensitivity = std::max(sensitivity, query.EdgeNorm(x, y));
+      },
+      max_edges));
+  return sensitivity;
+}
+
+namespace {
+
+/// True iff the graph has at least one edge (probes the enumeration with a
+/// one-edge budget; a ResourceExhausted reply also proves an edge exists).
+bool HasAnyEdge(const SecretGraph& graph) {
+  bool found = false;
+  Status st = graph.ForEachEdge(
+      [&found](ValueIndex, ValueIndex) { found = true; }, 1);
+  return found || !st.ok();
+}
+
+}  // namespace
+
+double HistogramSensitivity(const SecretGraph& graph) {
+  return HasAnyEdge(graph) ? 2.0 : 0.0;
+}
+
+StatusOr<double> CumulativeHistogramSensitivity(const Policy& policy) {
+  if (policy.domain().num_attributes() != 1) {
+    return Status::InvalidArgument(
+        "cumulative histograms require a 1-D ordered domain");
+  }
+  const SecretGraph& g = policy.graph();
+  const uint64_t n = policy.domain().size();
+  const double scale = policy.domain().attribute(0).scale;
+
+  if (dynamic_cast<const LineGraph*>(&g) != nullptr) {
+    return n >= 2 ? 1.0 : 0.0;
+  }
+  if (auto* full = dynamic_cast<const FullGraph*>(&g)) {
+    (void)full;
+    return n >= 2 ? static_cast<double>(n - 1) : 0.0;
+  }
+  if (auto* thresh = dynamic_cast<const DistanceThresholdGraph*>(&g)) {
+    // Farthest adjacent pair is floor(theta / scale) indices apart.
+    double steps = std::floor(thresh->theta() / scale);
+    steps = std::min(steps, static_cast<double>(n - 1));
+    return steps;  // 0 when theta < scale: the graph has no edges
+  }
+  // Generic fallback: exact max over enumerated edges.
+  CumulativeHistogramQuery query(n);
+  return UnconstrainedSensitivity(query, g, uint64_t{1} << 26);
+}
+
+StatusOr<double> QSumSensitivity(const Policy& policy) {
+  const SecretGraph& g = policy.graph();
+  const Domain& dom = policy.domain();
+
+  // All closed forms are instances of the one rule (Lemma 6.1): the
+  // sensitivity is 2 * (max L1 distance across any edge of G).
+  if (dynamic_cast<const FullGraph*>(&g) != nullptr) {
+    return 2.0 * dom.Diameter();
+  }
+  if (dynamic_cast<const AttributeGraph*>(&g) != nullptr) {
+    double max_attr = 0.0;
+    for (const Attribute& a : dom.attributes()) {
+      max_attr = std::max(
+          max_attr, a.scale * static_cast<double>(a.cardinality - 1));
+    }
+    return 2.0 * max_attr;
+  }
+  if (auto* thresh = dynamic_cast<const DistanceThresholdGraph*>(&g)) {
+    return 2.0 * std::min(thresh->theta(), dom.Diameter());
+  }
+  if (auto* part = dynamic_cast<const PartitionGraph*>(&g)) {
+    if (part->max_edge_l1().has_value()) {
+      return 2.0 * *part->max_edge_l1();
+    }
+  }
+  // Generic fallback: enumerate edges and take the max L1 distance.
+  double max_dist = 0.0;
+  BLOWFISH_RETURN_IF_ERROR(g.ForEachEdge(
+      [&dom, &max_dist](ValueIndex x, ValueIndex y) {
+        max_dist = std::max(max_dist, dom.L1Distance(x, y));
+      },
+      uint64_t{1} << 26));
+  return 2.0 * max_dist;
+}
+
+double QSizeSensitivity(const SecretGraph& graph) {
+  return HasAnyEdge(graph) ? 2.0 : 0.0;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,175 @@
+// Policy-specific global sensitivity (Def 5.1, Sec 5).
+//
+// For unconstrained policies P = (T, G, I_n), neighbours differ by moving
+// one tuple along one edge of G, so for any query that is *linear in the
+// complete histogram*, f(D) = M h(D):
+//
+//     S(f, P) = max_{(x,y) in E(G)} || M (e_x - e_y) ||_1.
+//
+// This module provides that generic engine plus the closed forms the paper
+// derives: histogram queries (S = 2, or 0 when the partition is coarser
+// than G's components), cumulative histograms (S = theta in index units),
+// value-weighted linear sums, and q_sum for k-means (Lemma 6.1).
+//
+// Constrained policies are handled elsewhere: the policy-graph bound of
+// Thm 8.2 (core/policy_graph.h) and the brute-force oracle
+// (core/neighbors.h).
+
+#ifndef BLOWFISH_CORE_SENSITIVITY_H_
+#define BLOWFISH_CORE_SENSITIVITY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/secret_graph.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// A query that is linear in the complete histogram: f(D) = M h(D) with M
+/// a (dim x |T|) matrix exposed column-wise (columns are sparse for every
+/// workload in the paper).
+class LinearQuery {
+ public:
+  virtual ~LinearQuery() = default;
+
+  /// Number of output components (rows of M).
+  virtual size_t output_dim() const = 0;
+
+  /// Invokes fn(row, value) for each non-zero entry of column x of M.
+  virtual void ForEachColumnEntry(
+      ValueIndex x, const std::function<void(size_t, double)>& fn) const = 0;
+
+  /// || M (e_x - e_y) ||_1 — the L1 change when one tuple moves from x to
+  /// y. The default combines the sparse columns; subclasses override with
+  /// O(1) closed forms where available.
+  virtual double EdgeNorm(ValueIndex x, ValueIndex y) const;
+
+  /// f(D) = M h(D) for a materialized complete histogram.
+  virtual std::vector<double> Evaluate(const Histogram& h) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// The complete histogram query h (identity matrix). S = 2 for any graph
+/// with at least one edge.
+class CompleteHistogramQuery final : public LinearQuery {
+ public:
+  explicit CompleteHistogramQuery(uint64_t domain_size) : n_(domain_size) {}
+  size_t output_dim() const override { return n_; }
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    fn(static_cast<size_t>(x), 1.0);
+  }
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    return x == y ? 0.0 : 2.0;
+  }
+  std::string name() const override { return "h"; }
+
+ private:
+  uint64_t n_;
+};
+
+/// A partitioned histogram h_P: bucket_of maps each value to one of
+/// `num_buckets` buckets. S = 2 unless every edge of G stays within a
+/// bucket (then 0 — Sec 5's "histogram of P ... released without noise").
+class PartitionedHistogramQuery final : public LinearQuery {
+ public:
+  PartitionedHistogramQuery(std::function<uint64_t(ValueIndex)> bucket_of,
+                            size_t num_buckets)
+      : bucket_of_(std::move(bucket_of)), num_buckets_(num_buckets) {}
+  size_t output_dim() const override { return num_buckets_; }
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    fn(static_cast<size_t>(bucket_of_(x)), 1.0);
+  }
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    if (x == y || bucket_of_(x) == bucket_of_(y)) return 0.0;
+    return 2.0;
+  }
+  std::string name() const override { return "h_P"; }
+
+ private:
+  std::function<uint64_t(ValueIndex)> bucket_of_;
+  size_t num_buckets_;
+};
+
+/// The cumulative histogram S_T (Def 7.1) over a 1-D ordered domain:
+/// row i of M is the indicator of values <= i, so
+/// ||M(e_x - e_y)||_1 = |x - y| (index distance).
+class CumulativeHistogramQuery final : public LinearQuery {
+ public:
+  explicit CumulativeHistogramQuery(uint64_t domain_size) : n_(domain_size) {}
+  size_t output_dim() const override { return n_; }
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    for (size_t i = static_cast<size_t>(x); i < n_; ++i) fn(i, 1.0);
+  }
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    return static_cast<double>(x < y ? y - x : x - y);
+  }
+  std::vector<double> Evaluate(const Histogram& h) const override {
+    return h.CumulativeSums();
+  }
+  std::string name() const override { return "S_T"; }
+
+ private:
+  uint64_t n_;
+};
+
+/// A scalar value-weighted sum f(D) = sum_x v(x) c(x) (e.g. the linear sum
+/// query of Sec 5 with uniform per-individual weights).
+class ValueWeightedSumQuery final : public LinearQuery {
+ public:
+  explicit ValueWeightedSumQuery(std::function<double(ValueIndex)> value)
+      : value_(std::move(value)) {}
+  size_t output_dim() const override { return 1; }
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    fn(0, value_(x));
+  }
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override;
+  std::string name() const override { return "f_v"; }
+
+ private:
+  std::function<double(ValueIndex)> value_;
+};
+
+/// Generic unconstrained policy-specific sensitivity:
+/// max over edges of G of query.EdgeNorm. Enumerates at most `max_edges`
+/// edges; prefer the closed forms below for the huge structured graphs.
+StatusOr<double> UnconstrainedSensitivity(const LinearQuery& query,
+                                          const SecretGraph& graph,
+                                          uint64_t max_edges);
+
+/// Closed-form S(h, P) for unconstrained policies: 2 if G has any edge
+/// (0 for an edgeless graph).
+double HistogramSensitivity(const SecretGraph& graph);
+
+/// Closed-form S(S_T, P) in *index units* for a 1-D ordered domain under
+/// G^{d,theta} (scale s): the farthest adjacent pair is floor(theta/s)
+/// indices apart. theta = s gives the line graph's sensitivity 1; the
+/// complete graph gives |T| - 1 (Sec 7 intro).
+StatusOr<double> CumulativeHistogramSensitivity(const Policy& policy);
+
+/// Closed-form S(q_sum, P) for k-means' per-cluster coordinate sums
+/// (Lemma 6.1 and the preceding discussion):
+///   G^full: 2 d(T); G^attr: 2 max_A scale_A (|A|-1); G^{L1,theta}: 2
+///   theta; G^P uniform grid: 2 max_cell d(cell).
+StatusOr<double> QSumSensitivity(const Policy& policy);
+
+/// S(q_size, P) = 2 for every graph with an edge (q_size is a partitioned
+/// histogram over the data-dependent clustering; the bound of Sec 6).
+double QSizeSensitivity(const SecretGraph& graph);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_SENSITIVITY_H_

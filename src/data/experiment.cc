@@ -1,0 +1,44 @@
+#include "data/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace blowfish {
+
+std::vector<double> PaperEpsilons() {
+  std::vector<double> eps;
+  for (int i = 1; i <= 10; ++i) eps.push_back(0.1 * i);
+  return eps;
+}
+
+Summary Repeat(size_t reps, Random& rng,
+               const std::function<double(Random&)>& trial) {
+  std::vector<double> values;
+  values.reserve(reps);
+  for (size_t r = 0; r < reps; ++r) {
+    Random fork = rng.Fork();
+    values.push_back(trial(fork));
+  }
+  return Summarize(values);
+}
+
+void PrintSeries(const std::string& figure,
+                 const std::vector<SeriesPoint>& points) {
+  std::printf("figure,series,x,mean,q25,q75\n");
+  for (const SeriesPoint& p : points) {
+    std::printf("%s,%s,%.6g,%.6g,%.6g,%.6g\n", figure.c_str(),
+                p.series.c_str(), p.x, p.summary.mean,
+                p.summary.lower_quartile, p.summary.upper_quartile);
+  }
+}
+
+size_t BenchReps(size_t fallback) {
+  const char* env = std::getenv("BLOWFISH_BENCH_REPS");
+  if (env != nullptr) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace blowfish

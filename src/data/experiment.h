@@ -1,0 +1,44 @@
+// Experiment harness: repetition, summary, and the CSV series printers the
+// bench binaries share. Each paper figure is a set of (series, epsilon,
+// value) rows; printing them in one uniform format keeps the bench output
+// machine-readable.
+
+#ifndef BLOWFISH_DATA_EXPERIMENT_H_
+#define BLOWFISH_DATA_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace blowfish {
+
+/// The epsilon sweep used throughout the paper's evaluation:
+/// {0.1, 0.2, ..., 1.0}.
+std::vector<double> PaperEpsilons();
+
+/// Runs `trial` `reps` times with independent forked RNG streams and
+/// summarizes (mean + quartiles).
+Summary Repeat(size_t reps, Random& rng,
+               const std::function<double(Random&)>& trial);
+
+/// One figure row: series label, x (epsilon or parameter), summary stats.
+struct SeriesPoint {
+  std::string series;
+  double x = 0.0;
+  Summary summary;
+};
+
+/// Prints "figure,series,x,mean,q25,q75" CSV rows with a header.
+void PrintSeries(const std::string& figure,
+                 const std::vector<SeriesPoint>& points);
+
+/// Number of repetitions for heavy benches; honours the
+/// BLOWFISH_BENCH_REPS environment variable (default `fallback`).
+size_t BenchReps(size_t fallback);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_DATA_EXPERIMENT_H_

@@ -1,0 +1,203 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blowfish {
+
+namespace {
+
+/// Clamps a real to an integer level in [0, card-1].
+uint64_t ClampLevel(double v, uint64_t card) {
+  if (v < 0.0) return 0;
+  if (v >= static_cast<double>(card)) return card - 1;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+StatusOr<Dataset> GenerateTwitterLike(size_t n, Random& rng) {
+  // 400 cells of longitude x 300 cells of latitude; ~5.55 km per cell.
+  constexpr double kCellKm = 5.55;
+  BLOWFISH_ASSIGN_OR_RETURN(Domain domain_v, Domain::Create({
+      Attribute{"lon", 400, kCellKm},
+      Attribute{"lat", 300, kCellKm},
+  }));
+  auto domain = std::make_shared<const Domain>(std::move(domain_v));
+
+  // Urban hot-spots (relative grid positions and spreads, loosely modeled
+  // on western-US metro areas) plus a uniform rural background.
+  struct HotSpot {
+    double lon, lat, sigma, weight;
+  };
+  const HotSpot spots[] = {
+      {60, 210, 8, 0.22},   // Seattle-like
+      {60, 150, 7, 0.08},   // Portland-like
+      {40, 90, 9, 0.20},    // Bay-Area-like
+      {110, 40, 10, 0.24},  // LA-like
+      {150, 60, 6, 0.06},   // Vegas-like
+      {240, 80, 7, 0.08},   // Phoenix-like
+      {300, 150, 6, 0.07},  // Denver-like
+      {200, 200, 5, 0.05},  // SLC-like
+  };
+  double weight_total = 0.0;
+  for (const HotSpot& s : spots) weight_total += s.weight;
+  constexpr double kBackground = 0.15;  // uniform fraction
+
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t lon, lat;
+    if (rng.Uniform() < kBackground) {
+      lon = static_cast<uint64_t>(rng.UniformInt(0, 399));
+      lat = static_cast<uint64_t>(rng.UniformInt(0, 299));
+    } else {
+      double pick = rng.Uniform() * weight_total;
+      const HotSpot* spot = &spots[0];
+      for (const HotSpot& s : spots) {
+        if (pick < s.weight) {
+          spot = &s;
+          break;
+        }
+        pick -= s.weight;
+      }
+      lon = ClampLevel(rng.Gaussian(spot->lon, spot->sigma), 400);
+      lat = ClampLevel(rng.Gaussian(spot->lat, spot->sigma), 300);
+    }
+    tuples.push_back(domain->Encode({lon, lat}));
+  }
+  return Dataset::Create(domain, std::move(tuples));
+}
+
+StatusOr<Dataset> GenerateTwitterLatitudeLike(size_t n, Random& rng) {
+  BLOWFISH_ASSIGN_OR_RETURN(Dataset grid, GenerateTwitterLike(n, rng));
+  // Project onto latitude: domain 400 in the paper (they project the
+  // 400-cell axis), scale ~5.55 km, total ~2222 km.
+  BLOWFISH_ASSIGN_OR_RETURN(Domain line_v, Domain::Line(400, 5.55, "lat"));
+  auto line = std::make_shared<const Domain>(std::move(line_v));
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (ValueIndex t : grid.tuples()) {
+    // Use the 400-cell axis (attribute 0) as the projected ordinate.
+    tuples.push_back(grid.domain().Coordinate(t, 0));
+  }
+  return Dataset::Create(line, std::move(tuples));
+}
+
+StatusOr<Dataset> GenerateSkinLike(size_t n, Random& rng) {
+  BLOWFISH_ASSIGN_OR_RETURN(Domain domain_v, Domain::Create({
+      Attribute{"B", 256, 1.0},
+      Attribute{"G", 256, 1.0},
+      Attribute{"R", 256, 1.0},
+  }));
+  auto domain = std::make_shared<const Domain>(std::move(domain_v));
+  // Two clusters: skin tones (high R, mid G, low-mid B; ~21% of the UCI
+  // table) and background pixels (broad, darker).
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t b, g, r;
+    if (rng.Uniform() < 0.21) {
+      b = ClampLevel(rng.Gaussian(120, 30), 256);
+      g = ClampLevel(rng.Gaussian(140, 25), 256);
+      r = ClampLevel(rng.Gaussian(190, 25), 256);
+    } else {
+      b = ClampLevel(rng.Gaussian(100, 60), 256);
+      g = ClampLevel(rng.Gaussian(90, 55), 256);
+      r = ClampLevel(rng.Gaussian(85, 55), 256);
+    }
+    tuples.push_back(domain->Encode({b, g, r}));
+  }
+  return Dataset::Create(domain, std::move(tuples));
+}
+
+StatusOr<Dataset> GenerateAdultCapitalLossLike(size_t n, Random& rng) {
+  constexpr uint64_t kDomainSize = 4357;
+  BLOWFISH_ASSIGN_OR_RETURN(Domain domain_v,
+                            Domain::Line(kDomainSize, 1.0, "capital_loss"));
+  auto domain = std::make_shared<const Domain>(std::move(domain_v));
+  // ~95.3% zeros; non-zero mass concentrates on a few IRS-schedule modes,
+  // mirroring the real attribute's heavy sparsity.
+  struct Mode {
+    uint64_t value;
+    double weight;
+  };
+  const Mode modes[] = {
+      {1602, 0.20}, {1902, 0.19}, {1977, 0.16}, {1887, 0.15},
+      {2415, 0.09}, {1485, 0.08}, {1590, 0.06}, {1876, 0.04},
+      {2258, 0.03},
+  };
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Uniform() < 0.953) {
+      tuples.push_back(0);
+      continue;
+    }
+    double pick = rng.Uniform();
+    uint64_t value = 0;
+    for (const Mode& m : modes) {
+      if (pick < m.weight) {
+        // Small jitter around each mode.
+        int64_t v = static_cast<int64_t>(m.value) + rng.UniformInt(-5, 5);
+        value = static_cast<uint64_t>(
+            std::clamp<int64_t>(v, 0, kDomainSize - 1));
+        break;
+      }
+      pick -= m.weight;
+    }
+    tuples.push_back(value);
+  }
+  return Dataset::Create(domain, std::move(tuples));
+}
+
+StatusOr<Dataset> GenerateGaussianClusters(size_t n, size_t k, size_t levels,
+                                           Random& rng) {
+  if (k == 0 || levels == 0) {
+    return Status::InvalidArgument("need k >= 1 and levels >= 1");
+  }
+  // (0,1)^4 discretized to `levels` cells per axis; scale 1/levels keeps
+  // the physical extent at 1.0 per axis as in the paper.
+  BLOWFISH_ASSIGN_OR_RETURN(
+      Domain domain_v,
+      Domain::Grid(levels, 4, 1.0 / static_cast<double>(levels)));
+  auto domain = std::make_shared<const Domain>(std::move(domain_v));
+  std::vector<std::vector<double>> centers(k, std::vector<double>(4));
+  for (auto& c : centers) {
+    for (double& v : c) v = rng.Uniform();
+  }
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = centers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(k) - 1))];
+    std::vector<uint64_t> coords(4);
+    for (size_t d = 0; d < 4; ++d) {
+      double v = rng.Gaussian(c[d], 0.2);  // sigma = 0.2 as in Sec 6.1
+      coords[d] = ClampLevel(v * static_cast<double>(levels), levels);
+    }
+    tuples.push_back(domain->Encode(coords));
+  }
+  return Dataset::Create(domain, std::move(tuples));
+}
+
+StatusOr<Dataset> Subsample(const Dataset& data, double fraction,
+                            Random& rng) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  size_t target = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             fraction * static_cast<double>(data.size()))));
+  // Partial Fisher-Yates over a copy of the tuple vector.
+  std::vector<ValueIndex> tuples = data.tuples();
+  for (size_t i = 0; i < target; ++i) {
+    size_t j = i + static_cast<size_t>(rng.UniformInt(
+                       0, static_cast<int64_t>(tuples.size() - i) - 1));
+    std::swap(tuples[i], tuples[j]);
+  }
+  tuples.resize(target);
+  return Dataset::Create(data.domain_ptr(), std::move(tuples));
+}
+
+}  // namespace blowfish

@@ -1,0 +1,135 @@
+#include "mech/cdf_applications.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blowfish {
+
+namespace {
+
+Status ValidateCumulative(const std::vector<double>& cumulative) {
+  if (cumulative.empty()) {
+    return Status::InvalidArgument("empty cumulative sequence");
+  }
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    if (cumulative[i] + 1e-9 < cumulative[i - 1]) {
+      return Status::FailedPrecondition(
+          "cumulative sequence is not non-decreasing; run constrained "
+          "inference first");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<size_t> QuantileFromCumulative(
+    const std::vector<double>& cumulative, double q) {
+  BLOWFISH_RETURN_IF_ERROR(ValidateCumulative(cumulative));
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  const double target = q * cumulative.back();
+  size_t lo = 0, hi = cumulative.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cumulative[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<std::vector<size_t>> EquiDepthBoundaries(
+    const std::vector<double>& cumulative, size_t buckets) {
+  if (buckets == 0) {
+    return Status::InvalidArgument("need at least one bucket");
+  }
+  BLOWFISH_RETURN_IF_ERROR(ValidateCumulative(cumulative));
+  std::vector<size_t> boundaries;
+  boundaries.reserve(buckets - 1);
+  for (size_t j = 1; j < buckets; ++j) {
+    BLOWFISH_ASSIGN_OR_RETURN(
+        size_t b, QuantileFromCumulative(
+                      cumulative, static_cast<double>(j) /
+                                      static_cast<double>(buckets)));
+    boundaries.push_back(b);
+  }
+  return boundaries;
+}
+
+StatusOr<std::vector<double>> CdfFromCumulative(
+    const std::vector<double>& cumulative) {
+  BLOWFISH_RETURN_IF_ERROR(ValidateCumulative(cumulative));
+  const double total = cumulative.back();
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition("total count must be positive");
+  }
+  std::vector<double> cdf(cumulative.size());
+  for (size_t i = 0; i < cumulative.size(); ++i) {
+    cdf[i] = std::clamp(cumulative[i] / total, 0.0, 1.0);
+  }
+  return cdf;
+}
+
+StatusOr<CdfIndex> CdfIndex::Build(std::vector<double> cumulative,
+                                   size_t depth) {
+  BLOWFISH_RETURN_IF_ERROR(ValidateCumulative(cumulative));
+  if (depth == 0 || depth > 30) {
+    return Status::InvalidArgument("depth must be in [1, 30]");
+  }
+  // In-order median splits: split point j/2^depth quantile for
+  // j = 1 .. 2^depth - 1.
+  const size_t leaves = size_t{1} << depth;
+  std::vector<size_t> splits;
+  splits.reserve(leaves - 1);
+  for (size_t j = 1; j < leaves; ++j) {
+    BLOWFISH_ASSIGN_OR_RETURN(
+        size_t s, QuantileFromCumulative(
+                      cumulative, static_cast<double>(j) /
+                                      static_cast<double>(leaves)));
+    splits.push_back(s);
+  }
+  // Quantiles of a monotone sequence are monotone, but assert it anyway.
+  for (size_t i = 1; i < splits.size(); ++i) {
+    if (splits[i] < splits[i - 1]) {
+      return Status::Internal("split points not monotone");
+    }
+  }
+  return CdfIndex(std::move(cumulative), std::move(splits), depth);
+}
+
+StatusOr<double> CdfIndex::Rank(size_t x) const {
+  if (x >= cumulative_.size()) {
+    return Status::OutOfRange("value outside the indexed domain");
+  }
+  return cumulative_[x];
+}
+
+StatusOr<double> CdfIndex::RangeCount(size_t lo, size_t hi) const {
+  if (lo > hi || hi >= cumulative_.size()) {
+    return Status::OutOfRange("range out of bounds");
+  }
+  double upper = cumulative_[hi];
+  double lower = (lo == 0) ? 0.0 : cumulative_[lo - 1];
+  return upper - lower;
+}
+
+StatusOr<size_t> CdfIndex::LeafOf(size_t x) const {
+  if (x >= cumulative_.size()) {
+    return Status::OutOfRange("value outside the indexed domain");
+  }
+  // First leaf whose right boundary is >= x.
+  size_t leaf = std::upper_bound(splits_.begin(), splits_.end(), x) -
+                splits_.begin();
+  // x above the last split lands in the final leaf; below/equal a split
+  // lands left of it — upper_bound handles both. But values exactly at a
+  // split belong to the left leaf:
+  size_t lb = std::lower_bound(splits_.begin(), splits_.end(), x) -
+              splits_.begin();
+  return std::min(leaf, lb == splits_.size() ? leaf : lb);
+}
+
+}  // namespace blowfish

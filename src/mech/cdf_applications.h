@@ -1,0 +1,75 @@
+// Applications of released cumulative histograms (Sec 7 intro: "Releasing
+// the CDF has many applications including computing quantiles and
+// histograms, answering range queries and constructing indexes").
+//
+// All functions here are pure post-processing over an already-released
+// (noisy) cumulative sequence, so they consume no additional privacy
+// budget.
+
+#ifndef BLOWFISH_MECH_CDF_APPLICATIONS_H_
+#define BLOWFISH_MECH_CDF_APPLICATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blowfish {
+
+/// The q-quantile (q in [0, 1]) of a non-decreasing cumulative sequence:
+/// the smallest index i with cumulative[i] >= q * total, where total is
+/// the final cumulative count. Binary search, O(log |T|).
+StatusOr<size_t> QuantileFromCumulative(const std::vector<double>& cumulative,
+                                        double q);
+
+/// `buckets` equi-depth boundaries: indices b_1 <= ... <= b_k such that
+/// bucket j covers roughly total/buckets mass. Returns `buckets - 1`
+/// interior boundaries (the quantiles at j/buckets).
+StatusOr<std::vector<size_t>> EquiDepthBoundaries(
+    const std::vector<double>& cumulative, size_t buckets);
+
+/// The full empirical CDF: cumulative counts normalized by the final
+/// total (which is the public dataset size when the release pinned it).
+StatusOr<std::vector<double>> CdfFromCumulative(
+    const std::vector<double>& cumulative);
+
+/// A one-dimensional index over the released CDF: a balanced binary tree
+/// of split points at noisy medians (the "k-d tree over one axis" of the
+/// Sec 7 intro). Supports approximate rank and range-count lookups that a
+/// downstream engine would use to plan access paths.
+class CdfIndex {
+ public:
+  /// Builds an index of the given depth (2^depth leaf intervals) over a
+  /// non-decreasing cumulative sequence.
+  static StatusOr<CdfIndex> Build(std::vector<double> cumulative,
+                                  size_t depth);
+
+  /// The split points in in-order (2^depth - 1 indices).
+  const std::vector<size_t>& splits() const { return splits_; }
+
+  /// Approximate number of records with value <= x.
+  StatusOr<double> Rank(size_t x) const;
+
+  /// Approximate number of records in [lo, hi].
+  StatusOr<double> RangeCount(size_t lo, size_t hi) const;
+
+  /// Leaf interval (in-order position) containing x — what an index scan
+  /// would seek to.
+  StatusOr<size_t> LeafOf(size_t x) const;
+
+  size_t depth() const { return depth_; }
+
+ private:
+  CdfIndex(std::vector<double> cumulative, std::vector<size_t> splits,
+           size_t depth)
+      : cumulative_(std::move(cumulative)), splits_(std::move(splits)),
+        depth_(depth) {}
+
+  std::vector<double> cumulative_;
+  std::vector<size_t> splits_;  // in-order split points
+  size_t depth_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_CDF_APPLICATIONS_H_

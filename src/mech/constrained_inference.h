@@ -1,0 +1,76 @@
+// Constrained inference (Hay et al. [9]), the post-processing substrate
+// the paper's Sec 7 mechanisms rely on.
+//
+// Two flavours:
+//  * Isotonic regression — the least-squares non-decreasing fit of a noisy
+//    cumulative histogram, computed by pool-adjacent-violators (PAVA).
+//    Sec 7.1 uses it to "boost the accuracy" of the Ordered Mechanism:
+//    error drops from O(|T|/eps^2) to O(p log^3 |T| / eps^2) with p the
+//    number of distinct cumulative counts.
+//  * Hierarchical-tree consistency — the two-pass weighted-mean estimate
+//    that makes a noisy fan-out-f interval tree internally consistent
+//    (children sum to parent), used by the hierarchical mechanism.
+//
+// Both are pure post-processing: they never touch the data, so they cannot
+// affect the privacy guarantee.
+
+#ifndef BLOWFISH_MECH_CONSTRAINED_INFERENCE_H_
+#define BLOWFISH_MECH_CONSTRAINED_INFERENCE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Weighted least-squares isotonic (non-decreasing) regression by PAVA.
+/// `weights` may be empty (all ones); otherwise it must match `ys` in
+/// size, with strictly positive entries. O(n).
+StatusOr<std::vector<double>> IsotonicRegression(
+    const std::vector<double>& ys, const std::vector<double>& weights = {});
+
+/// Clamps a cumulative sequence into [0, total] and pins the final entry
+/// to the publicly known dataset size, preserving monotonicity.
+/// Post-processing for cumulative-histogram mechanisms where n is public.
+std::vector<double> ClampCumulative(std::vector<double> cumulative,
+                                    double total);
+
+/// A complete fan-out-f tree over `num_leaves` leaf intervals, stored
+/// level-by-level (root = level 0). Helper shared by the hierarchical and
+/// ordered-hierarchical mechanisms.
+struct IntervalTree {
+  size_t fanout = 2;
+  size_t num_leaves = 0;
+  /// levels[l][i]: node i at depth l covers leaves
+  /// [i * fanout^(h-l), (i+1) * fanout^(h-l)) intersected with the leaf
+  /// range, where h = height().
+  std::vector<std::vector<double>> levels;
+
+  static StatusOr<IntervalTree> Build(size_t num_leaves, size_t fanout);
+
+  size_t height() const { return levels.size() - 1; }
+
+  /// Leaf range [lo, hi) covered by node `index` at `level`.
+  std::pair<size_t, size_t> NodeRange(size_t level, size_t index) const;
+
+  /// Fills the tree bottom-up from leaf values (exact interval sums).
+  void PopulateFromLeaves(const std::vector<double>& leaves);
+
+  /// Greedy decomposition of the prefix [0, len) into O(f log) nodes;
+  /// returns the sum of their values. len in [0, num_leaves].
+  double PrefixSum(size_t len) const;
+
+  /// Number of nodes whose interval changes when one leaf changes:
+  /// height() + 1 (one node per level on the root-to-leaf path).
+  size_t PathLength() const { return levels.size(); }
+};
+
+/// Hay-style consistency for a noisy interval tree with uniform per-node
+/// noise variance: a bottom-up weighted pass followed by a top-down
+/// adjustment, yielding the least-squares tree satisfying
+/// "children sum to parent". Returns the adjusted tree.
+IntervalTree TreeConsistency(const IntervalTree& noisy);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_CONSTRAINED_INFERENCE_H_

@@ -1,0 +1,65 @@
+// Analytic expected-error models (Def 2.4) for every mechanism in the
+// library — the formulas the paper states in Secs 2, 7.1 and 7.2, in one
+// place. These let callers *predict* the privacy-utility trade-off of a
+// policy before spending any budget (the "tuning knobs" workflow), and
+// give the benches/tests a reference to validate measurements against.
+//
+// All models assume the mechanism's own calibration (this library's noise
+// scales) and report expected squared error per released component or per
+// range query.
+
+#ifndef BLOWFISH_MECH_ERROR_MODELS_H_
+#define BLOWFISH_MECH_ERROR_MODELS_H_
+
+#include <cstddef>
+
+#include "core/policy.h"
+#include "mech/ordered_hierarchical.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Var(Lap(b)) = 2 b^2: the squared error of one Laplace-perturbed
+/// component at noise scale b = sensitivity / eps.
+double LaplaceComponentError(double sensitivity, double epsilon);
+
+/// Total error of the Laplace mechanism on a d-dimensional query
+/// (Sec 2: 8|T|/eps^2 for the complete histogram, i.e. d = |T|, S = 2).
+double LaplaceTotalError(double sensitivity, double epsilon,
+                         size_t output_dim);
+
+/// Per-range-query error of the Ordered Mechanism under a policy with
+/// cumulative-histogram sensitivity `s` (Thm 7.1 generalized):
+/// two cumulative counts at Var(Lap(s/eps)) each = 4 s^2 / eps^2.
+StatusOr<double> OrderedRangeError(const Policy& policy, double epsilon);
+
+/// Per-range-query error of the hierarchical mechanism with fan-out f and
+/// uniform budgets (the log^3 estimate of Sec 7.1/7.2).
+double HierarchicalRangeError(size_t domain_size, size_t fanout,
+                              double epsilon);
+
+/// Per-range-query error of the OH mechanism at the optimal Eqn 15 split;
+/// wraps OHErrorModel for policy inputs.
+StatusOr<double> OrderedHierarchicalRangeError(const Policy& policy,
+                                               double epsilon,
+                                               size_t fanout);
+
+/// Expected squared error of one k-means centroid coordinate in one
+/// iteration, given cluster size `cluster_size` (first-order: noise on
+/// the sum dominates): Var(Lap(S_qsum / eps_sum)) / cluster_size^2.
+StatusOr<double> KMeansCentroidError(const Policy& policy, double epsilon,
+                                     size_t iterations,
+                                     double cluster_size);
+
+/// Picks the lowest-predicted-error strategy for range queries under the
+/// policy: "ordered", "ordered_hierarchical", or "hierarchical".
+struct StrategyChoice {
+  const char* name;
+  double predicted_error;
+};
+StatusOr<StrategyChoice> BestRangeStrategy(const Policy& policy,
+                                           double epsilon, size_t fanout);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_ERROR_MODELS_H_

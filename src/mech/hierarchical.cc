@@ -1,0 +1,78 @@
+#include "mech/hierarchical.h"
+
+#include <cmath>
+
+namespace blowfish {
+
+StatusOr<HierarchicalMechanism> HierarchicalMechanism::Release(
+    const Histogram& data, double epsilon, const HierarchicalOptions& opts,
+    Random& rng) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(IntervalTree tree,
+                            IntervalTree::Build(data.size(), opts.fanout));
+  tree.PopulateFromLeaves(data.counts());
+
+  const size_t h = tree.height();
+  if (h == 0) {
+    // Degenerate single-bucket domain: the root count is the public n.
+    return HierarchicalMechanism(std::move(tree));
+  }
+  // Per-level budgets eps_l with sum eps; per-level sensitivity 2 (a
+  // tuple change alters one node per level on each of two paths), so each
+  // node at level l gets noise Lap(2 / eps_l).
+  std::vector<double> level_eps(h + 1, 0.0);
+  if (opts.budget == BudgetSplit::kUniform) {
+    for (size_t l = 1; l <= h; ++l) {
+      level_eps[l] = epsilon / static_cast<double>(h);
+    }
+  } else {
+    // Geometric (Cormode et al. [5]): eps_l proportional to 2^(l/3),
+    // favouring the leaf levels where most query mass resides.
+    double total_weight = 0.0;
+    for (size_t l = 1; l <= h; ++l) {
+      total_weight += std::pow(2.0, static_cast<double>(l) / 3.0);
+    }
+    for (size_t l = 1; l <= h; ++l) {
+      level_eps[l] = epsilon *
+                     std::pow(2.0, static_cast<double>(l) / 3.0) /
+                     total_weight;
+    }
+  }
+  for (size_t l = 1; l <= h; ++l) {
+    const double scale = 2.0 / level_eps[l];
+    for (double& v : tree.levels[l]) v += rng.Laplace(scale);
+  }
+  if (opts.consistency) {
+    tree = TreeConsistency(tree);
+  }
+  return HierarchicalMechanism(std::move(tree));
+}
+
+StatusOr<double> HierarchicalMechanism::RangeQuery(size_t lo,
+                                                   size_t hi) const {
+  if (lo > hi || hi >= tree_.num_leaves) {
+    return Status::OutOfRange("range query out of bounds");
+  }
+  double upper = tree_.PrefixSum(hi + 1);
+  double lower = (lo == 0) ? 0.0 : tree_.PrefixSum(lo);
+  return upper - lower;
+}
+
+StatusOr<double> HierarchicalMechanism::CumulativeCount(size_t j) const {
+  if (j >= tree_.num_leaves) {
+    return Status::OutOfRange("cumulative index out of bounds");
+  }
+  return tree_.PrefixSum(j + 1);
+}
+
+double HierarchicalMechanism::RangeErrorEstimate(size_t domain_size,
+                                                 size_t fanout,
+                                                 double epsilon) {
+  double logf = std::log(static_cast<double>(domain_size)) /
+                std::log(static_cast<double>(fanout));
+  return std::pow(logf, 3.0) / (epsilon * epsilon);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,182 @@
+#include "mech/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/sensitivity.h"
+
+namespace blowfish {
+
+namespace {
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+size_t NearestCentroid(const std::vector<double>& point,
+                       const std::vector<std::vector<double>>& centroids) {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double d = SquaredL2(point, centroids[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Random initial centroids drawn from the data points.
+std::vector<std::vector<double>> InitCentroids(
+    const std::vector<std::vector<double>>& points, size_t k, Random& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1));
+    centroids.push_back(points[idx]);
+  }
+  return centroids;
+}
+
+Status ValidateInputs(const std::vector<std::vector<double>>& points,
+                      const KMeansOptions& opts) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means needs at least one point");
+  }
+  if (opts.k == 0 || opts.k > points.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (opts.iterations == 0) {
+    return Status::InvalidArgument("need at least one iteration");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double KMeansObjective(const std::vector<std::vector<double>>& points,
+                       const std::vector<std::vector<double>>& centroids) {
+  double total = 0.0;
+  for (const auto& p : points) {
+    total += SquaredL2(p, centroids[NearestCentroid(p, centroids)]);
+  }
+  return total;
+}
+
+StatusOr<KMeansResult> LloydKMeans(
+    const std::vector<std::vector<double>>& points, const KMeansOptions& opts,
+    Random& rng) {
+  BLOWFISH_RETURN_IF_ERROR(ValidateInputs(points, opts));
+  const size_t dim = points[0].size();
+  std::vector<std::vector<double>> centroids =
+      InitCentroids(points, opts.k, rng);
+  for (size_t iter = 0; iter < opts.iterations; ++iter) {
+    std::vector<std::vector<double>> sums(opts.k,
+                                          std::vector<double>(dim, 0.0));
+    std::vector<double> sizes(opts.k, 0.0);
+    for (const auto& p : points) {
+      size_t c = NearestCentroid(p, centroids);
+      sizes[c] += 1.0;
+      for (size_t i = 0; i < dim; ++i) sums[c][i] += p[i];
+    }
+    for (size_t c = 0; c < opts.k; ++c) {
+      if (sizes[c] < 1.0) continue;  // keep the old centroid
+      for (size_t i = 0; i < dim; ++i) centroids[c][i] = sums[c][i] / sizes[c];
+    }
+  }
+  KMeansResult result;
+  result.centroids = std::move(centroids);
+  result.objective = KMeansObjective(points, result.centroids);
+  return result;
+}
+
+StatusOr<KMeansResult> SuLQKMeans(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& box_lo, const std::vector<double>& box_hi,
+    double qsum_sensitivity, double qsize_sensitivity, double epsilon,
+    const KMeansOptions& opts, Random& rng) {
+  BLOWFISH_RETURN_IF_ERROR(ValidateInputs(points, opts));
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const size_t dim = points[0].size();
+  if (box_lo.size() != dim || box_hi.size() != dim) {
+    return Status::InvalidArgument("box dimensions mismatch");
+  }
+  if (qsum_sensitivity < 0.0 || qsize_sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivities must be non-negative");
+  }
+  // Uniform budget per iteration, split evenly between q_size and q_sum
+  // (sequential composition, Thm 4.1).
+  const double eps_iter = epsilon / static_cast<double>(opts.iterations);
+  const double eps_size = eps_iter / 2.0;
+  const double eps_sum = eps_iter / 2.0;
+
+  std::vector<std::vector<double>> centroids =
+      InitCentroids(points, opts.k, rng);
+  for (size_t iter = 0; iter < opts.iterations; ++iter) {
+    std::vector<std::vector<double>> sums(opts.k,
+                                          std::vector<double>(dim, 0.0));
+    std::vector<double> sizes(opts.k, 0.0);
+    for (const auto& p : points) {
+      size_t c = NearestCentroid(p, centroids);
+      sizes[c] += 1.0;
+      for (size_t i = 0; i < dim; ++i) sums[c][i] += p[i];
+    }
+    for (size_t c = 0; c < opts.k; ++c) {
+      double noisy_size = sizes[c];
+      if (qsize_sensitivity > 0.0) {
+        noisy_size += rng.Laplace(qsize_sensitivity / eps_size);
+      }
+      noisy_size = std::max(noisy_size, 1.0);
+      for (size_t i = 0; i < dim; ++i) {
+        double noisy_sum = sums[c][i];
+        if (qsum_sensitivity > 0.0) {
+          noisy_sum += rng.Laplace(qsum_sensitivity / eps_sum);
+        }
+        centroids[c][i] =
+            std::clamp(noisy_sum / noisy_size, box_lo[i], box_hi[i]);
+      }
+    }
+  }
+  KMeansResult result;
+  result.centroids = std::move(centroids);
+  result.objective = KMeansObjective(points, result.centroids);
+  return result;
+}
+
+StatusOr<KMeansResult> BlowfishKMeans(const Dataset& data,
+                                      const Policy& policy, double epsilon,
+                                      const KMeansOptions& opts, Random& rng) {
+  if (policy.has_constraints()) {
+    return Status::Unimplemented(
+        "private k-means handles unconstrained policies only");
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(double qsum_sens, QSumSensitivity(policy));
+  const double qsize_sens = QSizeSensitivity(policy.graph());
+  const Domain& dom = policy.domain();
+  std::vector<double> box_lo(dom.num_attributes(), 0.0);
+  std::vector<double> box_hi(dom.num_attributes());
+  for (size_t i = 0; i < dom.num_attributes(); ++i) {
+    box_hi[i] = dom.attribute(i).scale *
+                static_cast<double>(dom.attribute(i).cardinality - 1);
+  }
+  return SuLQKMeans(data.Points(), box_lo, box_hi, qsum_sens, qsize_sens,
+                    epsilon, opts, rng);
+}
+
+}  // namespace blowfish

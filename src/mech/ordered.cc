@@ -1,0 +1,45 @@
+#include "mech/ordered.h"
+
+#include "core/sensitivity.h"
+#include "mech/constrained_inference.h"
+#include "mech/laplace.h"
+
+namespace blowfish {
+
+StatusOr<OrderedMechanismResult> OrderedMechanism(const Histogram& data,
+                                                  const Policy& policy,
+                                                  double epsilon, Random& rng,
+                                                  bool constrained_inference) {
+  if (policy.has_constraints()) {
+    return Status::Unimplemented(
+        "the ordered mechanism handles unconstrained policies only");
+  }
+  if (data.size() != policy.domain().size()) {
+    return Status::InvalidArgument("histogram size does not match domain");
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(double sensitivity,
+                            CumulativeHistogramSensitivity(policy));
+  std::vector<double> cumulative = data.CumulativeSums();
+  BLOWFISH_ASSIGN_OR_RETURN(
+      std::vector<double> noisy,
+      LaplaceRelease(cumulative, sensitivity, epsilon, rng));
+
+  OrderedMechanismResult result;
+  result.sensitivity = sensitivity;
+  result.noisy_cumulative = noisy;
+  const double total = data.Total();  // public under indistinguishability
+  if (constrained_inference) {
+    BLOWFISH_ASSIGN_OR_RETURN(std::vector<double> iso,
+                              IsotonicRegression(noisy));
+    result.inferred_cumulative = ClampCumulative(std::move(iso), total);
+  } else {
+    result.inferred_cumulative = ClampCumulative(noisy, total);
+  }
+  return result;
+}
+
+double OrderedMechanismRangeErrorBound(double epsilon) {
+  return 4.0 / (epsilon * epsilon);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,100 @@
+// The Ordered Hierarchical (OH) mechanism (Sec 7.2, Fig 2(a)).
+//
+// A hybrid strategy for cumulative histograms and range queries under a
+// G^{d,theta} policy on an ordered domain. The domain is cut into
+// k = ceil(|T|/theta) blocks of theta values:
+//
+//   * S nodes s_1..s_k hold the prefix counts q[x_1, x_{l*theta}]. A tuple
+//     change of distance <= theta crosses at most one block boundary, so
+//     the S-node sequence has sensitivity 1 and gets Lap(1/eps_S) noise.
+//   * Each block carries a fan-out-f subtree of H nodes (height
+//     h = ceil(log_f theta)) answering intra-block prefixes; a change
+//     touches at most 2h H nodes, so each H node gets Lap(2h/eps_H).
+//   * s_1 doubles as the root of H_1, whose nodes enjoy the combined
+//     budget: Lap(2h/(eps_S + eps_H)).
+//
+// Total budget eps = eps_S + eps_H. theta = 1 degenerates to the pure
+// Ordered Mechanism; theta = |T| to the classical hierarchical mechanism.
+// Eqn (14) gives the expected range-query error c1/eps_S^2 + c2/eps_H^2
+// and Eqn (15) the optimal split eps_S* = c1^(1/3)/(c1^(1/3)+c2^(1/3)).
+
+#ifndef BLOWFISH_MECH_ORDERED_HIERARCHICAL_H_
+#define BLOWFISH_MECH_ORDERED_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "core/policy.h"
+#include "mech/constrained_inference.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+struct OrderedHierarchicalOptions {
+  size_t fanout = 16;
+  /// Fraction of eps given to the S nodes; negative means "use the Eqn 15
+  /// optimum".
+  double eps_s_fraction = -1.0;
+  /// Isotonic regression over the S-node prefix sequence plus Hay
+  /// consistency inside each H subtree (post-processing only).
+  bool consistency = false;
+};
+
+/// The Eqn (14) error constants and the Eqn (15) optimal budget split.
+struct OHErrorModel {
+  double c1 = 0.0;  // 4 (|T| - theta) / (|T| + 1)
+  double c2 = 0.0;  // 8 (f - 1) log_f(theta)^3 |T| / (|T| + 1)
+
+  /// Expected per-range-query error at a given split (Eqn 14).
+  double RangeError(double eps_s, double eps_h) const;
+  /// eps_S* / eps  (Eqn 15); 0 when c1 = 0 (theta = |T|), 1 when c2 = 0.
+  double OptimalSFraction() const;
+  /// The minimized error (c1^(1/3) + c2^(1/3))^3 / eps^2 (Eqn 15).
+  double OptimalRangeError(double epsilon) const;
+
+  static OHErrorModel Compute(size_t domain_size, size_t theta_steps,
+                              size_t fanout);
+};
+
+/// A released OH structure supporting cumulative counts and range queries.
+class OrderedHierarchicalMechanism {
+ public:
+  /// Releases the structure for `data` under the 1-D G^{d,theta} `policy`
+  /// with total budget `epsilon`; (eps, P)-Blowfish private (Thm 7.2).
+  static StatusOr<OrderedHierarchicalMechanism> Release(
+      const Histogram& data, const Policy& policy, double epsilon,
+      const OrderedHierarchicalOptions& opts, Random& rng);
+
+  /// Noisy cumulative count s_j = q[0, j] (0-indexed bucket j).
+  StatusOr<double> CumulativeCount(size_t j) const;
+
+  /// Noisy range count over buckets [lo, hi] inclusive.
+  StatusOr<double> RangeQuery(size_t lo, size_t hi) const;
+
+  /// Structure accessors (Fig 2(a)).
+  size_t num_s_nodes() const { return s_nodes_.size(); }
+  size_t theta_steps() const { return theta_steps_; }
+  size_t subtree_height() const;
+  const std::vector<double>& s_nodes() const { return s_nodes_; }
+  const std::vector<IntervalTree>& h_trees() const { return h_trees_; }
+
+  /// ASCII rendering of the hybrid structure for documentation/debugging.
+  std::string DescribeStructure() const;
+
+ private:
+  OrderedHierarchicalMechanism(size_t domain_size, size_t theta_steps,
+                               std::vector<double> s_nodes,
+                               std::vector<IntervalTree> h_trees)
+      : domain_size_(domain_size), theta_steps_(theta_steps),
+        s_nodes_(std::move(s_nodes)), h_trees_(std::move(h_trees)) {}
+
+  size_t domain_size_;
+  size_t theta_steps_;                  // theta in index units
+  std::vector<double> s_nodes_;         // s_1..s_k (prefix counts)
+  std::vector<IntervalTree> h_trees_;   // one per block; empty if theta=1
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_ORDERED_HIERARCHICAL_H_

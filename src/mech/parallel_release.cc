@@ -1,0 +1,71 @@
+#include "mech/parallel_release.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/sensitivity.h"
+#include "mech/laplace.h"
+
+namespace blowfish {
+
+StatusOr<ParallelHistogramResult> ParallelHistogramRelease(
+    const Dataset& data, const Policy& policy,
+    const std::vector<std::vector<size_t>>& id_groups,
+    const std::vector<double>& epsilon_per_group, Random& rng,
+    PrivacyAccountant* accountant, uint64_t max_edges) {
+  if (id_groups.empty() || id_groups.size() != epsilon_per_group.size()) {
+    return Status::InvalidArgument(
+        "need one epsilon per non-empty group list");
+  }
+  std::unordered_set<size_t> seen;
+  for (const auto& group : id_groups) {
+    for (size_t id : group) {
+      if (id >= data.size()) {
+        return Status::InvalidArgument("group references an unknown id");
+      }
+      if (!seen.insert(id).second) {
+        return Status::InvalidArgument(
+            "groups must be disjoint (id " + std::to_string(id) +
+            " appears twice)");
+      }
+    }
+  }
+  for (double e : epsilon_per_group) {
+    if (!(e > 0.0)) {
+      return Status::InvalidArgument("epsilons must be positive");
+    }
+  }
+  // Thm 4.3 precondition (uniform secrets): every constraint must have an
+  // empty critical set, otherwise a single neighbour step can straddle
+  // two groups and the parallel bound is unsound.
+  if (policy.has_constraints()) {
+    BLOWFISH_ASSIGN_OR_RETURN(bool valid,
+                              ParallelCompositionValid(policy, max_edges));
+    if (!valid) {
+      return Status::FailedPrecondition(
+          "policy constraints couple individuals across groups; parallel "
+          "composition does not apply (Thm 4.3)");
+    }
+  }
+
+  const double sensitivity = HistogramSensitivity(policy.graph());
+  ParallelHistogramResult result;
+  result.group_histograms.reserve(id_groups.size());
+  for (size_t g = 0; g < id_groups.size(); ++g) {
+    Histogram h(policy.domain().size());
+    for (size_t id : id_groups[g]) h.Add(data.tuple(id));
+    BLOWFISH_ASSIGN_OR_RETURN(
+        std::vector<double> noisy,
+        LaplaceRelease(h.counts(), sensitivity, epsilon_per_group[g], rng));
+    result.group_histograms.push_back(std::move(noisy));
+  }
+  result.total_epsilon = *std::max_element(epsilon_per_group.begin(),
+                                           epsilon_per_group.end());
+  if (accountant != nullptr) {
+    BLOWFISH_RETURN_IF_ERROR(accountant->SpendParallel(
+        epsilon_per_group, "parallel histogram release"));
+  }
+  return result;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,153 @@
+#include "mech/quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blowfish {
+
+namespace {
+
+constexpr size_t kMaxDepth = 12;  // 4096 x 4096 leaves
+
+size_t DepthFor(uint64_t max_card) {
+  size_t d = 0;
+  uint64_t side = 1;
+  while (side < max_card) {
+    side *= 2;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace
+
+size_t QuadtreeMechanism::ExactLevelsForPolicy(const Policy& policy,
+                                               size_t depth) {
+  // A level l is exact iff every partition cell of G^P lies within a
+  // single level-l node, i.e. the node side 2^(d-l) is a multiple of the
+  // per-axis block widths (blocks and nodes are both aligned to zero).
+  // Note the direction: *coarse* levels are exact — a within-cell move
+  // never crosses a node that wholly contains the cell.
+  const auto* part = dynamic_cast<const PartitionGraph*>(&policy.graph());
+  if (part == nullptr || part->uniform_blocks().size() != 2) return 0;
+  uint64_t b0 = part->uniform_blocks()[0];
+  uint64_t b1 = part->uniform_blocks()[1];
+  if (b0 == 0 || b1 == 0) return 0;
+  size_t exact = 0;
+  for (size_t l = 1; l <= depth; ++l) {
+    uint64_t side = uint64_t{1} << (depth - l);
+    if (side % b0 == 0 && side % b1 == 0) {
+      exact = l;
+    } else {
+      break;  // sides shrink with l; once misaligned, deeper stays so
+    }
+  }
+  return exact;
+}
+
+StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
+    const Dataset& data, const Policy& policy, double epsilon,
+    const QuadtreeOptions& opts, Random& rng) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (policy.has_constraints()) {
+    return Status::Unimplemented(
+        "the quadtree mechanism handles unconstrained policies");
+  }
+  const Domain& dom = policy.domain();
+  if (dom.num_attributes() != 2) {
+    return Status::InvalidArgument("quadtree needs a 2-attribute domain");
+  }
+  if (&data.domain() != &dom && data.domain().size() != dom.size()) {
+    return Status::InvalidArgument("dataset domain mismatch");
+  }
+  const uint64_t m0 = dom.attribute(0).cardinality;
+  const uint64_t m1 = dom.attribute(1).cardinality;
+  size_t depth = opts.depth == 0 ? DepthFor(std::max(m0, m1)) : opts.depth;
+  if (depth > kMaxDepth) {
+    return Status::ResourceExhausted("quadtree depth exceeds the cap");
+  }
+  const uint64_t side = uint64_t{1} << depth;
+  if (side < std::max(m0, m1)) {
+    return Status::InvalidArgument(
+        "requested depth cannot resolve the domain grid");
+  }
+
+  // Leaf grid.
+  std::vector<std::vector<double>> levels(depth + 1);
+  for (size_t l = 0; l <= depth; ++l) {
+    size_t w = size_t{1} << l;
+    levels[l].assign(w * w, 0.0);
+  }
+  for (ValueIndex t : data.tuples()) {
+    uint64_t x = dom.Coordinate(t, 0);
+    uint64_t y = dom.Coordinate(t, 1);
+    levels[depth][x * side + y] += 1.0;
+  }
+  // Aggregate upwards.
+  for (size_t l = depth; l-- > 0;) {
+    size_t w = size_t{1} << l;
+    size_t cw = w * 2;
+    for (size_t i = 0; i < w; ++i) {
+      for (size_t j = 0; j < w; ++j) {
+        levels[l][i * w + j] =
+            levels[l + 1][(2 * i) * cw + (2 * j)] +
+            levels[l + 1][(2 * i) * cw + (2 * j + 1)] +
+            levels[l + 1][(2 * i + 1) * cw + (2 * j)] +
+            levels[l + 1][(2 * i + 1) * cw + (2 * j + 1)];
+      }
+    }
+  }
+
+  // Exact levels under the policy; everything deeper gets noise. A tuple
+  // move changes at most one node per level per endpoint (2 per level),
+  // so with per-level budget eps / (#noised levels) each node gets
+  // Lap(2 (#noised levels) / eps).
+  const size_t exact = ExactLevelsForPolicy(policy, depth);
+  const size_t noised = depth - exact;
+  if (noised > 0) {
+    const double scale = 2.0 * static_cast<double>(noised) / epsilon;
+    for (size_t l = exact + 1; l <= depth; ++l) {
+      for (double& v : levels[l]) v += rng.Laplace(scale);
+    }
+  }
+  return QuadtreeMechanism(side, exact, std::move(levels));
+}
+
+double QuadtreeMechanism::Decompose(size_t level, size_t cx, size_t cy,
+                                    size_t x0, size_t x1, size_t y0,
+                                    size_t y1) const {
+  const size_t d = depth();
+  const size_t side = size_t{1} << (d - level);
+  const size_t nx0 = cx * side, nx1 = nx0 + side - 1;
+  const size_t ny0 = cy * side, ny1 = ny0 + side - 1;
+  if (nx1 < x0 || nx0 > x1 || ny1 < y0 || ny0 > y1) return 0.0;  // disjoint
+  if (x0 <= nx0 && nx1 <= x1 && y0 <= ny0 && ny1 <= y1) {
+    // Fully covered: use this node's released value.
+    size_t w = size_t{1} << level;
+    return levels_[level][cx * w + cy];
+  }
+  assert(level < d);  // leaves are single cells: covered or disjoint
+  double total = 0.0;
+  for (size_t dx = 0; dx < 2; ++dx) {
+    for (size_t dy = 0; dy < 2; ++dy) {
+      total += Decompose(level + 1, 2 * cx + dx, 2 * cy + dy, x0, x1, y0,
+                         y1);
+    }
+  }
+  return total;
+}
+
+StatusOr<double> QuadtreeMechanism::RangeCount(const Rectangle& rect) const {
+  if (rect.lo.size() != 2 || rect.hi.size() != 2) {
+    return Status::InvalidArgument("quadtree rectangles are 2-D");
+  }
+  if (rect.lo[0] > rect.hi[0] || rect.lo[1] > rect.hi[1] ||
+      rect.hi[0] >= width_ || rect.hi[1] >= width_) {
+    return Status::OutOfRange("rectangle outside the padded grid");
+  }
+  return Decompose(0, 0, 0, rect.lo[0], rect.hi[0], rect.lo[1], rect.hi[1]);
+}
+
+}  // namespace blowfish

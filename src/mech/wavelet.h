@@ -1,0 +1,79 @@
+// Haar-wavelet range-query mechanism (Privelet-style, Xiao et al. [19]) —
+// an additional differentially-private baseline for the Sec 7 workloads.
+//
+// The histogram is padded to a power of two and decomposed into the
+// unnormalized Haar basis: a root average plus one detail coefficient per
+// internal node, d_v = (avg(left subtree) - avg(right subtree)) / 2.
+// Moving one tuple changes the root average by 1/N' and each detail
+// coefficient on the two affected root-to-leaf paths by 2^-(m-l) at level
+// l (m = tree height), so splitting the budget uniformly across the
+// 2(m+1) affected coefficients and calibrating each coefficient's noise
+// to its own sensitivity yields eps-DP. Range queries touch O(m)
+// coefficients and have O(m^3 / eps^2) expected squared error —
+// asymptotically matching the hierarchical mechanism with different
+// constants.
+//
+// Like the hierarchical mechanism, this is the *full-domain-secrets*
+// baseline: Blowfish policies do not change its calibration, but it is
+// the natural comparison point for the Ordered Mechanism family.
+
+#ifndef BLOWFISH_MECH_WAVELET_H_
+#define BLOWFISH_MECH_WAVELET_H_
+
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Unnormalized Haar decomposition of a power-of-two-length vector.
+/// coefficients[0] is the overall average; detail coefficients follow in
+/// breadth-first order (coefficients[1] = root detail, etc.).
+std::vector<double> HaarDecompose(const std::vector<double>& values);
+
+/// Inverse of HaarDecompose.
+std::vector<double> HaarReconstruct(const std::vector<double>& coefficients);
+
+/// A released wavelet summary supporting range queries.
+class WaveletMechanism {
+ public:
+  /// Releases a noisy Haar decomposition of `data` with eps-differential
+  /// privacy (pads the domain to the next power of two internally).
+  static StatusOr<WaveletMechanism> Release(const Histogram& data,
+                                            double epsilon, Random& rng);
+
+  /// Noisy range count over buckets [lo, hi] inclusive (original,
+  /// unpadded indices).
+  StatusOr<double> RangeQuery(size_t lo, size_t hi) const;
+
+  /// Noisy cumulative count q[0, j].
+  StatusOr<double> CumulativeCount(size_t j) const;
+
+  /// The reconstructed noisy histogram restricted to the original domain.
+  std::vector<double> NoisyHistogram() const;
+
+  size_t domain_size() const { return domain_size_; }
+  size_t padded_size() const { return padded_size_; }
+  size_t height() const { return height_; }
+
+ private:
+  WaveletMechanism(size_t domain_size, size_t padded_size, size_t height,
+                   std::vector<double> reconstructed)
+      : domain_size_(domain_size), padded_size_(padded_size),
+        height_(height), prefix_(std::move(reconstructed)) {
+    // Precompute prefix sums of the reconstructed histogram for O(1)
+    // range queries.
+    for (size_t i = 1; i < prefix_.size(); ++i) prefix_[i] += prefix_[i - 1];
+  }
+
+  size_t domain_size_;
+  size_t padded_size_;
+  size_t height_;
+  std::vector<double> prefix_;  // prefix sums of the noisy histogram
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_WAVELET_H_

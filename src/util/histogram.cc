@@ -1,0 +1,76 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <string>
+
+namespace blowfish {
+
+double Histogram::Total() const {
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  return total;
+}
+
+std::vector<double> Histogram::CumulativeSums() const {
+  std::vector<double> out(counts_.size());
+  double run = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    run += counts_[i];
+    out[i] = run;
+  }
+  return out;
+}
+
+StatusOr<double> Histogram::RangeSum(size_t lo, size_t hi) const {
+  if (lo > hi || hi >= counts_.size()) {
+    return Status::OutOfRange("range [" + std::to_string(lo) + ", " +
+                              std::to_string(hi) + "] invalid for size " +
+                              std::to_string(counts_.size()));
+  }
+  double total = 0.0;
+  for (size_t i = lo; i <= hi; ++i) total += counts_[i];
+  return total;
+}
+
+StatusOr<double> Histogram::L1Distance(const Histogram& other) const {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("histogram size mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    total += std::fabs(counts_[i] - other.counts_[i]);
+  }
+  return total;
+}
+
+size_t Histogram::NumNonZero() const {
+  size_t n = 0;
+  for (double c : counts_) {
+    if (c != 0.0) ++n;
+  }
+  return n;
+}
+
+size_t Histogram::NumDistinctCumulative() const {
+  if (counts_.empty()) return 0;
+  size_t distinct = 1;
+  std::vector<double> cum = CumulativeSums();
+  for (size_t i = 1; i < cum.size(); ++i) {
+    if (cum[i] != cum[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+StatusOr<double> RangeFromCumulative(const std::vector<double>& cumulative,
+                                     size_t lo, size_t hi) {
+  if (lo > hi || hi >= cumulative.size()) {
+    return Status::OutOfRange("range [" + std::to_string(lo) + ", " +
+                              std::to_string(hi) + "] invalid for size " +
+                              std::to_string(cumulative.size()));
+  }
+  double upper = cumulative[hi];
+  double lower = (lo == 0) ? 0.0 : cumulative[lo - 1];
+  return upper - lower;
+}
+
+}  // namespace blowfish

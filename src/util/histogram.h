@@ -1,0 +1,67 @@
+// Histogram vectors and prefix-sum (cumulative histogram) helpers.
+//
+// All query workloads in the paper are linear functions of the complete
+// histogram h(D) (Sec 2): partitioned histograms h_P, cumulative histograms
+// S_T (Def 7.1), and range queries q[x_i, x_j] (Def 7.2). This module owns
+// the vector plumbing for those objects; `core/dataset.h` produces them
+// from tuple data.
+
+#ifndef BLOWFISH_UTIL_HISTOGRAM_H_
+#define BLOWFISH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blowfish {
+
+/// A (possibly noisy) histogram over a totally ordered index space
+/// {0, ..., size-1}. True histograms hold integer counts; mechanism output
+/// holds reals, so the storage type is double throughout.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(size_t size) : counts_(size, 0.0) {}
+  explicit Histogram(std::vector<double> counts) : counts_(std::move(counts)) {}
+
+  size_t size() const { return counts_.size(); }
+  double& operator[](size_t i) { return counts_[i]; }
+  double operator[](size_t i) const { return counts_[i]; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Adds `w` to bucket `i`.
+  void Add(size_t i, double w = 1.0) { counts_[i] += w; }
+
+  /// Sum of all buckets.
+  double Total() const;
+
+  /// Prefix sums: out[i] = sum_{j<=i} counts[j]. This is the cumulative
+  /// histogram S_T of Def 7.1 when `this` is a complete histogram.
+  std::vector<double> CumulativeSums() const;
+
+  /// Range sum over buckets [lo, hi] inclusive; the range query of Def 7.2.
+  StatusOr<double> RangeSum(size_t lo, size_t hi) const;
+
+  /// L1 distance to another histogram of equal size.
+  StatusOr<double> L1Distance(const Histogram& other) const;
+
+  /// Number of buckets with non-zero count.
+  size_t NumNonZero() const;
+
+  /// Number of *distinct values* in the cumulative sequence, the `p` of
+  /// Sec 7.1 (error of constrained inference is O(p log^3|T| / eps^2)).
+  size_t NumDistinctCumulative() const;
+
+ private:
+  std::vector<double> counts_;
+};
+
+/// Computes range query q[lo, hi] = s[hi] - s[lo-1] from a cumulative
+/// sequence `s` (as produced by CumulativeSums or a private mechanism).
+StatusOr<double> RangeFromCumulative(const std::vector<double>& cumulative,
+                                     size_t lo, size_t hi);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_UTIL_HISTOGRAM_H_

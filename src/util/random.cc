@@ -1,0 +1,52 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace blowfish {
+
+double Random::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Random::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+}
+
+bool Random::Bernoulli(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+double Random::Laplace(double scale) {
+  assert(scale > 0.0);
+  // Inverse-CDF sampling: U uniform in (-1/2, 1/2),
+  // Z = -b * sgn(U) * ln(1 - 2|U|).
+  double u = Uniform() - 0.5;
+  // Guard against u == -0.5 producing log(0).
+  if (u <= -0.5) u = std::nextafter(-0.5, 0.0);
+  double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+std::vector<double> Random::LaplaceVector(size_t n, double scale) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = Laplace(scale);
+  return out;
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+Random Random::Fork() {
+  return Random(gen_());
+}
+
+}  // namespace blowfish

@@ -1,0 +1,58 @@
+// Randomness substrate.
+//
+// All mechanisms draw their noise through this class so experiments are
+// reproducible from a single seed. The Laplace sampler is the workhorse of
+// the paper (Def 2.3): every Blowfish/DP mechanism here is an instance of
+// "add Laplace noise calibrated to a (policy-specific) sensitivity".
+
+#ifndef BLOWFISH_UTIL_RANDOM_H_
+#define BLOWFISH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace blowfish {
+
+/// Deterministically seedable pseudo-random generator with the samplers the
+/// library needs. Not thread-safe; use one instance per thread.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform real in [0, 1).
+  double Uniform();
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Zero-mean Laplace draw with scale b: density (1/2b) exp(-|z|/b).
+  /// Variance is 2 b^2. Requires b > 0.
+  double Laplace(double scale);
+
+  /// Vector of `n` independent Laplace(scale) draws.
+  std::vector<double> LaplaceVector(size_t n, double scale);
+
+  /// Gaussian draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns a fresh generator seeded from this one (for fanning out
+  /// independent per-repetition streams).
+  Random Fork();
+
+  /// Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_UTIL_RANDOM_H_

@@ -1,0 +1,57 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace blowfish {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& estimate) {
+  assert(truth.size() == estimate.size());
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double d = truth[i] - estimate[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.mean = Mean(xs);
+  s.lower_quartile = Quantile(xs, 0.25);
+  s.upper_quartile = Quantile(xs, 0.75);
+  return s;
+}
+
+}  // namespace blowfish

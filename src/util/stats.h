@@ -1,0 +1,38 @@
+// Small statistics helpers used by the experiment harness and tests:
+// mean, variance, quartiles, and mean-squared-error (Def 2.4).
+
+#ifndef BLOWFISH_UTIL_STATS_H_
+#define BLOWFISH_UTIL_STATS_H_
+
+#include <vector>
+
+namespace blowfish {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+double Variance(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Asserts on empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Mean squared error between a true vector and an estimate of equal size.
+/// This is the per-query expected error E_M of Def 2.4 averaged over
+/// components when the estimate comes from a randomized mechanism.
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& estimate);
+
+/// Summary of a repeated experiment: mean plus lower/upper quartiles,
+/// matching how the paper reports 50-repetition runs (Sec 6.1).
+struct Summary {
+  double mean = 0.0;
+  double lower_quartile = 0.0;
+  double upper_quartile = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& xs);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_UTIL_STATS_H_

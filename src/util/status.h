@@ -1,0 +1,160 @@
+// Status / StatusOr error-handling substrate.
+//
+// The library does not use C++ exceptions (per the Google style guide and
+// the RocksDB/Arrow conventions). Fallible operations return Status or
+// StatusOr<T>; unrecoverable invariant violations use assert().
+
+#ifndef BLOWFISH_UTIL_STATUS_H_
+#define BLOWFISH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blowfish {
+
+/// Error codes, a small subset of the canonical absl/gRPC code space.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a T or an error Status. Accessing the value of an error
+/// StatusOr is a programming bug and asserts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit by design.
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define BLOWFISH_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::blowfish::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors; on success binds
+/// the unwrapped value to `lhs`.
+#define BLOWFISH_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto BLOWFISH_CONCAT_(_sor_, __LINE__) = (expr);     \
+  if (!BLOWFISH_CONCAT_(_sor_, __LINE__).ok())         \
+    return BLOWFISH_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(BLOWFISH_CONCAT_(_sor_, __LINE__)).value()
+
+#define BLOWFISH_CONCAT_IMPL_(a, b) a##b
+#define BLOWFISH_CONCAT_(a, b) BLOWFISH_CONCAT_IMPL_(a, b)
+
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_UTIL_STATUS_H_

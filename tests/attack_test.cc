@@ -1,0 +1,57 @@
+#include "core/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace blowfish {
+namespace {
+
+TEST(AveragingAttackTest, ReconstructionIsExactWithoutNoise) {
+  // With zero noise the estimators are all exact, so reconstruction must
+  // return the true counts.
+  std::vector<double> truth = {10.0, 3.0, 7.0, 5.0, 2.0};
+  std::vector<double> a(truth.size() - 1);
+  for (size_t i = 0; i + 1 < truth.size(); ++i) a[i] = truth[i] + truth[i + 1];
+  std::vector<double> rec = AveragingAttackReconstruct(truth, a);
+  ASSERT_EQ(rec.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(rec[i], truth[i], 1e-9) << "count " << i;
+  }
+}
+
+TEST(AveragingAttackTest, VarianceShrinksAsPredicted) {
+  Random rng(42);
+  const size_t k = 64;
+  std::vector<double> truth(k);
+  for (size_t i = 0; i < k; ++i) truth[i] = 10.0 + (i % 7);
+  const double scale = 2.0;  // Lap(2/eps) with eps = 1
+  auto result = RunAveragingAttack(truth, scale, 400, rng).value();
+  // Averaged-estimator variance should be ~ 2 scale^2 / k, far below the
+  // raw noise variance 2 scale^2.
+  EXPECT_NEAR(result.empirical_variance, result.predicted_variance,
+              result.predicted_variance * 0.5);
+  EXPECT_LT(result.empirical_variance, 2.0 * scale * scale / 10.0);
+}
+
+TEST(AveragingAttackTest, LargeKReconstructsAlmostExactly) {
+  Random rng(7);
+  const size_t k = 256;
+  std::vector<double> truth(k);
+  for (size_t i = 0; i < k; ++i) truth[i] = 5.0 + (i % 3);
+  auto result = RunAveragingAttack(truth, 2.0, 50, rng).value();
+  // With k = 256 the averaged estimator's std-dev is ~ 0.18, so rounding
+  // recovers nearly every count — the Sec 3.2 privacy breach.
+  EXPECT_GT(result.fraction_exact, 0.9);
+  EXPECT_LT(result.mean_abs_error, result.raw_mean_abs_error / 5.0);
+}
+
+TEST(AveragingAttackTest, InputValidation) {
+  Random rng(1);
+  EXPECT_FALSE(RunAveragingAttack({1.0}, 1.0, 10, rng).ok());
+  EXPECT_FALSE(RunAveragingAttack({1.0, 2.0}, 0.0, 10, rng).ok());
+  EXPECT_FALSE(RunAveragingAttack({1.0, 2.0}, 1.0, 0, rng).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,108 @@
+#include "core/bottom_extension.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/neighbors.h"
+#include "core/sensitivity.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeLine(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+TEST(BottomExtensionTest, ExtendsDomainAndGraph) {
+  auto dom = MakeLine(4);
+  Policy base = Policy::Line(dom).value();
+  BottomExtension ext = ExtendWithBottom(base).value();
+  EXPECT_EQ(ext.domain->size(), 5u);
+  EXPECT_EQ(ext.bottom, 4u);
+  // Original line edges preserved.
+  EXPECT_TRUE(ext.policy.graph().Adjacent(0, 1));
+  EXPECT_FALSE(ext.policy.graph().Adjacent(0, 2));
+  // Every value connected to bottom (presence is secret).
+  for (ValueIndex x = 0; x < 4; ++x) {
+    EXPECT_TRUE(ext.policy.graph().Adjacent(x, ext.bottom)) << x;
+  }
+}
+
+TEST(BottomExtensionTest, SelectivePresenceSecrets) {
+  auto dom = MakeLine(4);
+  Policy base = Policy::Line(dom).value();
+  BottomExtension ext = ExtendWithBottom(base, {1, 2}).value();
+  EXPECT_TRUE(ext.policy.graph().Adjacent(1, ext.bottom));
+  EXPECT_TRUE(ext.policy.graph().Adjacent(2, ext.bottom));
+  // Values 0 and 3 have *public* presence: no edge to bottom.
+  EXPECT_FALSE(ext.policy.graph().Adjacent(0, ext.bottom));
+  EXPECT_FALSE(ext.policy.graph().Adjacent(3, ext.bottom));
+  EXPECT_FALSE(ExtendWithBottom(base, {9}).ok());
+}
+
+TEST(BottomExtensionTest, FullGraphRecoverUnboundedDp) {
+  // Full graph + full presence secrets on the extended domain: every pair
+  // of extended values adjacent -> the extended policy is the complete
+  // graph, i.e. unbounded DP where add/remove is a single edge step.
+  auto dom = MakeLine(3);
+  Policy base = Policy::FullDomain(dom).value();
+  BottomExtension ext = ExtendWithBottom(base).value();
+  for (ValueIndex x = 0; x < 4; ++x) {
+    for (ValueIndex y = 0; y < 4; ++y) {
+      EXPECT_EQ(ext.policy.graph().Adjacent(x, y), x != y);
+    }
+  }
+}
+
+TEST(BottomExtensionTest, LiftAppendsAbsentTuples) {
+  auto dom = MakeLine(4);
+  Policy base = Policy::Line(dom).value();
+  BottomExtension ext = ExtendWithBottom(base).value();
+  Dataset data = Dataset::Create(dom, {0, 2}).value();
+  Dataset lifted = LiftWithAbsent(ext, data, 3).value();
+  EXPECT_EQ(lifted.size(), 5u);
+  EXPECT_EQ(lifted.tuple(0), 0u);
+  EXPECT_EQ(lifted.tuple(4), ext.bottom);
+  // Wrong base domain rejected.
+  auto other = MakeLine(7);
+  Dataset wrong = Dataset::Create(other, {0}).value();
+  EXPECT_FALSE(LiftWithAbsent(ext, wrong, 1).ok());
+}
+
+TEST(BottomExtensionTest, ConstrainedPoliciesRejected) {
+  auto dom = MakeLine(4);
+  ConstraintSet cs;
+  cs.Add(CountQuery("low", [](ValueIndex x) { return x < 2; }));
+  Policy p = Policy::Create(dom, std::make_shared<LineGraph>(4),
+                            std::move(cs))
+                 .value();
+  EXPECT_EQ(ExtendWithBottom(p).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+// Neighbour semantics on the extended domain: an insertion (bot -> x) is
+// one edge step, so histogram sensitivity accounts for presence changes.
+TEST(BottomExtensionTest, InsertionDeletionAreNeighbors) {
+  auto dom = MakeLine(3);
+  Policy base = Policy::Line(dom).value();
+  BottomExtension ext = ExtendWithBottom(base).value();
+  NeighborhoodResult nbrs = EnumerateNeighbors(ext.policy, 2, 1000).value();
+  bool saw_presence_flip = false;
+  for (const auto& [i, j] : nbrs.neighbor_pairs) {
+    for (size_t id = 0; id < 2; ++id) {
+      ValueIndex a = nbrs.universe[i].tuple(id);
+      ValueIndex b = nbrs.universe[j].tuple(id);
+      if (a != b && (a == ext.bottom || b == ext.bottom)) {
+        saw_presence_flip = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_presence_flip);
+  // Histogram over the extended domain (bot bucket included) still has
+  // sensitivity 2: one tuple's move changes two buckets.
+  EXPECT_DOUBLE_EQ(HistogramSensitivity(ext.policy.graph()), 2.0);
+}
+
+}  // namespace
+}  // namespace blowfish

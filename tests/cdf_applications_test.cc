@@ -1,0 +1,119 @@
+#include "mech/cdf_applications.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.h"
+#include "mech/ordered.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+TEST(QuantileTest, ExactQuantilesOfStepCdf) {
+  // 10 records at index 2, 10 at index 7 (|T| = 10).
+  std::vector<double> cum = {0, 0, 10, 10, 10, 10, 10, 20, 20, 20};
+  EXPECT_EQ(QuantileFromCumulative(cum, 0.0).value(), 0u);
+  EXPECT_EQ(QuantileFromCumulative(cum, 0.25).value(), 2u);
+  EXPECT_EQ(QuantileFromCumulative(cum, 0.5).value(), 2u);
+  EXPECT_EQ(QuantileFromCumulative(cum, 0.75).value(), 7u);
+  EXPECT_EQ(QuantileFromCumulative(cum, 1.0).value(), 7u);
+}
+
+TEST(QuantileTest, Validation) {
+  EXPECT_FALSE(QuantileFromCumulative({}, 0.5).ok());
+  EXPECT_FALSE(QuantileFromCumulative({1, 2}, -0.1).ok());
+  EXPECT_FALSE(QuantileFromCumulative({1, 2}, 1.1).ok());
+  // Non-monotone input rejected.
+  EXPECT_EQ(QuantileFromCumulative({5, 3}, 0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EquiDepthTest, UniformDataSplitsEvenly) {
+  // Uniform counts of 1 over 100 values.
+  std::vector<double> cum(100);
+  for (size_t i = 0; i < 100; ++i) cum[i] = static_cast<double>(i + 1);
+  auto bounds = EquiDepthBoundaries(cum, 4).value();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0], 24u);
+  EXPECT_EQ(bounds[1], 49u);
+  EXPECT_EQ(bounds[2], 74u);
+  EXPECT_FALSE(EquiDepthBoundaries(cum, 0).ok());
+}
+
+TEST(EquiDepthTest, BoundariesMonotone) {
+  std::vector<double> cum = {0, 5, 5, 5, 30, 31, 31, 60};
+  auto bounds = EquiDepthBoundaries(cum, 6).value();
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GE(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(CdfTest, NormalizesAndClamps) {
+  std::vector<double> cum = {2, 4, 8};
+  auto cdf = CdfFromCumulative(cum).value();
+  EXPECT_DOUBLE_EQ(cdf[0], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  EXPECT_FALSE(CdfFromCumulative({0, 0}).ok());  // zero total
+}
+
+TEST(CdfIndexTest, BuildAndSplits) {
+  std::vector<double> cum(64);
+  for (size_t i = 0; i < 64; ++i) cum[i] = static_cast<double>(i + 1);
+  CdfIndex index = CdfIndex::Build(cum, 2).value();
+  ASSERT_EQ(index.splits().size(), 3u);  // 2^2 - 1
+  EXPECT_EQ(index.splits()[1], 31u);     // median
+  EXPECT_FALSE(CdfIndex::Build(cum, 0).ok());
+  EXPECT_FALSE(CdfIndex::Build(cum, 31).ok());
+}
+
+TEST(CdfIndexTest, RankAndRangeCount) {
+  std::vector<double> cum = {1, 3, 6, 10};
+  CdfIndex index = CdfIndex::Build(cum, 1).value();
+  EXPECT_DOUBLE_EQ(index.Rank(2).value(), 6.0);
+  EXPECT_DOUBLE_EQ(index.RangeCount(1, 2).value(), 5.0);
+  EXPECT_FALSE(index.Rank(4).ok());
+  EXPECT_FALSE(index.RangeCount(2, 1).ok());
+}
+
+TEST(CdfIndexTest, LeafOfPartitionsDomain) {
+  std::vector<double> cum(16);
+  for (size_t i = 0; i < 16; ++i) cum[i] = static_cast<double>(i + 1);
+  CdfIndex index = CdfIndex::Build(cum, 2).value();
+  // Leaves must be non-decreasing over the domain and span [0, 3].
+  size_t prev = 0;
+  for (size_t x = 0; x < 16; ++x) {
+    size_t leaf = index.LeafOf(x).value();
+    EXPECT_GE(leaf, prev);
+    EXPECT_LT(leaf, 4u);
+    prev = leaf;
+  }
+}
+
+// End-to-end: noisy quantiles from an Ordered-Mechanism release land
+// near the true quantiles.
+TEST(CdfApplicationsIntegrationTest, NoisyQuantilesAreClose) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(500).value());
+  Histogram data(500);
+  Random drng(9);
+  for (int i = 0; i < 20000; ++i) {
+    data.Add(static_cast<size_t>(drng.UniformInt(100, 399)));
+  }
+  Policy line = Policy::Line(dom).value();
+  Random rng(10);
+  auto released = OrderedMechanism(data, line, 0.5, rng).value();
+  std::vector<double> truth = data.CumulativeSums();
+  for (double q : {0.1, 0.5, 0.9}) {
+    size_t noisy =
+        QuantileFromCumulative(released.inferred_cumulative, q).value();
+    size_t exact = QuantileFromCumulative(truth, q).value();
+    EXPECT_NEAR(static_cast<double>(noisy), static_cast<double>(exact),
+                5.0)
+        << "quantile " << q;
+  }
+}
+
+}  // namespace
+}  // namespace blowfish

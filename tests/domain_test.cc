@@ -1,0 +1,133 @@
+#include "core/domain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace blowfish {
+namespace {
+
+Domain MakeDomain223() {
+  // The 2 x 2 x 3 domain of the paper's Example 8.1.
+  return Domain::Create({Attribute{"A1", 2, 1.0}, Attribute{"A2", 2, 1.0},
+                         Attribute{"A3", 3, 1.0}})
+      .value();
+}
+
+TEST(DomainTest, CreateValidation) {
+  EXPECT_FALSE(Domain::Create({}).ok());
+  EXPECT_FALSE(Domain::Create({Attribute{"A", 0, 1.0}}).ok());
+  EXPECT_FALSE(Domain::Create({Attribute{"A", 2, 0.0}}).ok());
+  EXPECT_FALSE(Domain::Create({Attribute{"A", 2, -1.0}}).ok());
+  EXPECT_TRUE(Domain::Create({Attribute{"A", 2, 1.0}}).ok());
+}
+
+TEST(DomainTest, SizeOverflowRejected) {
+  // 8 attributes of cardinality 256 = 2^64 > 2^62: must be rejected.
+  std::vector<Attribute> attrs(8, Attribute{"A", uint64_t{1} << 8, 1.0});
+  EXPECT_FALSE(Domain::Create(attrs).ok());
+  // 7 attributes of cardinality 256 = 2^56 <= 2^62: fine.
+  attrs.pop_back();
+  EXPECT_TRUE(Domain::Create(attrs).ok());
+}
+
+TEST(DomainTest, SizeAndAttributes) {
+  Domain d = MakeDomain223();
+  EXPECT_EQ(d.size(), 12u);
+  EXPECT_EQ(d.num_attributes(), 3u);
+  EXPECT_EQ(d.attribute(2).cardinality, 3u);
+}
+
+TEST(DomainTest, EncodeDecodeRoundTrip) {
+  Domain d = MakeDomain223();
+  for (ValueIndex x = 0; x < d.size(); ++x) {
+    std::vector<uint64_t> coords = d.Decode(x);
+    EXPECT_EQ(d.Encode(coords), x);
+  }
+}
+
+TEST(DomainTest, EncodeIsRowMajor) {
+  Domain d = MakeDomain223();
+  // Last attribute varies fastest.
+  EXPECT_EQ(d.Encode({0, 0, 0}), 0u);
+  EXPECT_EQ(d.Encode({0, 0, 1}), 1u);
+  EXPECT_EQ(d.Encode({0, 1, 0}), 3u);
+  EXPECT_EQ(d.Encode({1, 0, 0}), 6u);
+}
+
+TEST(DomainTest, CoordinateMatchesDecode) {
+  Domain d = MakeDomain223();
+  for (ValueIndex x = 0; x < d.size(); ++x) {
+    std::vector<uint64_t> coords = d.Decode(x);
+    for (size_t i = 0; i < d.num_attributes(); ++i) {
+      EXPECT_EQ(d.Coordinate(x, i), coords[i]);
+    }
+  }
+}
+
+TEST(DomainTest, WithCoordinate) {
+  Domain d = MakeDomain223();
+  ValueIndex x = d.Encode({1, 0, 2});
+  EXPECT_EQ(d.WithCoordinate(x, 0, 0), d.Encode({0, 0, 2}));
+  EXPECT_EQ(d.WithCoordinate(x, 2, 0), d.Encode({1, 0, 0}));
+  EXPECT_EQ(d.WithCoordinate(x, 1, 1), d.Encode({1, 1, 2}));
+  EXPECT_EQ(d.WithCoordinate(x, 1, 0), x);  // no-op change
+}
+
+TEST(DomainTest, L1DistanceUnitScales) {
+  Domain d = MakeDomain223();
+  EXPECT_DOUBLE_EQ(d.L1Distance(d.Encode({0, 0, 0}), d.Encode({1, 1, 2})),
+                   4.0);
+  EXPECT_DOUBLE_EQ(d.L1Distance(d.Encode({1, 0, 1}), d.Encode({1, 0, 1})),
+                   0.0);
+}
+
+TEST(DomainTest, L1DistanceScaled) {
+  Domain d = Domain::Create({Attribute{"x", 10, 2.5},
+                             Attribute{"y", 10, 0.5}}).value();
+  ValueIndex a = d.Encode({0, 0});
+  ValueIndex b = d.Encode({3, 4});
+  EXPECT_DOUBLE_EQ(d.L1Distance(a, b), 3 * 2.5 + 4 * 0.5);
+}
+
+TEST(DomainTest, HammingDistance) {
+  Domain d = MakeDomain223();
+  EXPECT_EQ(d.HammingDistance(d.Encode({0, 0, 0}), d.Encode({0, 0, 0})), 0u);
+  EXPECT_EQ(d.HammingDistance(d.Encode({0, 0, 0}), d.Encode({0, 0, 2})), 1u);
+  EXPECT_EQ(d.HammingDistance(d.Encode({0, 0, 0}), d.Encode({1, 1, 2})), 3u);
+}
+
+TEST(DomainTest, Diameter) {
+  Domain d = MakeDomain223();
+  EXPECT_DOUBLE_EQ(d.Diameter(), 1.0 + 1.0 + 2.0);
+  Domain scaled =
+      Domain::Create({Attribute{"x", 400, 5.55}}).value();
+  EXPECT_DOUBLE_EQ(scaled.Diameter(), 399 * 5.55);
+}
+
+TEST(DomainTest, PointEmbedding) {
+  Domain d = Domain::Create({Attribute{"x", 10, 2.0},
+                             Attribute{"y", 5, 1.0}}).value();
+  std::vector<double> p = d.Point(d.Encode({3, 4}));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 6.0);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+}
+
+TEST(DomainTest, LineFactory) {
+  Domain d = Domain::Line(100, 0.5, "salary").value();
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.num_attributes(), 1u);
+  EXPECT_EQ(d.attribute(0).name, "salary");
+  EXPECT_DOUBLE_EQ(d.attribute(0).scale, 0.5);
+}
+
+TEST(DomainTest, GridFactory) {
+  Domain d = Domain::Grid(16, 3).value();
+  EXPECT_EQ(d.size(), 16u * 16 * 16);
+  EXPECT_EQ(d.num_attributes(), 3u);
+  EXPECT_FALSE(Domain::Grid(4, 0).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

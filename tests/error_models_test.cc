@@ -1,0 +1,120 @@
+#include "mech/error_models.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mech/ordered.h"
+#include "util/stats.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeLine(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+TEST(ErrorModelsTest, LaplaceComponentAndTotal) {
+  // Var(Lap(2/0.5)) = 2 * 16 = 32.
+  EXPECT_DOUBLE_EQ(LaplaceComponentError(2.0, 0.5), 32.0);
+  // Sec 2: complete histogram error 8 |T| / eps^2 with S = 2.
+  EXPECT_DOUBLE_EQ(LaplaceTotalError(2.0, 1.0, 100), 800.0);
+  EXPECT_DOUBLE_EQ(LaplaceComponentError(0.0, 1.0), 0.0);
+}
+
+TEST(ErrorModelsTest, OrderedRangeErrorByPolicy) {
+  auto dom = MakeLine(1000);
+  // Line: 4/eps^2 (Thm 7.1).
+  EXPECT_DOUBLE_EQ(
+      OrderedRangeError(Policy::Line(dom).value(), 0.5).value(), 16.0);
+  // theta = 10: 4 * 100 / eps^2.
+  EXPECT_DOUBLE_EQ(
+      OrderedRangeError(Policy::DistanceThreshold(dom, 10.0).value(), 1.0)
+          .value(),
+      400.0);
+  // 2-D domain rejected.
+  auto grid = std::make_shared<const Domain>(Domain::Grid(8, 2).value());
+  EXPECT_FALSE(OrderedRangeError(Policy::FullDomain(grid).value(), 1.0)
+                   .ok());
+}
+
+TEST(ErrorModelsTest, OrderedHierarchicalModelBoundaries) {
+  auto dom = MakeLine(4096);
+  // theta = 1: the OH optimum equals the pure ordered error 4/eps^2.
+  double oh_line =
+      OrderedHierarchicalRangeError(Policy::Line(dom).value(), 1.0, 16)
+          .value();
+  EXPECT_NEAR(oh_line,
+              OrderedRangeError(Policy::Line(dom).value(), 1.0).value(),
+              0.02);
+  // theta = |T|: the OH optimum equals the hierarchical-style c2 term.
+  double oh_full = OrderedHierarchicalRangeError(
+                       Policy::FullDomain(dom).value(), 1.0, 16)
+                       .value();
+  EXPECT_GT(oh_full, oh_line * 10);
+}
+
+TEST(ErrorModelsTest, KMeansCentroidError) {
+  auto grid = std::make_shared<const Domain>(Domain::Grid(64, 2).value());
+  Policy full = Policy::FullDomain(grid).value();
+  Policy theta = Policy::DistanceThreshold(grid, 4.0).value();
+  double e_full = KMeansCentroidError(full, 1.0, 10, 100.0).value();
+  double e_theta = KMeansCentroidError(theta, 1.0, 10, 100.0).value();
+  EXPECT_GT(e_full, e_theta);  // weaker policy -> less predicted noise
+  // Finest partition: zero error.
+  Policy finest = Policy::GridPartition(grid, {64, 64}).value();
+  EXPECT_DOUBLE_EQ(KMeansCentroidError(finest, 1.0, 10, 100.0).value(),
+                   0.0);
+  EXPECT_FALSE(KMeansCentroidError(full, 1.0, 0, 100.0).ok());
+  EXPECT_FALSE(KMeansCentroidError(full, 1.0, 10, 0.0).ok());
+}
+
+TEST(ErrorModelsTest, BestRangeStrategySwitchesWithTheta) {
+  auto dom = MakeLine(4096);
+  // Line graph: ordered wins.
+  auto line_choice =
+      BestRangeStrategy(Policy::Line(dom).value(), 1.0, 16).value();
+  EXPECT_STREQ(line_choice.name, "ordered");
+  // Full domain: a hierarchical-style strategy wins.
+  auto full_choice =
+      BestRangeStrategy(Policy::FullDomain(dom).value(), 1.0, 16).value();
+  EXPECT_STRNE(full_choice.name, "ordered");
+  // Mid theta: OH at the optimal split should never lose to pure ordered.
+  auto mid = BestRangeStrategy(
+                 Policy::DistanceThreshold(dom, 64.0).value(), 1.0, 16)
+                 .value();
+  EXPECT_LE(mid.predicted_error,
+            OrderedRangeError(
+                Policy::DistanceThreshold(dom, 64.0).value(), 1.0)
+                .value() +
+                1e-9);
+}
+
+// The ordered model is not just internally consistent — it predicts the
+// measured error of the actual mechanism.
+TEST(ErrorModelsTest, OrderedModelMatchesMeasurement) {
+  auto dom = MakeLine(512);
+  Policy p = Policy::DistanceThreshold(dom, 4.0).value();
+  Histogram data(512);
+  Random drng(3);
+  for (int i = 0; i < 5000; ++i) {
+    data.Add(static_cast<size_t>(drng.UniformInt(0, 511)));
+  }
+  const double eps = 0.5;
+  double predicted = OrderedRangeError(p, eps).value();
+  Random rng(5);
+  double mse = 0.0;
+  const int reps = 400;
+  double truth = data.RangeSum(50, 300).value();
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = OrderedMechanism(data, p, eps, rng, false).value();
+    double e = out.RangeQuery(50, 300).value() - truth;
+    mse += e * e;
+  }
+  mse /= reps;
+  // Within 35% of the analytic value (sampling noise + clamping effects).
+  EXPECT_NEAR(mse, predicted, predicted * 0.35);
+}
+
+}  // namespace
+}  // namespace blowfish

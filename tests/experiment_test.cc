@@ -1,0 +1,52 @@
+#include "data/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace blowfish {
+namespace {
+
+TEST(ExperimentTest, PaperEpsilons) {
+  std::vector<double> eps = PaperEpsilons();
+  ASSERT_EQ(eps.size(), 10u);
+  EXPECT_NEAR(eps.front(), 0.1, 1e-12);
+  EXPECT_NEAR(eps.back(), 1.0, 1e-12);
+  for (size_t i = 1; i < eps.size(); ++i) {
+    EXPECT_NEAR(eps[i] - eps[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(ExperimentTest, RepeatSummarizes) {
+  Random rng(1);
+  int calls = 0;
+  Summary s = Repeat(50, rng, [&calls](Random& r) {
+    ++calls;
+    return r.Uniform();
+  });
+  EXPECT_EQ(calls, 50);
+  EXPECT_GT(s.mean, 0.2);
+  EXPECT_LT(s.mean, 0.8);
+  EXPECT_LE(s.lower_quartile, s.mean);
+  EXPECT_GE(s.upper_quartile, s.mean);
+}
+
+TEST(ExperimentTest, RepeatDeterministicAcrossRuns) {
+  Random a(7), b(7);
+  Summary sa = Repeat(20, a, [](Random& r) { return r.Laplace(1.0); });
+  Summary sb = Repeat(20, b, [](Random& r) { return r.Laplace(1.0); });
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+}
+
+TEST(ExperimentTest, BenchRepsEnvOverride) {
+  unsetenv("BLOWFISH_BENCH_REPS");
+  EXPECT_EQ(BenchReps(13), 13u);
+  setenv("BLOWFISH_BENCH_REPS", "5", 1);
+  EXPECT_EQ(BenchReps(13), 5u);
+  setenv("BLOWFISH_BENCH_REPS", "garbage", 1);
+  EXPECT_EQ(BenchReps(13), 13u);
+  unsetenv("BLOWFISH_BENCH_REPS");
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace blowfish {
+namespace {
+
+TEST(HistogramTest, ConstructionAndIndexing) {
+  Histogram h(5);
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_DOUBLE_EQ(h.Total(), 0.0);
+  h.Add(2);
+  h.Add(2, 3.0);
+  EXPECT_DOUBLE_EQ(h[2], 4.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 4.0);
+}
+
+TEST(HistogramTest, FromVector) {
+  Histogram h({1.0, 2.0, 3.0});
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.Total(), 6.0);
+}
+
+TEST(HistogramTest, CumulativeSums) {
+  Histogram h({1.0, 0.0, 2.0, 5.0});
+  std::vector<double> cum = h.CumulativeSums();
+  ASSERT_EQ(cum.size(), 4u);
+  EXPECT_DOUBLE_EQ(cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(cum[1], 1.0);
+  EXPECT_DOUBLE_EQ(cum[2], 3.0);
+  EXPECT_DOUBLE_EQ(cum[3], 8.0);
+}
+
+TEST(HistogramTest, RangeSum) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.RangeSum(0, 3).value(), 10.0);
+  EXPECT_DOUBLE_EQ(h.RangeSum(1, 2).value(), 5.0);
+  EXPECT_DOUBLE_EQ(h.RangeSum(2, 2).value(), 3.0);
+}
+
+TEST(HistogramTest, RangeSumErrors) {
+  Histogram h({1.0, 2.0});
+  EXPECT_FALSE(h.RangeSum(1, 0).ok());  // lo > hi
+  EXPECT_FALSE(h.RangeSum(0, 2).ok());  // hi out of range
+}
+
+TEST(HistogramTest, L1Distance) {
+  Histogram a({1.0, 2.0, 3.0});
+  Histogram b({0.0, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.L1Distance(b).value(), 3.0);
+  Histogram c(2);
+  EXPECT_FALSE(a.L1Distance(c).ok());  // size mismatch
+}
+
+TEST(HistogramTest, NumNonZero) {
+  Histogram h({0.0, 1.0, 0.0, 2.0, 0.0});
+  EXPECT_EQ(h.NumNonZero(), 2u);
+}
+
+// p = number of distinct cumulative values — the sparsity parameter of
+// Sec 7.1 that controls constrained-inference error.
+TEST(HistogramTest, NumDistinctCumulative) {
+  // counts {5,0,0,3,0}: cumulative {5,5,5,8,8} -> p = 2.
+  Histogram h({5.0, 0.0, 0.0, 3.0, 0.0});
+  EXPECT_EQ(h.NumDistinctCumulative(), 2u);
+  Histogram g({1.0, 1.0, 1.0});
+  EXPECT_EQ(g.NumDistinctCumulative(), 3u);
+  EXPECT_EQ(Histogram().NumDistinctCumulative(), 0u);
+}
+
+TEST(RangeFromCumulativeTest, MatchesDirectRangeSum) {
+  Histogram h({2.0, 0.0, 1.0, 4.0, 3.0});
+  std::vector<double> cum = h.CumulativeSums();
+  for (size_t lo = 0; lo < h.size(); ++lo) {
+    for (size_t hi = lo; hi < h.size(); ++hi) {
+      EXPECT_DOUBLE_EQ(RangeFromCumulative(cum, lo, hi).value(),
+                       h.RangeSum(lo, hi).value())
+          << "range [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST(RangeFromCumulativeTest, Errors) {
+  std::vector<double> cum = {1.0, 2.0};
+  EXPECT_FALSE(RangeFromCumulative(cum, 0, 2).ok());
+  EXPECT_FALSE(RangeFromCumulative(cum, 1, 0).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,161 @@
+#include "mech/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace blowfish {
+namespace {
+
+// Four tight, well-separated clusters in 2-D.
+std::vector<std::vector<double>> FourClusters(size_t per_cluster,
+                                              Random& rng) {
+  const double centers[4][2] = {{5, 5}, {5, 45}, {45, 5}, {45, 45}};
+  std::vector<std::vector<double>> points;
+  points.reserve(4 * per_cluster);
+  for (const auto& c : centers) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      points.push_back({c[0] + rng.Gaussian(0, 1), c[1] + rng.Gaussian(0, 1)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansObjectiveTest, ExactForKnownAssignment) {
+  std::vector<std::vector<double>> points = {{0, 0}, {2, 0}, {10, 0}};
+  std::vector<std::vector<double>> centroids = {{1, 0}, {10, 0}};
+  // Points 0,1 -> centroid (1,0) at squared distance 1 each; point 2 -> 0.
+  EXPECT_DOUBLE_EQ(KMeansObjective(points, centroids), 2.0);
+}
+
+TEST(LloydKMeansTest, Validation) {
+  Random rng(1);
+  KMeansOptions opts;
+  EXPECT_FALSE(LloydKMeans({}, opts, rng).ok());
+  opts.k = 5;
+  EXPECT_FALSE(LloydKMeans({{1.0}, {2.0}}, opts, rng).ok());  // k > n
+  opts.k = 1;
+  opts.iterations = 0;
+  EXPECT_FALSE(LloydKMeans({{1.0}}, opts, rng).ok());
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  opts.iterations = 5;
+  EXPECT_FALSE(LloydKMeans(ragged, opts, rng).ok());
+}
+
+TEST(LloydKMeansTest, RecoversWellSeparatedClusters) {
+  Random rng(42);
+  auto points = FourClusters(100, rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.iterations = 15;
+  // Run a few restarts and keep the best, as any k-means user would.
+  double best = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < 5; ++restart) {
+    best = std::min(best, LloydKMeans(points, opts, rng).value().objective);
+  }
+  // With sigma=1 clusters of 100 points each, per-point E||x-mu||^2 ~ 2,
+  // so a correct clustering has objective ~ 800.
+  EXPECT_LT(best, 1500.0);
+}
+
+TEST(SuLQKMeansTest, Validation) {
+  Random rng(1);
+  KMeansOptions opts;
+  opts.k = 2;
+  std::vector<std::vector<double>> pts = {{1.0}, {2.0}};
+  EXPECT_FALSE(
+      SuLQKMeans(pts, {0.0}, {3.0}, 1.0, 2.0, 0.0, opts, rng).ok());
+  EXPECT_FALSE(
+      SuLQKMeans(pts, {0.0, 0.0}, {3.0}, 1.0, 2.0, 1.0, opts, rng).ok());
+  EXPECT_FALSE(
+      SuLQKMeans(pts, {0.0}, {3.0}, -1.0, 2.0, 1.0, opts, rng).ok());
+  EXPECT_TRUE(
+      SuLQKMeans(pts, {0.0}, {3.0}, 1.0, 2.0, 1.0, opts, rng).ok());
+}
+
+TEST(SuLQKMeansTest, CentroidsStayInBox) {
+  Random rng(7);
+  auto points = FourClusters(50, rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto result = SuLQKMeans(points, {0.0, 0.0}, {50.0, 50.0},
+                           /*qsum_sensitivity=*/100.0,
+                           /*qsize_sensitivity=*/2.0,
+                           /*epsilon=*/0.1, opts, rng)
+                    .value();
+  for (const auto& c : result.centroids) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(c[d], 0.0);
+      EXPECT_LE(c[d], 50.0);
+    }
+  }
+}
+
+// Smaller q_sum sensitivity (a weaker Blowfish policy) should on average
+// yield a no-worse objective than the DP-scale sensitivity — Lemma 6.1's
+// utility mechanism in miniature.
+TEST(SuLQKMeansTest, LowerSensitivityGivesBetterObjective) {
+  Random data_rng(17);
+  auto points = FourClusters(100, data_rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.iterations = 10;
+  const double eps = 0.5;
+  double obj_dp = 0.0, obj_bf = 0.0;
+  Random rng(19);
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    obj_dp += SuLQKMeans(points, {0.0, 0.0}, {50.0, 50.0}, 200.0, 2.0, eps,
+                         opts, rng)
+                  .value()
+                  .objective;
+    obj_bf += SuLQKMeans(points, {0.0, 0.0}, {50.0, 50.0}, 10.0, 2.0, eps,
+                         opts, rng)
+                  .value()
+                  .objective;
+  }
+  EXPECT_LT(obj_bf, obj_dp);
+}
+
+TEST(BlowfishKMeansTest, EndToEndOnDataset) {
+  auto dom = std::make_shared<const Domain>(Domain::Grid(32, 2).value());
+  Random rng(23);
+  std::vector<ValueIndex> tuples;
+  for (int i = 0; i < 400; ++i) {
+    uint64_t x = static_cast<uint64_t>(rng.UniformInt(0, 31));
+    uint64_t y = static_cast<uint64_t>(rng.UniformInt(0, 31));
+    tuples.push_back(dom->Encode({x, y}));
+  }
+  Dataset data = Dataset::Create(dom, tuples).value();
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.iterations = 5;
+  for (auto policy :
+       {Policy::FullDomain(dom).value(),
+        Policy::DistanceThreshold(dom, 8.0).value(),
+        Policy::Attribute(dom).value(),
+        Policy::GridPartition(dom, {4, 4}).value()}) {
+    auto result = BlowfishKMeans(data, policy, 1.0, opts, rng);
+    ASSERT_TRUE(result.ok()) << policy.ToString();
+    EXPECT_EQ(result->centroids.size(), 2u);
+    EXPECT_GE(result->objective, 0.0);
+  }
+}
+
+TEST(BlowfishKMeansTest, RejectsConstrainedPolicy) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(8).value());
+  ConstraintSet cs;
+  cs.Add(CountQuery("low", [](ValueIndex x) { return x < 4; }));
+  Policy p = Policy::Create(dom, std::make_shared<FullGraph>(8),
+                            std::move(cs))
+                 .value();
+  Dataset data = Dataset::Create(dom, {1, 2, 3}).value();
+  Random rng(1);
+  KMeansOptions opts;
+  opts.k = 1;
+  EXPECT_EQ(BlowfishKMeans(data, p, 1.0, opts, rng).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace blowfish

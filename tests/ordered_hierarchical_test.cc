@@ -1,0 +1,265 @@
+#include "mech/ordered_hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/stats.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeLine(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+Histogram RandomData(size_t domain, size_t total, uint64_t seed) {
+  Random rng(seed);
+  Histogram h(domain);
+  for (size_t i = 0; i < total; ++i) {
+    h.Add(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(domain) - 1)));
+  }
+  return h;
+}
+
+// --- OHErrorModel (Eqns 13-15) ---
+
+TEST(OHErrorModelTest, BoundaryCases) {
+  // theta = |T|: c1 = 0 -> all budget to H.
+  OHErrorModel at_full = OHErrorModel::Compute(1024, 1024, 16);
+  EXPECT_DOUBLE_EQ(at_full.c1, 0.0);
+  EXPECT_GT(at_full.c2, 0.0);
+  EXPECT_DOUBLE_EQ(at_full.OptimalSFraction(), 0.0);
+  // theta = 1: c2 = 0 -> all budget to S.
+  OHErrorModel at_one = OHErrorModel::Compute(1024, 1, 16);
+  EXPECT_GT(at_one.c1, 0.0);
+  EXPECT_DOUBLE_EQ(at_one.c2, 0.0);
+  EXPECT_DOUBLE_EQ(at_one.OptimalSFraction(), 1.0);
+}
+
+TEST(OHErrorModelTest, ConstantsMatchFormulas) {
+  const size_t t = 4357, theta = 100, f = 16;
+  OHErrorModel m = OHErrorModel::Compute(t, theta, f);
+  double logf = std::log(100.0) / std::log(16.0);
+  EXPECT_NEAR(m.c1, 4.0 * (4357.0 - 100.0) / 4358.0, 1e-9);
+  EXPECT_NEAR(m.c2, 8.0 * 15.0 * logf * logf * logf * 4357.0 / 4358.0,
+              1e-6);
+}
+
+TEST(OHErrorModelTest, OptimumMinimizesRangeError) {
+  OHErrorModel m = OHErrorModel::Compute(4357, 100, 16);
+  const double eps = 1.0;
+  double star = m.OptimalSFraction();
+  double best = m.RangeError(star * eps, (1.0 - star) * eps);
+  EXPECT_NEAR(best, m.OptimalRangeError(eps), 1e-9);
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_GE(m.RangeError(frac * eps, (1.0 - frac) * eps), best - 1e-9)
+        << "frac " << frac;
+  }
+}
+
+TEST(OHErrorModelTest, ZeroBudgetSideIsInfinite) {
+  OHErrorModel m = OHErrorModel::Compute(4357, 100, 16);
+  EXPECT_TRUE(std::isinf(m.RangeError(0.0, 1.0)));
+  EXPECT_TRUE(std::isinf(m.RangeError(1.0, 0.0)));
+}
+
+// --- Release: structure ---
+
+TEST(OrderedHierarchicalTest, StructureMatchesTheta) {
+  auto dom = MakeLine(64);
+  Policy p = Policy::DistanceThreshold(dom, 8.0).value();
+  Histogram data = RandomData(64, 500, 3);
+  Random rng(5);
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 4;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  EXPECT_EQ(m.theta_steps(), 8u);
+  EXPECT_EQ(m.num_s_nodes(), 8u);  // ceil(64/8)
+  EXPECT_EQ(m.h_trees().size(), 8u);
+  EXPECT_EQ(m.subtree_height(), 2u);  // log_4 8 -> ceil = 2
+  EXPECT_NE(m.DescribeStructure().find("theta=8"), std::string::npos);
+}
+
+TEST(OrderedHierarchicalTest, ThetaOneDegeneratesToOrdered) {
+  auto dom = MakeLine(32);
+  Policy p = Policy::Line(dom).value();
+  Histogram data = RandomData(32, 200, 7);
+  Random rng(9);
+  OrderedHierarchicalOptions opts;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  EXPECT_EQ(m.theta_steps(), 1u);
+  EXPECT_EQ(m.num_s_nodes(), 32u);
+  EXPECT_TRUE(m.h_trees().empty());
+}
+
+TEST(OrderedHierarchicalTest, ThetaFullDegeneratesToHierarchical) {
+  auto dom = MakeLine(32);
+  Policy p = Policy::FullDomain(dom).value();
+  Histogram data = RandomData(32, 200, 7);
+  Random rng(9);
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 4;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  EXPECT_EQ(m.theta_steps(), 32u);
+  EXPECT_EQ(m.num_s_nodes(), 1u);
+  EXPECT_EQ(m.h_trees().size(), 1u);
+}
+
+TEST(OrderedHierarchicalTest, Validation) {
+  auto dom = MakeLine(32);
+  Policy p = Policy::Line(dom).value();
+  Histogram data(32);
+  Random rng(1);
+  OrderedHierarchicalOptions opts;
+  EXPECT_FALSE(
+      OrderedHierarchicalMechanism::Release(data, p, 0.0, opts, rng).ok());
+  Histogram wrong(16);
+  EXPECT_FALSE(
+      OrderedHierarchicalMechanism::Release(wrong, p, 1.0, opts, rng).ok());
+  auto grid =
+      std::make_shared<const Domain>(Domain::Grid(6, 2).value());
+  Policy p2d = Policy::DistanceThreshold(grid, 2.0).value();
+  Histogram data2d(36);
+  EXPECT_FALSE(
+      OrderedHierarchicalMechanism::Release(data2d, p2d, 1.0, opts, rng)
+          .ok());
+}
+
+TEST(OrderedHierarchicalTest, SubResolutionThetaRejected) {
+  auto dom = std::make_shared<const Domain>(
+      Domain::Line(32, /*scale=*/10.0).value());
+  Policy p = Policy::DistanceThreshold(dom, 5.0).value();  // < scale
+  Histogram data(32);
+  Random rng(1);
+  OrderedHierarchicalOptions opts;
+  EXPECT_EQ(OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --- Release: accuracy ---
+
+class OHAccuracyTest : public ::testing::TestWithParam<double /*theta*/> {};
+
+TEST_P(OHAccuracyTest, CumulativeCountsAreUnbiased) {
+  const double theta = GetParam();
+  auto dom = MakeLine(128);
+  Policy p = Policy::DistanceThreshold(dom, theta).value();
+  Histogram data = RandomData(128, 2000, 21);
+  std::vector<double> truth = data.CumulativeSums();
+  Random rng(23);
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 4;
+  std::vector<double> errors;
+  for (int rep = 0; rep < 200; ++rep) {
+    auto m = OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng)
+                 .value();
+    errors.push_back(m.CumulativeCount(77).value() - truth[77]);
+  }
+  EXPECT_NEAR(Mean(errors), 0.0, 2.5) << "theta " << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, OHAccuracyTest,
+                         ::testing::Values(1.0, 4.0, 16.0, 128.0));
+
+// Release + querying must be consistent across fan-outs, including ones
+// that leave ragged last blocks.
+class OHFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OHFanoutTest, AllRangeQueriesAnswerable) {
+  const size_t fanout = GetParam();
+  auto dom = MakeLine(100);  // blocks of 7: ragged everywhere
+  Policy p = Policy::DistanceThreshold(dom, 7.0).value();
+  Histogram data = RandomData(100, 1500, 61);
+  Random rng(67);
+  OrderedHierarchicalOptions opts;
+  opts.fanout = fanout;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  for (size_t lo = 0; lo < 100; lo += 13) {
+    for (size_t hi = lo; hi < 100; hi += 17) {
+      ASSERT_TRUE(m.RangeQuery(lo, hi).ok()) << fanout;
+    }
+  }
+  // Full-domain cumulative count should be near n.
+  EXPECT_NEAR(m.CumulativeCount(99).value(), 1500.0, 200.0) << fanout;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, OHFanoutTest,
+                         ::testing::Values(2, 3, 4, 16));
+
+TEST(OrderedHierarchicalTest, RangeQueryMatchesCumulativeDifference) {
+  auto dom = MakeLine(64);
+  Policy p = Policy::DistanceThreshold(dom, 8.0).value();
+  Histogram data = RandomData(64, 400, 31);
+  Random rng(33);
+  OrderedHierarchicalOptions opts;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  double direct = m.RangeQuery(10, 45).value();
+  double via_cum =
+      m.CumulativeCount(45).value() - m.CumulativeCount(9).value();
+  EXPECT_NEAR(direct, via_cum, 1e-9);
+  EXPECT_FALSE(m.RangeQuery(5, 4).ok());
+  EXPECT_FALSE(m.RangeQuery(0, 64).ok());
+}
+
+// Small theta should beat the pure hierarchical strategy (theta = |T|),
+// the headline of Fig 2(b)/2(c).
+TEST(OrderedHierarchicalTest, SmallThetaBeatsFullTheta) {
+  auto dom = MakeLine(1024);
+  Histogram data = RandomData(1024, 5000, 41);
+  const double eps = 0.5;
+  OrderedHierarchicalOptions opts;
+  opts.fanout = 16;
+  auto run = [&](const Policy& p, uint64_t seed) {
+    Random rng(seed);
+    double mse = 0.0;
+    Random qrng(99);  // same queries for both strategies
+    std::vector<std::pair<size_t, size_t>> queries;
+    for (int i = 0; i < 50; ++i) {
+      size_t a = static_cast<size_t>(qrng.UniformInt(0, 1023));
+      size_t b = static_cast<size_t>(qrng.UniformInt(0, 1023));
+      queries.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    const int reps = 40;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto m = OrderedHierarchicalMechanism::Release(data, p, eps, opts, rng)
+                   .value();
+      for (auto [lo, hi] : queries) {
+        double truth = data.RangeSum(lo, hi).value();
+        double e = m.RangeQuery(lo, hi).value() - truth;
+        mse += e * e;
+      }
+    }
+    return mse / (reps * queries.size());
+  };
+  double mse_theta1 = run(Policy::Line(dom).value(), 1);
+  double mse_full = run(Policy::FullDomain(dom).value(), 2);
+  EXPECT_LT(mse_theta1, mse_full / 5.0);
+}
+
+// Consistency post-processing keeps outputs valid and roughly monotone.
+TEST(OrderedHierarchicalTest, ConsistencyOptionRuns) {
+  auto dom = MakeLine(64);
+  Policy p = Policy::DistanceThreshold(dom, 8.0).value();
+  Histogram data = RandomData(64, 400, 51);
+  Random rng(53);
+  OrderedHierarchicalOptions opts;
+  opts.consistency = true;
+  auto m =
+      OrderedHierarchicalMechanism::Release(data, p, 1.0, opts, rng).value();
+  // S-node prefix sequence must be non-decreasing after isotonization.
+  for (size_t l = 1; l < m.s_nodes().size(); ++l) {
+    EXPECT_GE(m.s_nodes()[l] + 1e-9, m.s_nodes()[l - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace blowfish

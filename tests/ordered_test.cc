@@ -1,0 +1,137 @@
+#include "mech/ordered.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/stats.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeLine(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+Histogram SparseHistogram() {
+  // counts over |T| = 16 with few distinct cumulative values.
+  Histogram h(16);
+  h.Add(2, 40);
+  h.Add(9, 25);
+  h.Add(15, 5);
+  return h;
+}
+
+TEST(OrderedMechanismTest, SensitivityPickedFromPolicy) {
+  auto dom = MakeLine(16);
+  Random rng(1);
+  Histogram data = SparseHistogram();
+  auto line = OrderedMechanism(data, Policy::Line(dom).value(), 1.0, rng);
+  ASSERT_TRUE(line.ok());
+  EXPECT_DOUBLE_EQ(line->sensitivity, 1.0);
+  auto theta =
+      OrderedMechanism(data, Policy::DistanceThreshold(dom, 4.0).value(),
+                       1.0, rng);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_DOUBLE_EQ(theta->sensitivity, 4.0);
+  auto full =
+      OrderedMechanism(data, Policy::FullDomain(dom).value(), 1.0, rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(full->sensitivity, 15.0);
+}
+
+TEST(OrderedMechanismTest, InferredIsMonotoneClampedAndPinned) {
+  auto dom = MakeLine(16);
+  Random rng(2);
+  Histogram data = SparseHistogram();
+  const double n = data.Total();
+  auto out =
+      OrderedMechanism(data, Policy::Line(dom).value(), 0.1, rng).value();
+  ASSERT_EQ(out.inferred_cumulative.size(), 16u);
+  EXPECT_DOUBLE_EQ(out.inferred_cumulative.back(), n);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_GE(out.inferred_cumulative[i], 0.0);
+    EXPECT_LE(out.inferred_cumulative[i], n);
+    if (i > 0) {
+      EXPECT_GE(out.inferred_cumulative[i],
+                out.inferred_cumulative[i - 1] - 1e-9);
+    }
+  }
+}
+
+TEST(OrderedMechanismTest, SizeMismatchRejected) {
+  auto dom = MakeLine(16);
+  Random rng(3);
+  Histogram wrong(8);
+  EXPECT_FALSE(
+      OrderedMechanism(wrong, Policy::Line(dom).value(), 1.0, rng).ok());
+}
+
+TEST(OrderedMechanismTest, ConstrainedPolicyRejected) {
+  auto dom = MakeLine(8);
+  ConstraintSet cs;
+  cs.Add(CountQuery("low", [](ValueIndex x) { return x < 4; }));
+  Policy p = Policy::Create(dom, std::make_shared<LineGraph>(8),
+                            std::move(cs))
+                 .value();
+  Random rng(3);
+  Histogram data(8);
+  EXPECT_EQ(OrderedMechanism(data, p, 1.0, rng).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+// Thm 7.1: per-range-query MSE under the line graph is <= 4/eps^2 —
+// independent of |T|. Verify empirically at |T| = 512.
+TEST(OrderedMechanismTest, RangeErrorBoundHolds) {
+  auto dom = MakeLine(512);
+  Policy p = Policy::Line(dom).value();
+  Histogram data(512);
+  Random seed_rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    data.Add(static_cast<size_t>(seed_rng.UniformInt(0, 511)));
+  }
+  const double eps = 0.5;
+  Random rng(7);
+  std::vector<double> sq_errors;
+  for (int rep = 0; rep < 300; ++rep) {
+    // Raw noisy counts (no inference) witness the analytic bound exactly;
+    // inference only helps.
+    auto out = OrderedMechanism(data, p, eps, rng, false).value();
+    double truth = data.RangeSum(100, 399).value();
+    double est =
+        RangeFromCumulative(out.inferred_cumulative, 100, 399).value();
+    sq_errors.push_back((est - truth) * (est - truth));
+  }
+  // Mean within ~1.6x of the bound accounting for sampling noise; the
+  // bound itself is 4/eps^2 = 16.
+  EXPECT_LT(Mean(sq_errors), 1.6 * OrderedMechanismRangeErrorBound(eps));
+}
+
+// Constrained inference helps on sparse data (p << |T|), the headline
+// claim of Sec 7.1.
+TEST(OrderedMechanismTest, InferenceReducesErrorOnSparseData) {
+  auto dom = MakeLine(256);
+  Policy p = Policy::Line(dom).value();
+  Histogram data(256);
+  data.Add(10, 500);
+  data.Add(200, 300);  // p = 3 distinct cumulative values
+  Random rng(11);
+  double mse_raw = 0.0, mse_inferred = 0.0;
+  std::vector<double> truth = data.CumulativeSums();
+  const int reps = 150;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto raw = OrderedMechanism(data, p, 0.2, rng, false).value();
+    auto inf = OrderedMechanism(data, p, 0.2, rng, true).value();
+    mse_raw += MeanSquaredError(truth, raw.inferred_cumulative);
+    mse_inferred += MeanSquaredError(truth, inf.inferred_cumulative);
+  }
+  EXPECT_LT(mse_inferred, mse_raw * 0.6);
+}
+
+TEST(OrderedMechanismTest, ErrorBoundFormula) {
+  EXPECT_DOUBLE_EQ(OrderedMechanismRangeErrorBound(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(OrderedMechanismRangeErrorBound(0.5), 16.0);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,123 @@
+#include "core/policy_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace blowfish {
+namespace {
+
+TEST(PolicySpecTest, ParsesFullExample) {
+  const char* spec = R"(
+# salary microdata policy
+attribute = salary_k : 200 : 1.0
+attribute = dept : 12
+graph = distance : 10.0
+epsilon = 0.5
+)";
+  ParsedPolicy parsed = ParsePolicySpec(spec).value();
+  EXPECT_EQ(parsed.policy.domain().num_attributes(), 2u);
+  EXPECT_EQ(parsed.policy.domain().attribute(0).name, "salary_k");
+  EXPECT_EQ(parsed.policy.domain().attribute(1).cardinality, 12u);
+  EXPECT_NE(parsed.policy.graph().name().find("theta=10"),
+            std::string::npos);
+  ASSERT_TRUE(parsed.epsilon.has_value());
+  EXPECT_DOUBLE_EQ(*parsed.epsilon, 0.5);
+}
+
+TEST(PolicySpecTest, AllGraphKinds) {
+  EXPECT_EQ(ParsePolicySpec("attribute = a : 8\ngraph = full\n")
+                .value()
+                .policy.graph()
+                .name(),
+            "full");
+  EXPECT_EQ(ParsePolicySpec("attribute = a : 8\ngraph = line\n")
+                .value()
+                .policy.graph()
+                .name(),
+            "line");
+  EXPECT_EQ(
+      ParsePolicySpec("attribute = a : 8\nattribute = b : 4\n"
+                      "graph = attribute\n")
+          .value()
+          .policy.graph()
+          .name(),
+      "attr");
+  EXPECT_EQ(
+      ParsePolicySpec("attribute = a : 8\nattribute = b : 8\n"
+                      "graph = grid_partition : 2, 4\n")
+          .value()
+          .policy.graph()
+          .name(),
+      "partition|8");
+}
+
+TEST(PolicySpecTest, DefaultScaleIsOne) {
+  ParsedPolicy p =
+      ParsePolicySpec("attribute = a : 8\ngraph = full\n").value();
+  EXPECT_DOUBLE_EQ(p.policy.domain().attribute(0).scale, 1.0);
+  EXPECT_FALSE(p.epsilon.has_value());
+}
+
+TEST(PolicySpecTest, Rejections) {
+  // No attributes / no graph.
+  EXPECT_FALSE(ParsePolicySpec("graph = full\n").ok());
+  EXPECT_FALSE(ParsePolicySpec("attribute = a : 8\n").ok());
+  // Unknown key / graph kind.
+  EXPECT_FALSE(
+      ParsePolicySpec("attribute = a : 8\nfoo = bar\ngraph = full\n").ok());
+  EXPECT_FALSE(
+      ParsePolicySpec("attribute = a : 8\ngraph = ring\n").ok());
+  // Malformed attribute.
+  EXPECT_FALSE(ParsePolicySpec("attribute = a\ngraph = full\n").ok());
+  EXPECT_FALSE(
+      ParsePolicySpec("attribute = a : x\ngraph = full\n").ok());
+  EXPECT_FALSE(
+      ParsePolicySpec("attribute = a : 8 : 0\ngraph = full\n").ok());
+  // Distance without theta; line on 2-D; bad epsilon.
+  EXPECT_FALSE(
+      ParsePolicySpec("attribute = a : 8\ngraph = distance\n").ok());
+  EXPECT_FALSE(ParsePolicySpec("attribute = a : 8\nattribute = b : 8\n"
+                               "graph = line\n")
+                   .ok());
+  EXPECT_FALSE(ParsePolicySpec(
+                   "attribute = a : 8\ngraph = full\nepsilon = -1\n")
+                   .ok());
+  // Missing '='.
+  EXPECT_FALSE(ParsePolicySpec("attribute a : 8\ngraph = full\n").ok());
+}
+
+TEST(PolicySpecTest, CommentsAndWhitespaceIgnored) {
+  const char* spec =
+      "  # leading comment\n"
+      "\n"
+      "attribute = a : 8   # trailing comment\n"
+      "graph = full\n";
+  EXPECT_TRUE(ParsePolicySpec(spec).ok());
+}
+
+TEST(PolicySpecTest, RoundTripThroughSerialization) {
+  const char* spec =
+      "attribute = lat : 400 : 5.55\n"
+      "attribute = lon : 300 : 5.55\n"
+      "graph = distance : 100\n"
+      "epsilon = 0.25\n";
+  ParsedPolicy first = ParsePolicySpec(spec).value();
+  std::string serialized =
+      PolicyToSpec(first.policy, first.epsilon).value();
+  ParsedPolicy second = ParsePolicySpec(serialized).value();
+  EXPECT_EQ(second.policy.domain().size(), first.policy.domain().size());
+  EXPECT_EQ(second.policy.graph().name(), first.policy.graph().name());
+  EXPECT_DOUBLE_EQ(*second.epsilon, 0.25);
+}
+
+TEST(PolicySpecTest, SerializationRejectsConstraints) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(8).value());
+  ConstraintSet cs;
+  cs.Add(CountQuery("q", [](ValueIndex x) { return x < 4; }));
+  Policy p = Policy::Create(dom, std::make_shared<FullGraph>(8),
+                            std::move(cs))
+                 .value();
+  EXPECT_FALSE(PolicyToSpec(p).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,81 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeGrid(uint64_t m, size_t k) {
+  return std::make_shared<const Domain>(Domain::Grid(m, k).value());
+}
+
+TEST(PolicyTest, CreateValidation) {
+  auto dom = MakeGrid(3, 2);
+  auto wrong_graph = std::make_shared<FullGraph>(5);  // size mismatch
+  EXPECT_FALSE(Policy::Create(dom, wrong_graph).ok());
+  auto right_graph = std::make_shared<FullGraph>(dom->size());
+  EXPECT_TRUE(Policy::Create(dom, right_graph).ok());
+  EXPECT_FALSE(Policy::Create(nullptr, right_graph).ok());
+  EXPECT_FALSE(Policy::Create(dom, nullptr).ok());
+}
+
+TEST(PolicyTest, FullDomainFactory) {
+  auto dom = MakeGrid(3, 2);
+  Policy p = Policy::FullDomain(dom).value();
+  EXPECT_EQ(p.graph().name(), "full");
+  EXPECT_EQ(p.graph().num_vertices(), 9u);
+  EXPECT_FALSE(p.has_constraints());
+}
+
+TEST(PolicyTest, AttributeFactory) {
+  auto dom = MakeGrid(3, 2);
+  Policy p = Policy::Attribute(dom).value();
+  EXPECT_EQ(p.graph().name(), "attr");
+  ValueIndex a = dom->Encode({0, 0});
+  EXPECT_TRUE(p.graph().Adjacent(a, dom->Encode({0, 1})));
+  EXPECT_FALSE(p.graph().Adjacent(a, dom->Encode({1, 1})));
+}
+
+TEST(PolicyTest, GridPartitionFactory) {
+  auto dom = MakeGrid(4, 2);
+  Policy p = Policy::GridPartition(dom, {2, 2}).value();
+  EXPECT_EQ(p.graph().name(), "partition|4");
+  EXPECT_FALSE(Policy::GridPartition(dom, {3}).ok());
+}
+
+TEST(PolicyTest, DistanceThresholdFactory) {
+  auto dom = MakeGrid(4, 2);
+  Policy p = Policy::DistanceThreshold(dom, 2.0).value();
+  EXPECT_TRUE(p.graph().Adjacent(dom->Encode({0, 0}), dom->Encode({1, 1})));
+  EXPECT_FALSE(Policy::DistanceThreshold(dom, 0.0).ok());
+}
+
+TEST(PolicyTest, LineFactoryRequires1D) {
+  auto line = std::make_shared<const Domain>(Domain::Line(10).value());
+  EXPECT_TRUE(Policy::Line(line).ok());
+  EXPECT_FALSE(Policy::Line(MakeGrid(3, 2)).ok());
+}
+
+TEST(PolicyTest, ConstraintsAttach) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(6).value());
+  ConstraintSet q;
+  q.Add(CountQuery("low", [](ValueIndex x) { return x < 3; }));
+  Policy p = Policy::Create(dom, std::make_shared<FullGraph>(dom->size()),
+                            std::move(q))
+                 .value();
+  EXPECT_TRUE(p.has_constraints());
+  EXPECT_EQ(p.constraints().size(), 1u);
+}
+
+TEST(PolicyTest, ToStringMentionsGraphAndSizes) {
+  auto dom = MakeGrid(3, 2);
+  Policy p = Policy::FullDomain(dom).value();
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("full"), std::string::npos);
+  EXPECT_NE(s.find("|T|=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,129 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace blowfish {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// Laplace(b) has mean 0 and variance 2 b^2; check both empirically.
+TEST(RandomTest, LaplaceMoments) {
+  Random rng(123);
+  const double scale = 2.5;
+  const size_t n = 200000;
+  std::vector<double> draws(n);
+  for (size_t i = 0; i < n; ++i) draws[i] = rng.Laplace(scale);
+  EXPECT_NEAR(Mean(draws), 0.0, 0.05);
+  EXPECT_NEAR(Variance(draws), 2.0 * scale * scale, 0.3);
+}
+
+// P(|Z| > t) = exp(-t/b) for Laplace; at t = b ln 2 the tail mass is 1/2.
+TEST(RandomTest, LaplaceTailProbability) {
+  Random rng(9);
+  const double t = std::log(2.0);
+  size_t beyond = 0;
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(rng.Laplace(1.0)) > t) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, LaplaceSymmetry) {
+  Random rng(31);
+  size_t positive = 0;
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Laplace(3.0) > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, LaplaceVectorSizeAndIndependence) {
+  Random rng(11);
+  std::vector<double> v = rng.LaplaceVector(1000, 1.0);
+  ASSERT_EQ(v.size(), 1000u);
+  // Lag-1 sample autocorrelation should be near zero.
+  double mean = Mean(v);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i + 1 < v.size(); ++i) {
+    num += (v[i] - mean) * (v[i + 1] - mean);
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    den += (v[i] - mean) * (v[i] - mean);
+  }
+  EXPECT_LT(std::fabs(num / den), 0.1);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(77);
+  const size_t n = 100000;
+  std::vector<double> draws(n);
+  for (size_t i = 0; i < n; ++i) draws[i] = rng.Gaussian(5.0, 3.0);
+  EXPECT_NEAR(Mean(draws), 5.0, 0.05);
+  EXPECT_NEAR(Variance(draws), 9.0, 0.2);
+}
+
+TEST(RandomTest, ForkProducesDistinctStream) {
+  Random a(42);
+  Random fork = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fork.Uniform() == a.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,152 @@
+// Randomized cross-checks ("fuzz-lite"): random explicit graphs, random
+// constraints, and random datasets, validating the analytic machinery
+// against the brute-force oracles across many seeds. These tests are the
+// library's defence against structural blind spots in the hand-picked
+// unit-test cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/neighbors.h"
+#include "core/policy.h"
+#include "core/policy_graph.h"
+#include "core/sensitivity.h"
+#include "mech/constrained_inference.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+std::unique_ptr<ExplicitGraph> RandomGraph(uint64_t n, double edge_prob,
+                                           Random& rng) {
+  std::vector<std::pair<ValueIndex, ValueIndex>> edges;
+  for (ValueIndex x = 0; x < n; ++x) {
+    for (ValueIndex y = x + 1; y < n; ++y) {
+      if (rng.Bernoulli(edge_prob)) edges.emplace_back(x, y);
+    }
+  }
+  return ExplicitGraph::Create(n, edges).value();
+}
+
+class RandomizedSensitivityTest : public ::testing::TestWithParam<int> {};
+
+// For random graphs: the generic engine's histogram / cumulative
+// sensitivity equals the brute-force Def 5.1 value.
+TEST_P(RandomizedSensitivityTest, GenericEngineMatchesOracle) {
+  Random rng(1000 + GetParam());
+  const uint64_t n = 4;
+  auto dom = std::make_shared<const Domain>(Domain::Line(n).value());
+  auto graph = RandomGraph(n, 0.5, rng);
+  bool has_edge = false;
+  (void)graph->ForEachEdge(
+      [&has_edge](ValueIndex, ValueIndex) { has_edge = true; }, 1);
+  if (!has_edge) return;  // edgeless draws are trivial
+  Policy p = Policy::Create(dom, std::shared_ptr<const SecretGraph>(
+                                     std::move(graph)))
+                 .value();
+
+  CumulativeHistogramQuery cum_query(n);
+  double engine =
+      UnconstrainedSensitivity(cum_query, p.graph(), 1000).value();
+  auto cumulative = [](const Dataset& d) {
+    std::vector<double> h(d.domain().size(), 0.0);
+    for (ValueIndex t : d.tuples()) h[t] += 1.0;
+    for (size_t i = 1; i < h.size(); ++i) h[i] += h[i - 1];
+    return h;
+  };
+  double oracle = BruteForceSensitivity(p, 2, 1000, cumulative).value();
+  EXPECT_DOUBLE_EQ(engine, oracle) << "seed " << GetParam();
+}
+
+// For random graphs + one random threshold constraint: the Thm 8.2
+// policy-graph bound dominates the brute-force sensitivity.
+TEST_P(RandomizedSensitivityTest, PolicyGraphBoundDominatesOracle) {
+  Random rng(2000 + GetParam());
+  const uint64_t n = 4;
+  auto dom = std::make_shared<const Domain>(Domain::Line(n).value());
+  auto graph = RandomGraph(n, 0.6, rng);
+  uint64_t threshold = static_cast<uint64_t>(rng.UniformInt(1, 3));
+  ConstraintSet cs;
+  cs.AddWithAnswer(CountQuery("low", [threshold](ValueIndex x) {
+                     return x < threshold;
+                   }),
+                   1);
+  auto shared_graph =
+      std::shared_ptr<const SecretGraph>(std::move(graph));
+  auto pg_or = PolicyGraph::Build(cs, *shared_graph, 1000);
+  if (!pg_or.ok()) return;  // a single constraint is always sparse, but
+                            // stay robust
+  double bound = pg_or.value().HistogramSensitivityBound().value();
+
+  Policy p = Policy::Create(dom, shared_graph, std::move(cs)).value();
+  auto hist = [](const Dataset& d) {
+    std::vector<double> h(d.domain().size(), 0.0);
+    for (ValueIndex t : d.tuples()) h[t] += 1.0;
+    return h;
+  };
+  double oracle = BruteForceSensitivity(p, 2, 10000, hist).value();
+  EXPECT_LE(oracle, bound + 1e-9) << "seed " << GetParam();
+}
+
+// Random explicit graphs: Materialize(graph) is an identity-preserving
+// round trip for adjacency and BFS distances.
+TEST_P(RandomizedSensitivityTest, MaterializeRoundTrip) {
+  Random rng(3000 + GetParam());
+  auto graph = RandomGraph(8, 0.3, rng);
+  auto copy = Materialize(*graph, 1000).value();
+  for (ValueIndex x = 0; x < 8; ++x) {
+    for (ValueIndex y = 0; y < 8; ++y) {
+      EXPECT_EQ(graph->Adjacent(x, y), copy->Adjacent(x, y));
+      EXPECT_DOUBLE_EQ(graph->Distance(x, y), copy->Distance(x, y));
+    }
+  }
+}
+
+// Random monotone-ish sequences: PAVA output is always the closest
+// monotone sequence (checked against an O(n^2) reference DP for small n).
+TEST_P(RandomizedSensitivityTest, PavaMatchesReferenceOnSmallInputs) {
+  Random rng(4000 + GetParam());
+  const size_t n = 7;
+  std::vector<double> ys(n);
+  for (double& y : ys) y = std::round(rng.Uniform(-3, 3));
+  std::vector<double> fitted = IsotonicRegression(ys).value();
+  // Reference check via optimality conditions: fitted is monotone and
+  // has no strictly better single-block perturbation.
+  double base_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    base_cost += (fitted[i] - ys[i]) * (fitted[i] - ys[i]);
+    if (i > 0) {
+      ASSERT_GE(fitted[i] + 1e-12, fitted[i - 1]);
+    }
+  }
+  // Perturb each maximal constant block by +-delta; cost must not drop
+  // (KKT condition for the isotonic projection).
+  for (size_t start = 0; start < n;) {
+    size_t end = start;
+    while (end + 1 < n && std::fabs(fitted[end + 1] - fitted[start]) < 1e-12)
+      ++end;
+    for (double delta : {-0.01, 0.01}) {
+      std::vector<double> alt = fitted;
+      for (size_t i = start; i <= end; ++i) alt[i] += delta;
+      bool monotone = true;
+      for (size_t i = 1; i < n; ++i) {
+        if (alt[i] + 1e-12 < alt[i - 1]) monotone = false;
+      }
+      if (!monotone) continue;
+      double cost = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cost += (alt[i] - ys[i]) * (alt[i] - ys[i]);
+      }
+      EXPECT_GE(cost + 1e-9, base_cost) << "seed " << GetParam();
+    }
+    start = end + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSensitivityTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,267 @@
+#include "core/secret_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/domain.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> MakeGrid(uint64_t m, size_t k,
+                                       double scale = 1.0) {
+  return std::make_shared<const Domain>(Domain::Grid(m, k, scale).value());
+}
+
+// --- FullGraph ---
+
+TEST(FullGraphTest, AdjacencyAndDistance) {
+  FullGraph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_TRUE(g.Adjacent(0, 4));
+  EXPECT_FALSE(g.Adjacent(2, 2));
+  EXPECT_DOUBLE_EQ(g.Distance(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(g.Distance(3, 3), 0.0);
+}
+
+TEST(FullGraphTest, EdgeCount) {
+  FullGraph g(6);
+  size_t edges = 0;
+  ASSERT_TRUE(g.ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; }, 1000)
+                  .ok());
+  EXPECT_EQ(edges, 15u);  // C(6,2)
+}
+
+TEST(FullGraphTest, EdgeBudgetEnforced) {
+  FullGraph g(100);
+  size_t edges = 0;
+  Status st = g.ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; }, 10);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(edges, 10u);
+}
+
+// --- AttributeGraph ---
+
+TEST(AttributeGraphTest, AdjacentIffOneAttributeDiffers) {
+  auto dom = MakeGrid(3, 2);
+  AttributeGraph g(dom);
+  ValueIndex a = dom->Encode({0, 0});
+  ValueIndex b = dom->Encode({0, 2});
+  ValueIndex c = dom->Encode({1, 2});
+  EXPECT_TRUE(g.Adjacent(a, b));   // one attribute differs
+  EXPECT_FALSE(g.Adjacent(a, c));  // two attributes differ
+  EXPECT_FALSE(g.Adjacent(a, a));
+  EXPECT_DOUBLE_EQ(g.Distance(a, c), 2.0);  // Hamming
+}
+
+TEST(AttributeGraphTest, EdgeCountFormula) {
+  // For an m x m grid: edges = 2 * m * C(m,2) = m^2 (m-1).
+  auto dom = MakeGrid(4, 2);
+  AttributeGraph g(dom);
+  size_t edges = 0;
+  ASSERT_TRUE(g.ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; },
+                            uint64_t{1} << 20)
+                  .ok());
+  EXPECT_EQ(edges, 4u * 4 * 3);
+}
+
+// --- PartitionGraph ---
+
+TEST(PartitionGraphTest, WithinCellOnly) {
+  // 1-D domain of 6 split into 2 cells of 3.
+  auto dom = std::make_shared<const Domain>(Domain::Line(6).value());
+  auto g = PartitionGraph::UniformGrid(dom, {2}).value();
+  EXPECT_TRUE(g->Adjacent(0, 2));
+  EXPECT_FALSE(g->Adjacent(2, 3));  // crosses the cell boundary
+  EXPECT_DOUBLE_EQ(g->Distance(0, 2), 1.0);
+  EXPECT_EQ(g->Distance(0, 5), kInfiniteDistance);
+  EXPECT_EQ(g->CellOf(0), g->CellOf(2));
+  EXPECT_NE(g->CellOf(2), g->CellOf(3));
+}
+
+TEST(PartitionGraphTest, UniformGridValidation) {
+  auto dom = MakeGrid(4, 2);
+  EXPECT_FALSE(PartitionGraph::UniformGrid(dom, {2}).ok());      // arity
+  EXPECT_FALSE(PartitionGraph::UniformGrid(dom, {0, 2}).ok());   // zero
+  EXPECT_FALSE(PartitionGraph::UniformGrid(dom, {5, 2}).ok());   // > card
+  EXPECT_TRUE(PartitionGraph::UniformGrid(dom, {2, 2}).ok());
+}
+
+TEST(PartitionGraphTest, MaxEdgeL1Hint) {
+  auto dom = MakeGrid(6, 2, 2.0);  // scale 2 per axis
+  auto g = PartitionGraph::UniformGrid(dom, {2, 3}).value();
+  ASSERT_TRUE(g->max_edge_l1().has_value());
+  // Blocks: 3 wide on axis0, 2 wide on axis1 -> diameter 2*(3-1) + 2*(2-1).
+  EXPECT_DOUBLE_EQ(*g->max_edge_l1(), 2.0 * 2 + 2.0 * 1);
+}
+
+TEST(PartitionGraphTest, TrivialPartitionIsComplete) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(5).value());
+  auto g = PartitionGraph::UniformGrid(dom, {1}).value();
+  size_t edges = 0;
+  ASSERT_TRUE(
+      g->ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; }, 100).ok());
+  EXPECT_EQ(edges, 10u);  // complete graph on 5 vertices
+}
+
+// --- DistanceThresholdGraph ---
+
+TEST(DistanceThresholdGraphTest, CreateValidation) {
+  auto dom = MakeGrid(4, 2);
+  EXPECT_FALSE(DistanceThresholdGraph::Create(dom, 0.0).ok());
+  EXPECT_FALSE(DistanceThresholdGraph::Create(dom, -1.0).ok());
+  EXPECT_TRUE(DistanceThresholdGraph::Create(dom, 1.0).ok());
+}
+
+TEST(DistanceThresholdGraphTest, AdjacencyRespectsTheta) {
+  auto dom = MakeGrid(10, 2);
+  auto g = DistanceThresholdGraph::Create(dom, 2.0).value();
+  ValueIndex a = dom->Encode({0, 0});
+  EXPECT_TRUE(g->Adjacent(a, dom->Encode({0, 2})));   // d = 2
+  EXPECT_TRUE(g->Adjacent(a, dom->Encode({1, 1})));   // d = 2
+  EXPECT_FALSE(g->Adjacent(a, dom->Encode({1, 2})));  // d = 3
+  EXPECT_FALSE(g->Adjacent(a, a));
+}
+
+TEST(DistanceThresholdGraphTest, DistanceUniformScaleIsCeil) {
+  auto dom = std::make_shared<const Domain>(Domain::Line(100).value());
+  auto g = DistanceThresholdGraph::Create(dom, 3.0).value();
+  EXPECT_DOUBLE_EQ(g->Distance(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(g->Distance(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(g->Distance(0, 9), 3.0);
+  EXPECT_DOUBLE_EQ(g->Distance(5, 5), 0.0);
+}
+
+TEST(DistanceThresholdGraphTest, DisconnectedWhenScaleExceedsTheta) {
+  auto dom = std::make_shared<const Domain>(
+      Domain::Create({Attribute{"a", 4, 1.0}, Attribute{"b", 4, 10.0}})
+          .value());
+  auto g = DistanceThresholdGraph::Create(dom, 2.0).value();
+  ValueIndex x = dom->Encode({0, 0});
+  ValueIndex y = dom->Encode({0, 1});  // differs on the coarse axis
+  EXPECT_FALSE(g->Adjacent(x, y));
+  EXPECT_EQ(g->Distance(x, y), kInfiniteDistance);
+  // Fine-axis moves still connected.
+  EXPECT_DOUBLE_EQ(g->Distance(x, dom->Encode({3, 0})), 2.0);
+}
+
+TEST(DistanceThresholdGraphTest, MixedScaleDistanceIsUpperBound) {
+  auto dom = std::make_shared<const Domain>(
+      Domain::Create({Attribute{"a", 10, 2.0}, Attribute{"b", 10, 1.0}})
+          .value());
+  auto g = DistanceThresholdGraph::Create(dom, 3.0).value();
+  ValueIndex x = dom->Encode({0, 0});
+  ValueIndex y = dom->Encode({3, 3});  // L1 distance 9
+  double d = g->Distance(x, y);
+  // Lower bound ceil(9/3) = 3; any valid packing is an upper bound.
+  EXPECT_GE(d, 3.0);
+  EXPECT_LE(d, 9.0);
+}
+
+// Cross-check every implicit graph against its materialized explicit twin.
+class GraphCrossCheckTest
+    : public ::testing::TestWithParam<std::shared_ptr<const SecretGraph>> {};
+
+TEST_P(GraphCrossCheckTest, AdjacencyMatchesMaterialized) {
+  const SecretGraph& g = *GetParam();
+  auto explicit_g = Materialize(g, uint64_t{1} << 22).value();
+  ASSERT_EQ(explicit_g->num_vertices(), g.num_vertices());
+  for (ValueIndex x = 0; x < g.num_vertices(); ++x) {
+    for (ValueIndex y = 0; y < g.num_vertices(); ++y) {
+      EXPECT_EQ(g.Adjacent(x, y), explicit_g->Adjacent(x, y))
+          << "pair (" << x << ", " << y << ") in " << g.name();
+    }
+  }
+}
+
+TEST_P(GraphCrossCheckTest, DistanceMatchesBfsOrIsSafeUpperBound) {
+  const SecretGraph& g = *GetParam();
+  auto explicit_g = Materialize(g, uint64_t{1} << 22).value();
+  for (ValueIndex x = 0; x < g.num_vertices(); ++x) {
+    for (ValueIndex y = 0; y < g.num_vertices(); ++y) {
+      double implicit_d = g.Distance(x, y);
+      double bfs_d = explicit_g->Distance(x, y);
+      // Implicit distances must never *understate* the true path length
+      // (that would overstate privacy); uniform-scale graphs are exact.
+      EXPECT_GE(implicit_d + 1e-9, bfs_d)
+          << "pair (" << x << ", " << y << ") in " << g.name();
+    }
+  }
+}
+
+std::vector<std::shared_ptr<const SecretGraph>> CrossCheckGraphs() {
+  std::vector<std::shared_ptr<const SecretGraph>> graphs;
+  auto grid = MakeGrid(4, 2);
+  auto line = std::make_shared<const Domain>(Domain::Line(12).value());
+  graphs.push_back(std::make_shared<FullGraph>(grid->size()));
+  graphs.push_back(std::make_shared<AttributeGraph>(grid));
+  graphs.push_back(std::shared_ptr<const SecretGraph>(
+      PartitionGraph::UniformGrid(grid, {2, 2}).value().release()));
+  graphs.push_back(std::shared_ptr<const SecretGraph>(
+      DistanceThresholdGraph::Create(grid, 2.0).value().release()));
+  graphs.push_back(std::shared_ptr<const SecretGraph>(
+      DistanceThresholdGraph::Create(line, 3.0).value().release()));
+  graphs.push_back(std::make_shared<LineGraph>(12));
+  return graphs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphKinds, GraphCrossCheckTest,
+                         ::testing::ValuesIn(CrossCheckGraphs()));
+
+// Uniform-scale distance must be *exactly* the BFS distance.
+TEST(DistanceExactnessTest, UniformScaleMatchesBfs) {
+  auto grid = MakeGrid(4, 2);
+  auto g = DistanceThresholdGraph::Create(grid, 2.0).value();
+  auto explicit_g = Materialize(*g, uint64_t{1} << 20).value();
+  for (ValueIndex x = 0; x < g->num_vertices(); ++x) {
+    for (ValueIndex y = 0; y < g->num_vertices(); ++y) {
+      EXPECT_DOUBLE_EQ(g->Distance(x, y), explicit_g->Distance(x, y))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+// --- LineGraph ---
+
+TEST(LineGraphTest, Structure) {
+  LineGraph g(5);
+  EXPECT_TRUE(g.Adjacent(2, 3));
+  EXPECT_TRUE(g.Adjacent(3, 2));
+  EXPECT_FALSE(g.Adjacent(2, 4));
+  EXPECT_DOUBLE_EQ(g.Distance(0, 4), 4.0);
+  size_t edges = 0;
+  ASSERT_TRUE(
+      g.ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; }, 100).ok());
+  EXPECT_EQ(edges, 4u);
+}
+
+// --- ExplicitGraph ---
+
+TEST(ExplicitGraphTest, CreateValidation) {
+  EXPECT_FALSE(ExplicitGraph::Create(3, {{0, 3}}).ok());  // out of range
+  EXPECT_FALSE(ExplicitGraph::Create(3, {{1, 1}}).ok());  // self loop
+  EXPECT_TRUE(ExplicitGraph::Create(3, {{0, 1}, {1, 2}}).ok());
+}
+
+TEST(ExplicitGraphTest, DuplicateEdgesDeduped) {
+  auto g = ExplicitGraph::Create(3, {{0, 1}, {1, 0}, {0, 1}}).value();
+  size_t edges = 0;
+  ASSERT_TRUE(
+      g->ForEachEdge([&](ValueIndex, ValueIndex) { ++edges; }, 100).ok());
+  EXPECT_EQ(edges, 1u);
+}
+
+TEST(ExplicitGraphTest, BfsDistance) {
+  // Path 0-1-2-3 plus shortcut 0-3.
+  auto g = ExplicitGraph::Create(5, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}).value();
+  EXPECT_DOUBLE_EQ(g->Distance(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(g->Distance(1, 3), 2.0);
+  EXPECT_DOUBLE_EQ(g->Distance(0, 3), 1.0);
+  EXPECT_EQ(g->Distance(0, 4), kInfiniteDistance);  // isolated vertex
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,244 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/neighbors.h"
+
+namespace blowfish {
+namespace {
+
+constexpr uint64_t kMaxEdges = uint64_t{1} << 22;
+
+std::shared_ptr<const Domain> MakeLine(uint64_t size, double scale = 1.0) {
+  return std::make_shared<const Domain>(Domain::Line(size, scale).value());
+}
+
+std::shared_ptr<const Domain> MakeGrid(uint64_t m, size_t k,
+                                       double scale = 1.0) {
+  return std::make_shared<const Domain>(Domain::Grid(m, k, scale).value());
+}
+
+// --- Generic engine against closed forms ---
+
+TEST(SensitivityTest, CompleteHistogramIsTwo) {
+  auto dom = MakeLine(8);
+  CompleteHistogramQuery q(dom->size());
+  FullGraph full(dom->size());
+  LineGraph line(dom->size());
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, full, kMaxEdges).value(), 2.0);
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, line, kMaxEdges).value(), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramSensitivity(full), 2.0);
+}
+
+TEST(SensitivityTest, EdgelessGraphGivesZero) {
+  auto g = ExplicitGraph::Create(4, {}).value();
+  CompleteHistogramQuery q(4);
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, *g, kMaxEdges).value(), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSensitivity(*g), 0.0);
+}
+
+// Sec 5: a partitioned histogram under G^P (same partition) has
+// sensitivity 0 — "the histogram of P can be released without any noise".
+TEST(SensitivityTest, PartitionedHistogramUnderMatchingPartitionIsZero) {
+  auto dom = MakeLine(8);
+  auto part = PartitionGraph::UniformGrid(dom, {2}).value();
+  PartitionedHistogramQuery q(
+      [&part = *part](ValueIndex x) { return part.CellOf(x); }, 2);
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, *part, kMaxEdges).value(),
+                   0.0);
+  // Under the full graph the same query costs 2.
+  FullGraph full(dom->size());
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, full, kMaxEdges).value(), 2.0);
+}
+
+TEST(SensitivityTest, CumulativeHistogramClosedForms) {
+  auto dom = MakeLine(10);
+  Policy line = Policy::Line(dom).value();
+  Policy full = Policy::FullDomain(dom).value();
+  Policy theta3 = Policy::DistanceThreshold(dom, 3.0).value();
+  EXPECT_DOUBLE_EQ(CumulativeHistogramSensitivity(line).value(), 1.0);
+  EXPECT_DOUBLE_EQ(CumulativeHistogramSensitivity(full).value(), 9.0);
+  EXPECT_DOUBLE_EQ(CumulativeHistogramSensitivity(theta3).value(), 3.0);
+}
+
+TEST(SensitivityTest, CumulativeHistogramScaledDomain) {
+  // Salary domain with $50 buckets; theta = $175 covers 3 buckets.
+  auto dom = MakeLine(100, 50.0);
+  Policy p = Policy::DistanceThreshold(dom, 175.0).value();
+  EXPECT_DOUBLE_EQ(CumulativeHistogramSensitivity(p).value(), 3.0);
+}
+
+TEST(SensitivityTest, CumulativeHistogramRejects2D) {
+  auto grid = MakeGrid(4, 2);
+  Policy p = Policy::FullDomain(grid).value();
+  EXPECT_FALSE(CumulativeHistogramSensitivity(p).ok());
+}
+
+TEST(SensitivityTest, CumulativeClosedFormMatchesGenericEngine) {
+  auto dom = MakeLine(12);
+  for (double theta : {1.0, 2.0, 5.0, 11.0, 20.0}) {
+    Policy p = Policy::DistanceThreshold(dom, theta).value();
+    CumulativeHistogramQuery q(dom->size());
+    double generic =
+        UnconstrainedSensitivity(q, p.graph(), kMaxEdges).value();
+    double closed = CumulativeHistogramSensitivity(p).value();
+    EXPECT_DOUBLE_EQ(closed, generic) << "theta = " << theta;
+  }
+}
+
+// --- q_sum closed forms (Lemma 6.1) ---
+
+TEST(QSumSensitivityTest, FullGraphIsTwiceDiameter) {
+  auto grid = MakeGrid(16, 2, 2.0);  // diameter = 2 * 15 * 2 = 60
+  Policy p = Policy::FullDomain(grid).value();
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 2.0 * grid->Diameter());
+}
+
+TEST(QSumSensitivityTest, AttributeGraphIsTwiceLargestAxis) {
+  auto dom = std::make_shared<const Domain>(
+      Domain::Create({Attribute{"a", 10, 1.0}, Attribute{"b", 4, 5.0}})
+          .value());
+  Policy p = Policy::Attribute(dom).value();
+  // max(1*(10-1), 5*(4-1)) = max(9, 15) = 15.
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 30.0);
+}
+
+TEST(QSumSensitivityTest, DistanceThresholdIsTwiceTheta) {
+  auto grid = MakeGrid(256, 3);
+  Policy p = Policy::DistanceThreshold(grid, 128.0).value();
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 256.0);
+}
+
+TEST(QSumSensitivityTest, ThetaCappedAtDiameter) {
+  auto grid = MakeGrid(4, 2);  // diameter 6
+  Policy p = Policy::DistanceThreshold(grid, 100.0).value();
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 12.0);
+}
+
+TEST(QSumSensitivityTest, PartitionUsesCellDiameter) {
+  auto grid = MakeGrid(12, 2);
+  Policy p = Policy::GridPartition(grid, {3, 4}).value();
+  // Cells are 4 x 3 -> diameter (4-1) + (3-1) = 5.
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 10.0);
+}
+
+TEST(QSumSensitivityTest, GenericFallbackOnExplicitGraph) {
+  auto dom = MakeLine(5);
+  // Explicit edges {0-1, 1-4}: max edge L1 distance = 3.
+  auto g = ExplicitGraph::Create(5, {{0, 1}, {1, 4}}).value();
+  Policy p = Policy::Create(
+                 dom, std::shared_ptr<const SecretGraph>(std::move(g)))
+                 .value();
+  EXPECT_DOUBLE_EQ(QSumSensitivity(p).value(), 6.0);
+}
+
+TEST(QSizeSensitivityTest, TwoWithEdgesZeroWithout) {
+  FullGraph full(4);
+  EXPECT_DOUBLE_EQ(QSizeSensitivity(full), 2.0);
+  auto empty = ExplicitGraph::Create(4, {}).value();
+  EXPECT_DOUBLE_EQ(QSizeSensitivity(*empty), 0.0);
+}
+
+// --- ValueWeightedSumQuery ---
+
+TEST(ValueWeightedSumTest, LinearSumSensitivity) {
+  // f = sum of values; domain [0, 9]; G^{d,theta}: S = theta (Sec 5's
+  // linear sum example with unit weights).
+  auto dom = MakeLine(10);
+  ValueWeightedSumQuery q(
+      [](ValueIndex x) { return static_cast<double>(x); });
+  auto theta = DistanceThresholdGraph::Create(dom, 4.0).value();
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, *theta, kMaxEdges).value(),
+                   4.0);
+  FullGraph full(10);
+  EXPECT_DOUBLE_EQ(UnconstrainedSensitivity(q, full, kMaxEdges).value(), 9.0);
+}
+
+TEST(ValueWeightedSumTest, EvaluateMatchesDirectSum) {
+  ValueWeightedSumQuery q(
+      [](ValueIndex x) { return static_cast<double>(x) * 0.5; });
+  Histogram h({2.0, 0.0, 4.0});
+  std::vector<double> out = q.Evaluate(h);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0 * 2.0 + 1.0 * 0.5 * 0.0 + 2.0 * 0.5 * 4.0);
+}
+
+// --- Default EdgeNorm vs overridden closed forms ---
+
+class EdgeNormConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeNormConsistencyTest, CumulativeClosedFormMatchesSparseColumns) {
+  const uint64_t n = GetParam();
+  CumulativeHistogramQuery q(n);
+  // A reference implementation computed from the dense columns.
+  for (ValueIndex x = 0; x < n; ++x) {
+    for (ValueIndex y = 0; y < n; ++y) {
+      std::vector<double> cx(n, 0.0), cy(n, 0.0);
+      q.ForEachColumnEntry(x, [&](size_t r, double v) { cx[r] += v; });
+      q.ForEachColumnEntry(y, [&](size_t r, double v) { cy[r] += v; });
+      double dense = 0.0;
+      for (size_t r = 0; r < n; ++r) dense += std::fabs(cx[r] - cy[r]);
+      EXPECT_DOUBLE_EQ(q.EdgeNorm(x, y), dense) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, EdgeNormConsistencyTest,
+                         ::testing::Values(1, 2, 5, 9));
+
+// --- Evaluate correctness ---
+
+TEST(LinearQueryEvaluateTest, CompleteHistogramIdentity) {
+  CompleteHistogramQuery q(4);
+  Histogram h({1.0, 2.0, 0.0, 5.0});
+  EXPECT_EQ(q.Evaluate(h), h.counts());
+}
+
+TEST(LinearQueryEvaluateTest, CumulativeMatchesPrefixSums) {
+  CumulativeHistogramQuery q(4);
+  Histogram h({1.0, 2.0, 0.0, 5.0});
+  EXPECT_EQ(q.Evaluate(h), h.CumulativeSums());
+}
+
+// --- Closed forms vs the brute-force neighbour oracle (Def 5.1) ---
+
+TEST(SensitivityOracleTest, HistogramMatchesBruteForce) {
+  auto dom = MakeLine(4);
+  auto hist = [](const Dataset& d) {
+    std::vector<double> h(d.domain().size(), 0.0);
+    for (ValueIndex t : d.tuples()) h[t] += 1.0;
+    return h;
+  };
+  for (auto make : {+[](std::shared_ptr<const Domain> dm) {
+                      return Policy::FullDomain(dm).value();
+                    },
+                    +[](std::shared_ptr<const Domain> dm) {
+                      return Policy::Line(dm).value();
+                    }}) {
+    Policy p = make(dom);
+    double brute = BruteForceSensitivity(p, 2, 1000, hist).value();
+    EXPECT_DOUBLE_EQ(HistogramSensitivity(p.graph()), brute);
+  }
+}
+
+TEST(SensitivityOracleTest, CumulativeMatchesBruteForceAcrossThetas) {
+  auto dom = MakeLine(5);
+  auto cumulative = [](const Dataset& d) {
+    std::vector<double> h(d.domain().size(), 0.0);
+    for (ValueIndex t : d.tuples()) h[t] += 1.0;
+    for (size_t i = 1; i < h.size(); ++i) h[i] += h[i - 1];
+    return h;
+  };
+  for (double theta : {1.0, 2.0, 3.0, 4.0}) {
+    Policy p = Policy::DistanceThreshold(dom, theta).value();
+    double closed = CumulativeHistogramSensitivity(p).value();
+    double brute = BruteForceSensitivity(p, 2, 1000, cumulative).value();
+    EXPECT_DOUBLE_EQ(closed, brute) << "theta = " << theta;
+  }
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,56 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace blowfish {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  // Unbiased sample variance of {1,2,3} is 1.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({4.0, 4.0, 4.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 1.75);
+}
+
+TEST(StatsTest, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.5), 7.0);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(StatsTest, MeanSquaredError) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0.0, 0.0}, {3.0, 4.0}), 12.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+}
+
+TEST(StatsTest, Summarize) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.lower_quartile, 2.0);
+  EXPECT_DOUBLE_EQ(s.upper_quartile, 4.0);
+  Summary empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace blowfish

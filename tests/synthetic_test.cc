@@ -1,0 +1,112 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace blowfish {
+namespace {
+
+TEST(TwitterLikeTest, DomainShapeMatchesPaper) {
+  Random rng(1);
+  Dataset d = GenerateTwitterLike(5000, rng).value();
+  EXPECT_EQ(d.size(), 5000u);
+  EXPECT_EQ(d.domain().num_attributes(), 2u);
+  EXPECT_EQ(d.domain().attribute(0).cardinality, 400u);
+  EXPECT_EQ(d.domain().attribute(1).cardinality, 300u);
+  EXPECT_NEAR(d.domain().attribute(0).scale, 5.55, 1e-9);
+}
+
+TEST(TwitterLikeTest, IsSpatiallySkewed) {
+  Random rng(2);
+  Dataset d = GenerateTwitterLike(20000, rng).value();
+  // Hot-spot mixture: the busiest 1% of occupied cells should hold far
+  // more than 1% of the points.
+  std::map<ValueIndex, size_t> counts;
+  for (ValueIndex t : d.tuples()) ++counts[t];
+  std::vector<size_t> occupancy;
+  for (const auto& [v, c] : counts) occupancy.push_back(c);
+  std::sort(occupancy.rbegin(), occupancy.rend());
+  size_t top = 0, total = 0;
+  for (size_t i = 0; i < occupancy.size(); ++i) {
+    if (i < occupancy.size() / 100 + 1) top += occupancy[i];
+    total += occupancy[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / total, 0.05);
+}
+
+TEST(TwitterLatitudeLikeTest, ProjectsTo1D) {
+  Random rng(3);
+  Dataset d = GenerateTwitterLatitudeLike(3000, rng).value();
+  EXPECT_EQ(d.domain().num_attributes(), 1u);
+  EXPECT_EQ(d.domain().size(), 400u);
+  EXPECT_EQ(d.size(), 3000u);
+}
+
+TEST(SkinLikeTest, DomainIs256Cubed) {
+  Random rng(4);
+  Dataset d = GenerateSkinLike(10000, rng).value();
+  EXPECT_EQ(d.size(), 10000u);
+  EXPECT_EQ(d.domain().num_attributes(), 3u);
+  EXPECT_EQ(d.domain().size(), 256u * 256 * 256);
+}
+
+TEST(SkinLikeTest, SkinClusterHasHighRed) {
+  Random rng(5);
+  Dataset d = GenerateSkinLike(20000, rng).value();
+  // The R (attr 2) marginal mean should exceed the B (attr 0) mean because
+  // ~21% of points sit in the red-heavy skin cluster.
+  double mean_b = 0.0, mean_r = 0.0;
+  for (ValueIndex t : d.tuples()) {
+    mean_b += static_cast<double>(d.domain().Coordinate(t, 0));
+    mean_r += static_cast<double>(d.domain().Coordinate(t, 2));
+  }
+  EXPECT_GT(mean_r, mean_b);
+}
+
+TEST(AdultCapitalLossLikeTest, SparsityMatchesPaperSetting) {
+  Random rng(6);
+  Dataset d = GenerateAdultCapitalLossLike(48842, rng).value();
+  EXPECT_EQ(d.domain().size(), 4357u);
+  Histogram h = d.CompleteHistogram().value();
+  // ~95% zeros.
+  EXPECT_GT(h[0] / h.Total(), 0.94);
+  // Distinct cumulative counts p << |T| — the property Sec 7.1 exploits.
+  EXPECT_LT(h.NumDistinctCumulative(), 300u);
+  EXPECT_GT(h.NumNonZero(), 10u);
+}
+
+TEST(GaussianClustersTest, PaperSpec) {
+  Random rng(7);
+  Dataset d = GenerateGaussianClusters(1000, 4, 64, rng).value();
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_EQ(d.domain().num_attributes(), 4u);
+  EXPECT_EQ(d.domain().attribute(0).cardinality, 64u);
+  // Physical extent per axis is (64-1)/64 ~ 1.0.
+  EXPECT_NEAR(d.domain().Diameter(), 4.0 * 63.0 / 64.0, 1e-9);
+  EXPECT_FALSE(GenerateGaussianClusters(10, 0, 64, rng).ok());
+}
+
+TEST(SubsampleTest, SizesAndMembership) {
+  Random rng(8);
+  Dataset d = GenerateAdultCapitalLossLike(10000, rng).value();
+  Dataset s10 = Subsample(d, 0.1, rng).value();
+  EXPECT_EQ(s10.size(), 1000u);
+  Dataset s_all = Subsample(d, 1.0, rng).value();
+  EXPECT_EQ(s_all.size(), d.size());
+  // Every sampled tuple value exists in the parent dataset.
+  std::set<ValueIndex> parent(d.tuples().begin(), d.tuples().end());
+  for (ValueIndex t : s10.tuples()) EXPECT_TRUE(parent.count(t));
+  EXPECT_FALSE(Subsample(d, 0.0, rng).ok());
+  EXPECT_FALSE(Subsample(d, 1.5, rng).ok());
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Random a(99), b(99);
+  Dataset da = GenerateSkinLike(500, a).value();
+  Dataset db = GenerateSkinLike(500, b).value();
+  EXPECT_EQ(da.tuples(), db.tuples());
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,231 @@
+// blowfish_cli — end-to-end command-line driver.
+//
+// Ties the declarative policy spec, CSV ingestion, strategy selection,
+// and the mechanisms into the workflow a data publisher would run:
+//
+//   blowfish_cli histogram --policy p.txt --csv data.csv --column 1 --eps 0.5
+//   blowfish_cli cdf       --policy p.txt --csv data.csv --column 1 --eps 0.5
+//   blowfish_cli range     --policy p.txt --csv data.csv --column 1
+//                          --eps 0.5 --lo 100 --hi 400
+//   blowfish_cli quantiles --policy p.txt --csv data.csv --column 1
+//                          --eps 0.5 --qs 0.5,0.9,0.99
+//   blowfish_cli kmeans    --policy p.txt --csv data.csv --columns 0,1
+//                          --eps 0.5 --k 4
+//   blowfish_cli advise    --policy p.txt --eps 0.5
+//
+// The `advise` command prints the predicted per-range-query error of each
+// strategy under the policy (mech/error_models.h) without touching data.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/policy_spec.h"
+#include "data/csv_loader.h"
+#include "mech/cdf_applications.h"
+#include "mech/error_models.h"
+#include "mech/kmeans.h"
+#include "mech/laplace.h"
+#include "mech/ordered.h"
+#include "mech/ordered_hierarchical.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key, const char* fallback = nullptr) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second.c_str();
+  }
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::vector<double> ParseDoubleList(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream in(s);
+  std::string token;
+  while (std::getline(in, token, ',')) out.push_back(std::stod(token));
+  return out;
+}
+
+std::vector<size_t> ParseSizeList(const std::string& s) {
+  std::vector<size_t> out;
+  std::istringstream in(s);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    out.push_back(static_cast<size_t>(std::stoul(token)));
+  }
+  return out;
+}
+
+StatusOr<Dataset> LoadData(Args& args, const Policy& policy,
+                           const std::vector<size_t>& columns) {
+  const char* csv_path = args.Get("csv");
+  if (csv_path == nullptr) return Status::InvalidArgument("--csv required");
+  if (columns.size() != policy.domain().num_attributes()) {
+    return Status::InvalidArgument(
+        "number of --columns must match the policy's attributes");
+  }
+  std::vector<CsvColumnSpec> specs;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    CsvColumnSpec spec;
+    spec.column = columns[i];
+    spec.attribute = policy.domain().attribute(i);
+    if (const char* bin = args.Get("bin_width")) {
+      spec.bin_width = std::stod(bin);
+    }
+    specs.push_back(spec);
+  }
+  return LoadCsvFile(csv_path, specs);
+}
+
+int RunCli(Args args) {
+  const char* policy_path = args.Get("policy");
+  if (policy_path == nullptr) return Fail("--policy <file> is required");
+  auto spec_text = ReadFile(policy_path);
+  if (!spec_text.ok()) return Fail(spec_text.status().ToString());
+  auto parsed = ParsePolicySpec(*spec_text);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  Policy& policy = parsed->policy;
+
+  double eps = parsed->epsilon.value_or(1.0);
+  if (const char* e = args.Get("eps")) eps = std::stod(e);
+  Random rng(args.Get("seed") ? std::stoull(args.Get("seed")) : 20140612);
+
+  std::printf("# policy %s, eps = %g\n", policy.ToString().c_str(), eps);
+
+  if (args.command == "advise") {
+    auto ordered = OrderedRangeError(policy, eps);
+    auto oh = OrderedHierarchicalRangeError(policy, eps, 16);
+    const size_t n = policy.domain().size();
+    double hier =
+        OHErrorModel::Compute(n, n, 16).OptimalRangeError(eps);
+    std::printf("strategy,predicted_range_mse\n");
+    if (ordered.ok()) std::printf("ordered,%.4f\n", *ordered);
+    if (oh.ok()) std::printf("ordered_hierarchical,%.4f\n", *oh);
+    std::printf("hierarchical,%.4f\n", hier);
+    auto best = BestRangeStrategy(policy, eps, 16);
+    if (best.ok()) std::printf("# recommended: %s\n", best->name);
+    return 0;
+  }
+
+  std::vector<size_t> columns = {0};
+  if (const char* c = args.Get("columns")) columns = ParseSizeList(c);
+  if (const char* c = args.Get("column")) {
+    columns = {static_cast<size_t>(std::stoul(c))};
+  }
+  auto data = LoadData(args, policy, columns);
+  if (!data.ok()) return Fail(data.status().ToString());
+  std::printf("# loaded %zu rows\n", data->size());
+
+  if (args.command == "kmeans") {
+    KMeansOptions opts;
+    if (const char* k = args.Get("k")) opts.k = std::stoul(k);
+    if (const char* it = args.Get("iters")) opts.iterations = std::stoul(it);
+    auto result = BlowfishKMeans(*data, policy, eps, opts, rng);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf("objective,%.6g\n", result->objective);
+    for (size_t c = 0; c < result->centroids.size(); ++c) {
+      std::printf("centroid%zu", c);
+      for (double v : result->centroids[c]) std::printf(",%.4f", v);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  auto hist = data->CompleteHistogram();
+  if (!hist.ok()) return Fail(hist.status().ToString());
+
+  if (args.command == "histogram") {
+    CompleteHistogramQuery query(policy.domain().size());
+    auto released = LaplaceMechanism(query, policy, *hist, eps, rng);
+    if (!released.ok()) return Fail(released.status().ToString());
+    std::printf("bucket,noisy_count\n");
+    for (size_t i = 0; i < released->size(); ++i) {
+      if ((*hist)[i] != 0.0 || (*released)[i] > 1.0) {
+        std::printf("%zu,%.2f\n", i, (*released)[i]);
+      }
+    }
+    return 0;
+  }
+
+  // The CDF-family commands share an Ordered-Mechanism release.
+  auto released = OrderedMechanism(*hist, policy, eps, rng);
+  if (!released.ok()) return Fail(released.status().ToString());
+
+  if (args.command == "cdf") {
+    auto cdf = CdfFromCumulative(released->inferred_cumulative);
+    if (!cdf.ok()) return Fail(cdf.status().ToString());
+    std::printf("bucket,cdf\n");
+    size_t stride = std::max<size_t>(1, cdf->size() / 50);
+    for (size_t i = 0; i < cdf->size(); i += stride) {
+      std::printf("%zu,%.4f\n", i, (*cdf)[i]);
+    }
+    return 0;
+  }
+  if (args.command == "range") {
+    const char* lo = args.Get("lo");
+    const char* hi = args.Get("hi");
+    if (lo == nullptr || hi == nullptr) return Fail("--lo/--hi required");
+    auto answer = released->RangeQuery(std::stoul(lo), std::stoul(hi));
+    if (!answer.ok()) return Fail(answer.status().ToString());
+    std::printf("range[%s,%s],%.2f\n", lo, hi, *answer);
+    return 0;
+  }
+  if (args.command == "quantiles") {
+    std::vector<double> qs = {0.25, 0.5, 0.75};
+    if (const char* q = args.Get("qs")) qs = ParseDoubleList(q);
+    std::printf("q,bucket\n");
+    for (double q : qs) {
+      auto b = QuantileFromCumulative(released->inferred_cumulative, q);
+      if (!b.ok()) return Fail(b.status().ToString());
+      std::printf("%.3f,%zu\n", q, *b);
+    }
+    return 0;
+  }
+  return Fail("unknown command '" + args.command + "'");
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: blowfish_cli "
+                 "<histogram|cdf|range|quantiles|kmeans|advise> "
+                 "--policy <file> [--csv <file>] [--eps <v>] ...\n");
+    return 1;
+  }
+  blowfish::Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    if (std::strncmp(flag, "--", 2) != 0) {
+      std::fprintf(stderr, "error: expected --flag value pairs\n");
+      return 1;
+    }
+    args.flags[flag + 2] = argv[i + 1];
+  }
+  return blowfish::RunCli(std::move(args));
+}
