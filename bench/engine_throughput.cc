@@ -1,0 +1,187 @@
+// ReleaseEngine throughput: cold per-query sensitivity recomputation vs
+// warm-cache batched serving, plus the thread-count determinism check.
+//
+// The workload is the expensive case the cache exists for: a constrained
+// policy (one known marginal under full-domain secrets), where every
+// histogram release needs the Thm 8.2 policy-graph bound — building G_P
+// enumerates all |T|^2/2 secret-graph edges before the alpha/xi DFS. The
+// cold baseline recomputes that per query, as the one-shot library calls
+// do; the engine computes it once and serves the rest from the LRU cache.
+//
+// Output: queries/sec cold vs warm, the speedup (acceptance: >= 5x), and
+// whether a repeated batch with the same root seed is bit-identical
+// across --threads 1 and --threads 4.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/policy_graph.h"
+#include "core/secret_graph.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "mech/laplace.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+StatusOr<Policy> MakeConstrainedPolicy() {
+  // 4 x 512 domain (|T| = 2048): big enough that enumerating the full
+  // graph's ~2M edges per sensitivity computation dominates, small enough
+  // to bench quickly. The known [A1] marginal has 4 cells, so the exact
+  // alpha/xi DFS stays tractable (6 policy-graph vertices).
+  BLOWFISH_ASSIGN_OR_RETURN(
+      Domain dom, Domain::Create({Attribute{"A1", 4, 1.0},
+                                  Attribute{"A2", 512, 1.0}}));
+  auto domain = std::make_shared<const Domain>(std::move(dom));
+  ConstraintSet constraints;
+  BLOWFISH_RETURN_IF_ERROR(constraints.AddMarginal(domain, Marginal{{0}}));
+  auto graph = std::make_shared<const FullGraph>(domain->size());
+  return Policy::Create(domain, graph, std::move(constraints));
+}
+
+StatusOr<Dataset> MakeData(const Policy& policy, size_t n, Random& rng) {
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(rng.UniformInt(
+        0, static_cast<int64_t>(policy.domain().size()) - 1)));
+  }
+  return Dataset::Create(policy.domain_ptr(), std::move(tuples));
+}
+
+std::vector<QueryRequest> HistogramBatch(size_t count, double eps) {
+  std::vector<QueryRequest> batch(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].kind = QueryKind::kHistogram;
+    batch[i].epsilon = eps;
+    batch[i].label = "q" + std::to_string(i);
+  }
+  return batch;
+}
+
+bool Identical(const std::vector<QueryResponse>& a,
+               const std::vector<QueryResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].status.ok() != b[i].status.ok()) return false;
+    if (a[i].values != b[i].values) return false;  // bit-exact doubles
+    if (a[i].sensitivity != b[i].sensitivity) return false;
+  }
+  return true;
+}
+
+int Run() {
+  constexpr uint64_t kMaxEdges = uint64_t{1} << 24;
+  constexpr size_t kColdQueries = 3;
+  constexpr size_t kWarmQueries = 64;
+  constexpr double kEps = 0.1;
+  constexpr uint64_t kSeed = 20140612;
+
+  auto policy = MakeConstrainedPolicy();
+  if (!policy.ok()) {
+    std::fprintf(stderr, "policy: %s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  Random data_rng(kSeed);
+  auto data = MakeData(*policy, 100000, data_rng);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto hist = data->CompleteHistogram();
+  if (!hist.ok()) {
+    std::fprintf(stderr, "hist: %s\n", hist.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# engine_throughput: |T|=%llu, constraints=%zu, n=%zu\n",
+              static_cast<unsigned long long>(policy->domain().size()),
+              policy->constraints().size(), data->size());
+
+  // --- Cold baseline: one-shot releases, sensitivity recomputed each
+  // time (this is exactly what LaplaceHistogramWithConstraints does). ---
+  Random cold_rng(kSeed);
+  auto cold_start = Clock::now();
+  for (size_t i = 0; i < kColdQueries; ++i) {
+    auto released = LaplaceHistogramWithConstraints(*policy, *hist, kEps,
+                                                    cold_rng, kMaxEdges);
+    if (!released.ok()) {
+      std::fprintf(stderr, "cold release: %s\n",
+                   released.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double cold_seconds = SecondsSince(cold_start);
+  const double cold_qps = kColdQueries / cold_seconds;
+
+  // --- Warm engine: first batch pays one cache miss, the measured batch
+  // is served entirely from the cache. ---
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1e9;
+  options.num_threads = 2;
+  auto engine = ReleaseEngine::Create(*policy, *data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  (void)(*engine)->ServeBatch(HistogramBatch(1, kEps));  // pay the miss
+  auto warm_start = Clock::now();
+  auto warm = (*engine)->ServeBatch(HistogramBatch(kWarmQueries, kEps));
+  const double warm_seconds = SecondsSince(warm_start);
+  const double warm_qps = kWarmQueries / warm_seconds;
+  for (const QueryResponse& r : warm) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "warm release: %s\n", r.status.ToString().c_str());
+      return 1;
+    }
+  }
+  const SensitivityCache::Stats stats = (*engine)->cache().stats();
+
+  const double speedup = warm_qps / cold_qps;
+  std::printf("metric,value\n");
+  std::printf("cold_qps,%.3f\n", cold_qps);
+  std::printf("warm_qps,%.3f\n", warm_qps);
+  std::printf("speedup,%.1f\n", speedup);
+  std::printf("cache_hits,%llu\n",
+              static_cast<unsigned long long>(stats.hits));
+  std::printf("cache_misses,%llu\n",
+              static_cast<unsigned long long>(stats.misses));
+  std::printf("speedup_check,%s\n", speedup >= 5.0 ? "PASS" : "FAIL");
+
+  // --- Determinism: same root seed, same request history, different
+  // thread counts -> bit-identical output. ---
+  bool deterministic = true;
+  std::vector<std::vector<QueryResponse>> runs;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ReleaseEngineOptions opts;
+    opts.root_seed = kSeed;
+    opts.default_session_budget = 1e9;
+    opts.num_threads = threads;
+    auto e = ReleaseEngine::Create(*policy, *data, opts);
+    if (!e.ok()) {
+      std::fprintf(stderr, "engine: %s\n", e.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back((*e)->ServeBatch(HistogramBatch(16, kEps)));
+  }
+  deterministic = Identical(runs[0], runs[1]);
+  std::printf("determinism_threads_1_vs_4,%s\n",
+              deterministic ? "PASS" : "FAIL");
+
+  return (speedup >= 5.0 && deterministic) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main() { return blowfish::Run(); }

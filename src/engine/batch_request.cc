@@ -1,0 +1,154 @@
+#include "engine/batch_request.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace blowfish {
+
+namespace {
+
+StatusOr<double> ParseDouble(const std::string& value,
+                             const std::string& context) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed number '" + value + "' for " +
+                                   context);
+  }
+  return parsed;
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& value,
+                             const std::string& context) {
+  // strtoull silently wraps negative input to huge values; reject it.
+  if (value.find('-') != std::string::npos) {
+    return Status::InvalidArgument("expected a non-negative integer, got '" +
+                                   value + "' for " + context);
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed integer '" + value +
+                                   "' for " + context);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+StatusOr<QueryKind> ParseKind(const std::string& kind) {
+  if (kind == "histogram") return QueryKind::kHistogram;
+  if (kind == "cell_histogram") return QueryKind::kCellHistogram;
+  if (kind == "range") return QueryKind::kRange;
+  if (kind == "cdf") return QueryKind::kCdf;
+  if (kind == "quantiles") return QueryKind::kQuantiles;
+  if (kind == "kmeans") return QueryKind::kKMeans;
+  return Status::InvalidArgument("unknown query kind '" + kind + "'");
+}
+
+Status ApplyKeyValue(const std::string& key, const std::string& value,
+                     size_t line_no, QueryRequest* request) {
+  const std::string context =
+      "'" + key + "' on line " + std::to_string(line_no);
+  if (key == "eps") {
+    BLOWFISH_ASSIGN_OR_RETURN(request->epsilon, ParseDouble(value, context));
+    return Status::OK();
+  }
+  if (key == "label") {
+    request->label = value;
+    return Status::OK();
+  }
+  if (key == "session") {
+    request->session = value;
+    return Status::OK();
+  }
+  if (key == "group") {
+    request->parallel_group = value;
+    return Status::OK();
+  }
+  if (key == "cells") {
+    std::istringstream in(value);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      BLOWFISH_ASSIGN_OR_RETURN(uint64_t cell, ParseUint(token, context));
+      request->cells.push_back(cell);
+    }
+    return Status::OK();
+  }
+  if (key == "lo") {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t lo, ParseUint(value, context));
+    request->range_lo = static_cast<size_t>(lo);
+    return Status::OK();
+  }
+  if (key == "hi") {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t hi, ParseUint(value, context));
+    request->range_hi = static_cast<size_t>(hi);
+    return Status::OK();
+  }
+  if (key == "qs") {
+    std::istringstream in(value);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      BLOWFISH_ASSIGN_OR_RETURN(double q, ParseDouble(token, context));
+      request->quantiles.push_back(q);
+    }
+    return Status::OK();
+  }
+  if (key == "k") {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t k, ParseUint(value, context));
+    request->kmeans.k = static_cast<size_t>(k);
+    return Status::OK();
+  }
+  if (key == "iters") {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t iters, ParseUint(value, context));
+    request->kmeans.iterations = static_cast<size_t>(iters);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown key " + context);
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryRequest>> ParseBatchRequests(
+    const std::string& text) {
+  std::vector<QueryRequest> requests;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // '#' starts a comment only at line start or after whitespace, so
+    // values like label=run#3 survive intact.
+    for (size_t pos = line.find('#'); pos != std::string::npos;
+         pos = line.find('#', pos + 1)) {
+      if (pos == 0 || std::isspace(static_cast<unsigned char>(
+                          line[pos - 1]))) {
+        line = line.substr(0, pos);
+        break;
+      }
+    }
+    std::istringstream tokens(line);
+    std::string kind_token;
+    if (!(tokens >> kind_token)) continue;  // blank line
+    BLOWFISH_ASSIGN_OR_RETURN(QueryKind kind, ParseKind(kind_token));
+    QueryRequest request;
+    request.kind = kind;
+    std::string token;
+    while (tokens >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            "expected key=value, got '" + token + "' on line " +
+            std::to_string(line_no));
+      }
+      BLOWFISH_RETURN_IF_ERROR(ApplyKeyValue(
+          token.substr(0, eq), token.substr(eq + 1), line_no, &request));
+    }
+    if (request.kind == QueryKind::kQuantiles && request.quantiles.empty()) {
+      request.quantiles = {0.25, 0.5, 0.75};
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,34 @@
+// Textual batch request files for the ReleaseEngine.
+//
+// One request per line: `<kind> key=value key=value ...`. Comments (#)
+// and blank lines are ignored; parsing is strict (unknown kinds or keys
+// are errors). Kinds and their keys:
+//
+//   histogram       eps= [label=] [session=]
+//   cell_histogram  eps= cells=0,3,7 [group=] [label=] [session=]
+//   range           eps= lo= hi= [label=] [session=]
+//   cdf             eps= [label=] [session=]
+//   quantiles       eps= qs=0.25,0.5,0.75 [label=] [session=]
+//   kmeans          eps= [k=] [iters=] [label=] [session=]
+//
+// `group=` marks the request as a member of a named parallel-composition
+// group (only valid for cell_histogram; see engine/release_engine.h).
+
+#ifndef BLOWFISH_ENGINE_BATCH_REQUEST_H_
+#define BLOWFISH_ENGINE_BATCH_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/release_engine.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Parses a batch request file (see the header comment for the grammar).
+StatusOr<std::vector<QueryRequest>> ParseBatchRequests(
+    const std::string& text);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_BATCH_REQUEST_H_

@@ -1,0 +1,113 @@
+#include "engine/budget_accountant.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace blowfish {
+
+BudgetAccountant::SessionState& BudgetAccountant::GetOrCreateLocked(
+    const std::string& session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(session, SessionState{default_budget_, {}}).first;
+  }
+  return it->second;
+}
+
+Status BudgetAccountant::OpenSession(const std::string& session,
+                                     double budget) {
+  if (budget < 0.0) {
+    return Status::InvalidArgument("session budget must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(session) > 0) {
+    return Status::InvalidArgument("session '" + session +
+                                   "' already exists");
+  }
+  sessions_.emplace(session, SessionState{budget, {}});
+  return Status::OK();
+}
+
+StatusOr<BudgetReceipt> BudgetAccountant::ChargeSequential(
+    const std::string& session, double epsilon, std::string label) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState& state = GetOrCreateLocked(session);
+  const double spent = state.ledger.TotalEpsilon();
+  if (spent + epsilon > state.budget + 1e-12) {
+    return Status::ResourceExhausted(
+        "session '" + session + "': charging " + std::to_string(epsilon) +
+        " would exceed budget (spent " + std::to_string(spent) + " of " +
+        std::to_string(state.budget) + ")");
+  }
+  if (epsilon > 0.0) {
+    BLOWFISH_RETURN_IF_ERROR(state.ledger.SpendSequential(epsilon, label));
+  }
+  BudgetReceipt receipt;
+  receipt.session = session;
+  receipt.label = std::move(label);
+  receipt.charged = epsilon;
+  receipt.epsilon = epsilon;
+  receipt.remaining = state.budget - state.ledger.TotalEpsilon();
+  return receipt;
+}
+
+StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
+    const std::string& session, const std::vector<double>& epsilons,
+    std::string label) {
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("parallel group must be non-empty");
+  }
+  for (double e : epsilons) {
+    if (e < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  const double cost = *std::max_element(epsilons.begin(), epsilons.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState& state = GetOrCreateLocked(session);
+  const double spent = state.ledger.TotalEpsilon();
+  if (spent + cost > state.budget + 1e-12) {
+    return Status::ResourceExhausted(
+        "session '" + session + "': parallel group of max eps " +
+        std::to_string(cost) + " would exceed budget (spent " +
+        std::to_string(spent) + " of " + std::to_string(state.budget) + ")");
+  }
+  if (cost > 0.0) {
+    BLOWFISH_RETURN_IF_ERROR(state.ledger.SpendParallel(epsilons, label));
+  }
+  BudgetReceipt receipt;
+  receipt.session = session;
+  receipt.label = std::move(label);
+  receipt.charged = cost;
+  receipt.epsilon = cost;
+  receipt.remaining = state.budget - state.ledger.TotalEpsilon();
+  receipt.parallel = true;
+  return receipt;
+}
+
+double BudgetAccountant::Spent(const std::string& session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0.0 : it->second.ledger.TotalEpsilon();
+}
+
+double BudgetAccountant::Remaining(const std::string& session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return default_budget_;
+  return it->second.budget - it->second.ledger.TotalEpsilon();
+}
+
+std::string BudgetAccountant::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "BudgetAccountant (" << sessions_.size() << " sessions)\n";
+  for (const auto& [name, state] : sessions_) {
+    out << "  session '" << name << "': spent "
+        << state.ledger.TotalEpsilon() << " of " << state.budget << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,92 @@
+// Thread-safe epsilon budget enforcement for the serving layer.
+//
+// The core-layer PrivacyAccountant (core/privacy_loss.h) is a passive
+// ledger: it records what was spent. A serving system needs the converse —
+// an authority that *refuses* releases which would overspend. The
+// BudgetAccountant owns one ledger per named session (a tenant, analyst,
+// or workload), each with its own epsilon cap against the engine's single
+// policy, and charges spends atomically: sequential composition adds
+// (Thm 4.1), a parallel group of structurally disjoint releases costs only
+// its max (Thms 4.2/4.3).
+
+#ifndef BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
+#define BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/privacy_loss.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Proof-of-charge returned with every release.
+struct BudgetReceipt {
+  std::string session;
+  std::string label;
+  /// Epsilon charged to the session by this receipt. For a parallel group
+  /// the whole group is covered by one charge of max(eps); the receipts of
+  /// the individual queries carry charged = 0 except the group's most
+  /// expensive member.
+  double charged = 0.0;
+  /// The epsilon this query's noise was calibrated to (>= charged for
+  /// parallel-group members).
+  double epsilon = 0.0;
+  /// Session budget left after the charge.
+  double remaining = 0.0;
+  bool parallel = false;
+};
+
+/// Refusing, session-scoped epsilon budget. All methods are thread-safe.
+class BudgetAccountant {
+ public:
+  /// `default_budget` caps sessions that are auto-created on first charge.
+  explicit BudgetAccountant(double default_budget)
+      : default_budget_(default_budget) {}
+
+  /// Creates a session with an explicit budget. Fails with AlreadyExists
+  /// semantics (InvalidArgument) if the session already exists.
+  Status OpenSession(const std::string& session, double budget);
+
+  /// Charges a sequential release of `epsilon` (Thm 4.1: losses add).
+  /// Refuses with ResourceExhausted — leaving the ledger untouched — if
+  /// the charge would push the session past its budget.
+  StatusOr<BudgetReceipt> ChargeSequential(const std::string& session,
+                                           double epsilon,
+                                           std::string label = "");
+
+  /// Charges a parallel group (Thms 4.2/4.3: the group costs
+  /// max(epsilons)). The caller is responsible for having validated
+  /// structural disjointness; see ReleaseEngine. Returns one receipt for
+  /// the whole group.
+  StatusOr<BudgetReceipt> ChargeParallel(const std::string& session,
+                                         const std::vector<double>& epsilons,
+                                         std::string label = "");
+
+  /// Total spent / remaining for a session (0 / default budget if the
+  /// session does not exist yet).
+  double Spent(const std::string& session) const;
+  double Remaining(const std::string& session) const;
+
+  /// Human-readable multi-session summary.
+  std::string ToString() const;
+
+ private:
+  struct SessionState {
+    double budget = 0.0;
+    PrivacyAccountant ledger;
+  };
+
+  /// Must be called with mu_ held.
+  SessionState& GetOrCreateLocked(const std::string& session);
+
+  mutable std::mutex mu_;
+  double default_budget_;
+  std::map<std::string, SessionState> sessions_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_

@@ -1,0 +1,496 @@
+#include "engine/release_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/policy_graph.h"
+#include "core/privacy_loss.h"
+#include "core/secret_graph.h"
+#include "core/sensitivity.h"
+#include "mech/cdf_applications.h"
+#include "mech/laplace.h"
+#include "mech/ordered.h"
+
+namespace blowfish {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kHistogram: return "histogram";
+    case QueryKind::kCellHistogram: return "cell_histogram";
+    case QueryKind::kRange: return "range";
+    case QueryKind::kCdf: return "cdf";
+    case QueryKind::kQuantiles: return "quantiles";
+    case QueryKind::kKMeans: return "kmeans";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The complete histogram restricted to a set of G^P partition cells:
+/// one output row per domain value whose cell is in the set, in domain
+/// order. Moving a tuple across an edge of G^P changes two rows if the
+/// edge's (shared) cell is included, none otherwise.
+class CellHistogramQuery final : public LinearQuery {
+ public:
+  CellHistogramQuery(const PartitionGraph& partition, const Domain& domain,
+                     const std::set<uint64_t>& cells) {
+    for (ValueIndex x = 0; x < domain.size(); ++x) {
+      if (cells.count(partition.CellOf(x)) > 0) {
+        row_of_[x] = included_.size();
+        included_.push_back(x);
+      }
+    }
+  }
+
+  size_t output_dim() const override { return included_.size(); }
+
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    auto it = row_of_.find(x);
+    if (it != row_of_.end()) fn(it->second, 1.0);
+  }
+
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    if (x == y) return 0.0;
+    return (row_of_.count(x) > 0 ? 1.0 : 0.0) +
+           (row_of_.count(y) > 0 ? 1.0 : 0.0);
+  }
+
+  std::vector<double> Evaluate(const Histogram& h) const override {
+    std::vector<double> out;
+    out.reserve(included_.size());
+    for (ValueIndex x : included_) out.push_back(h[x]);
+    return out;
+  }
+
+  std::string name() const override { return "h_cells"; }
+
+  const std::vector<ValueIndex>& included() const { return included_; }
+
+ private:
+  std::vector<ValueIndex> included_;
+  std::unordered_map<ValueIndex, size_t> row_of_;
+};
+
+std::string CellShape(const std::vector<uint64_t>& cells) {
+  std::set<uint64_t> sorted(cells.begin(), cells.end());
+  std::ostringstream out;
+  out << "h_cells{";
+  for (uint64_t c : sorted) out << c << ",";
+  out << "}";
+  return out.str();
+}
+
+/// The query shape string a request's sensitivity is cached under.
+StatusOr<std::string> QueryShape(const QueryRequest& request) {
+  switch (request.kind) {
+    case QueryKind::kHistogram:
+      return std::string("h");
+    case QueryKind::kCellHistogram:
+      if (request.cells.empty()) {
+        return Status::InvalidArgument("cell_histogram requires cells");
+      }
+      return CellShape(request.cells);
+    case QueryKind::kRange:
+    case QueryKind::kCdf:
+    case QueryKind::kQuantiles:
+      return std::string("S_T");
+    case QueryKind::kKMeans:
+      return std::string("kmeans");
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ReleaseEngine>> ReleaseEngine::Create(
+    Policy policy, Dataset data, ReleaseEngineOptions options) {
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (data.domain().num_attributes() != policy.domain().num_attributes()) {
+    return Status::InvalidArgument(
+        "dataset and policy domains do not match");
+  }
+  for (size_t i = 0; i < policy.domain().num_attributes(); ++i) {
+    const Attribute& pa = policy.domain().attribute(i);
+    const Attribute& da = data.domain().attribute(i);
+    if (pa.cardinality != da.cardinality || pa.scale != da.scale ||
+        pa.name != da.name) {
+      return Status::InvalidArgument(
+          "dataset and policy domains differ on attribute " +
+          std::to_string(i) + " ('" + da.name + "' vs '" + pa.name + "')");
+    }
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(Histogram hist, data.CompleteHistogram());
+  return std::unique_ptr<ReleaseEngine>(new ReleaseEngine(
+      std::move(policy), std::move(data), std::move(hist), options));
+}
+
+ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
+                             ReleaseEngineOptions options)
+    : policy_(std::move(policy)), data_(std::move(data)),
+      hist_(std::move(hist)), options_(options),
+      policy_fp_(SensitivityCache::PolicyFingerprint(policy_)),
+      accountant_(options.default_session_budget),
+      cache_(options.cache_capacity), root_seed_(options.root_seed) {}
+
+StatusOr<double> ReleaseEngine::ResolveSensitivity(
+    const QueryRequest& request, bool* cache_hit) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string shape, QueryShape(request));
+  *cache_hit = cache_.Contains(policy_fp_, shape);
+  switch (request.kind) {
+    case QueryKind::kHistogram:
+      return cache_.GetOrCompute(
+          policy_fp_, shape, [this]() -> StatusOr<double> {
+            if (!policy_.has_constraints()) {
+              return HistogramSensitivity(policy_.graph());
+            }
+            // Thm 8.2: the NP-hard alpha/xi bound — the cache's raison
+            // d'etre.
+            BLOWFISH_ASSIGN_OR_RETURN(
+                PolicyGraph pg,
+                PolicyGraph::Build(policy_.constraints(), policy_.graph(),
+                                   options_.max_edges));
+            return pg.HistogramSensitivityBound(
+                options_.max_policy_graph_vertices);
+          });
+    case QueryKind::kCellHistogram:
+      return cache_.GetOrCompute(
+          policy_fp_, shape, [this, &request]() -> StatusOr<double> {
+            if (policy_.has_constraints()) {
+              return Status::Unimplemented(
+                  "cell_histogram is not supported on constrained "
+                  "policies");
+            }
+            const auto* partition =
+                dynamic_cast<const PartitionGraph*>(&policy_.graph());
+            if (partition == nullptr) {
+              return Status::FailedPrecondition(
+                  "cell_histogram requires a partition (G^P) secret "
+                  "graph");
+            }
+            std::set<uint64_t> cells(request.cells.begin(),
+                                     request.cells.end());
+            std::set<uint64_t> missing = cells;
+            for (ValueIndex x = 0; x < policy_.domain().size(); ++x) {
+              missing.erase(partition->CellOf(x));
+              if (missing.empty()) break;
+            }
+            if (!missing.empty()) {
+              return Status::InvalidArgument(
+                  "cell " + std::to_string(*missing.begin()) +
+                  " contains no domain values (unknown partition cell?)");
+            }
+            CellHistogramQuery query(*partition, policy_.domain(), cells);
+            return UnconstrainedSensitivity(query, policy_.graph(),
+                                            options_.max_edges);
+          });
+    case QueryKind::kRange:
+    case QueryKind::kCdf:
+    case QueryKind::kQuantiles:
+      return cache_.GetOrCompute(
+          policy_fp_, shape, [this]() -> StatusOr<double> {
+            return CumulativeHistogramSensitivity(policy_);
+          });
+    case QueryKind::kKMeans:
+      // K-means releases both q_sum and q_size; admission (in particular
+      // the eps = 0 free-release rule) must key on the larger of the two.
+      return cache_.GetOrCompute(
+          policy_fp_, shape, [this]() -> StatusOr<double> {
+            BLOWFISH_ASSIGN_OR_RETURN(double q_sum,
+                                      QSumSensitivity(policy_));
+            return std::max(q_sum, QSizeSensitivity(policy_.graph()));
+          });
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+void ReleaseEngine::Execute(const QueryRequest& request, Random rng,
+                            QueryResponse* response) const {
+  switch (request.kind) {
+    case QueryKind::kHistogram: {
+      CompleteHistogramQuery query(policy_.domain().size());
+      std::vector<double> truth = query.Evaluate(hist_);
+      if (response->sensitivity == 0.0) {
+        response->values = std::move(truth);
+        return;
+      }
+      auto released = LaplaceRelease(truth, response->sensitivity,
+                                     request.epsilon, rng);
+      if (!released.ok()) {
+        response->status = released.status();
+        return;
+      }
+      response->values = std::move(*released);
+      return;
+    }
+    case QueryKind::kCellHistogram: {
+      const auto* partition =
+          dynamic_cast<const PartitionGraph*>(&policy_.graph());
+      if (partition == nullptr) {
+        response->status = Status::FailedPrecondition(
+            "cell_histogram requires a partition (G^P) secret graph");
+        return;
+      }
+      std::set<uint64_t> cells(request.cells.begin(), request.cells.end());
+      CellHistogramQuery query(*partition, policy_.domain(), cells);
+      std::vector<double> truth = query.Evaluate(hist_);
+      if (response->sensitivity == 0.0) {
+        response->values = std::move(truth);
+        return;
+      }
+      auto released = LaplaceRelease(truth, response->sensitivity,
+                                     request.epsilon, rng);
+      if (!released.ok()) {
+        response->status = released.status();
+        return;
+      }
+      response->values = std::move(*released);
+      return;
+    }
+    case QueryKind::kRange:
+    case QueryKind::kCdf:
+    case QueryKind::kQuantiles: {
+      std::vector<double> cumulative;
+      if (response->sensitivity == 0.0) {
+        // Free release: no pair of P-neighbours changes the cumulative
+        // histogram, so the exact prefix sums can be published.
+        cumulative = hist_.CumulativeSums();
+      } else {
+        auto released =
+            OrderedMechanism(hist_, policy_, request.epsilon, rng);
+        if (!released.ok()) {
+          response->status = released.status();
+          return;
+        }
+        cumulative = std::move(released->inferred_cumulative);
+      }
+      if (request.kind == QueryKind::kRange) {
+        auto answer = RangeFromCumulative(cumulative, request.range_lo,
+                                          request.range_hi);
+        if (!answer.ok()) {
+          response->status = answer.status();
+          return;
+        }
+        response->values = {*answer};
+        return;
+      }
+      if (request.kind == QueryKind::kCdf) {
+        auto cdf = CdfFromCumulative(cumulative);
+        if (!cdf.ok()) {
+          response->status = cdf.status();
+          return;
+        }
+        response->values = std::move(*cdf);
+        return;
+      }
+      response->values.reserve(request.quantiles.size());
+      for (double q : request.quantiles) {
+        auto bucket = QuantileFromCumulative(cumulative, q);
+        if (!bucket.ok()) {
+          response->status = bucket.status();
+          return;
+        }
+        response->values.push_back(static_cast<double>(*bucket));
+      }
+      return;
+    }
+    case QueryKind::kKMeans: {
+      // sensitivity == 0 means the secret graph is edgeless: every
+      // internal Laplace release is exact regardless of epsilon, so a
+      // placeholder epsilon keeps the mech-layer eps > 0 check happy.
+      const double eps = response->sensitivity == 0.0 && request.epsilon <= 0.0
+                             ? 1.0
+                             : request.epsilon;
+      auto result = BlowfishKMeans(data_, policy_, eps, request.kmeans, rng);
+      if (!result.ok()) {
+        response->status = result.status();
+        return;
+      }
+      response->values.push_back(result->objective);
+      for (const auto& centroid : result->centroids) {
+        response->values.insert(response->values.end(), centroid.begin(),
+                                centroid.end());
+      }
+      return;
+    }
+  }
+  response->status = Status::InvalidArgument("unknown query kind");
+}
+
+struct ReleaseEngine::Work {
+  size_t index = 0;
+  uint64_t stream_id = 0;
+};
+
+std::vector<QueryResponse> ReleaseEngine::ServeBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  std::vector<QueryResponse> responses(requests.size());
+
+  // --- Admission pass 1 (sequential): resolve sensitivities. -------------
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].label = requests[i].label;
+    bool cache_hit = false;
+    auto sensitivity = ResolveSensitivity(requests[i], &cache_hit);
+    if (!sensitivity.ok()) {
+      responses[i].status = sensitivity.status();
+      continue;
+    }
+    responses[i].sensitivity = *sensitivity;
+    responses[i].cache_hit = cache_hit;
+    if (*sensitivity > 0.0 && !(requests[i].epsilon > 0.0)) {
+      responses[i].status = Status::InvalidArgument(
+          "epsilon must be positive for a query with non-zero "
+          "sensitivity");
+    }
+  }
+
+  // --- Admission pass 2 (sequential): charge budgets. --------------------
+  // Strictly in request order, so refusals under contention hit the later
+  // queries: sequential requests charge eps at their own position;
+  // a parallel group charges max(eps) once (Thm 4.2/4.3), at its first
+  // member's position, after the structural-disjointness proof.
+  struct Group {
+    std::vector<size_t> members;
+  };
+  std::map<std::pair<std::string, std::string>, Group> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!responses[i].status.ok()) continue;
+    const QueryRequest& req = requests[i];
+    if (!req.parallel_group.empty()) {
+      groups[{req.session, req.parallel_group}].members.push_back(i);
+    }
+  }
+  std::set<std::pair<std::string, std::string>> groups_done;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!responses[i].status.ok()) continue;
+    const QueryRequest& req = requests[i];
+    if (req.parallel_group.empty()) {
+      const double charge =
+          responses[i].sensitivity == 0.0 ? 0.0 : req.epsilon;
+      auto receipt = accountant_.ChargeSequential(
+          req.session, charge,
+          req.label.empty() ? QueryKindName(req.kind) : req.label);
+      if (!receipt.ok()) {
+        responses[i].status = receipt.status();
+        continue;
+      }
+      responses[i].receipt = std::move(*receipt);
+      continue;
+    }
+    const std::pair<std::string, std::string> key{req.session,
+                                                  req.parallel_group};
+    if (!groups_done.insert(key).second) continue;  // already handled
+    const Group& group = groups.at(key);
+    Status valid = Status::OK();
+    // Structural disjointness: only cell-restricted histograms under G^P
+    // with pairwise-disjoint cell sets qualify (see header comment).
+    std::set<uint64_t> seen_cells;
+    for (size_t m : group.members) {
+      if (requests[m].kind != QueryKind::kCellHistogram) {
+        valid = Status::FailedPrecondition(
+            "parallel group '" + key.second +
+            "' contains a query that is not a cell_histogram; cannot "
+            "prove structural disjointness");
+        break;
+      }
+      for (uint64_t c : requests[m].cells) {
+        if (!seen_cells.insert(c).second) {
+          valid = Status::FailedPrecondition(
+              "parallel group '" + key.second + "' cell sets overlap (cell " +
+              std::to_string(c) + ")");
+          break;
+        }
+      }
+      if (!valid.ok()) break;
+    }
+    if (valid.ok() &&
+        dynamic_cast<const PartitionGraph*>(&policy_.graph()) == nullptr) {
+      valid = Status::FailedPrecondition(
+          "parallel composition requires a partition (G^P) secret graph");
+    }
+    if (valid.ok()) {
+      auto safe = ParallelCompositionValid(policy_, options_.max_edges);
+      if (!safe.ok()) {
+        valid = safe.status();
+      } else if (!*safe) {
+        valid = Status::FailedPrecondition(
+            "policy constraints couple individuals across groups "
+            "(Thm 4.3); parallel composition refused");
+      }
+    }
+    if (!valid.ok()) {
+      for (size_t m : group.members) responses[m].status = valid;
+      continue;
+    }
+    std::vector<double> epsilons;
+    size_t argmax = group.members.front();
+    for (size_t m : group.members) {
+      const double charge =
+          responses[m].sensitivity == 0.0 ? 0.0 : requests[m].epsilon;
+      epsilons.push_back(charge);
+      const double best =
+          responses[argmax].sensitivity == 0.0 ? 0.0
+                                               : requests[argmax].epsilon;
+      if (charge > best) argmax = m;
+    }
+    auto receipt =
+        accountant_.ChargeParallel(key.first, epsilons, key.second);
+    if (!receipt.ok()) {
+      for (size_t m : group.members) responses[m].status = receipt.status();
+      continue;
+    }
+    for (size_t m : group.members) {
+      BudgetReceipt r = *receipt;
+      r.label = requests[m].label.empty() ? QueryKindName(requests[m].kind)
+                                          : requests[m].label;
+      r.epsilon = responses[m].sensitivity == 0.0 ? 0.0
+                                                  : requests[m].epsilon;
+      // The one group charge is attributed to the most expensive member.
+      if (m != argmax) r.charged = 0.0;
+      responses[m].receipt = std::move(r);
+    }
+  }
+
+  // --- Admission pass 3 (sequential): assign RNG streams. ----------------
+  // Stream ids are handed out in request order, so the noise a query draws
+  // is a pure function of (root seed, admission history) — never of
+  // thread scheduling.
+  std::vector<Work> work;
+  work.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!responses[i].status.ok()) continue;
+    work.push_back(Work{i, next_stream_++});
+  }
+
+  // --- Execution: fan out across the worker pool. ------------------------
+  const size_t num_threads =
+      std::max<size_t>(1, std::min(options_.num_threads, work.size()));
+  std::atomic<size_t> next_work{0};
+  auto run_worker = [&]() {
+    while (true) {
+      const size_t w = next_work.fetch_add(1);
+      if (w >= work.size()) break;
+      const Work& item = work[w];
+      Execute(requests[item.index], Random(root_seed_).Fork(item.stream_id),
+              &responses[item.index]);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (size_t t = 1; t < num_threads; ++t) workers.emplace_back(run_worker);
+  run_worker();
+  for (std::thread& t : workers) t.join();
+
+  return responses;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,171 @@
+// Stateful batched query serving on top of the core/mech layers.
+//
+// The library's mechanisms are one-shot calls: given a policy, a dataset,
+// an epsilon, and an RNG, produce a release. A production deployment
+// instead keeps one long-lived engine per (policy, dataset) pair and
+// pushes heterogeneous query traffic through it. The ReleaseEngine owns:
+//
+//   * a BudgetAccountant — refuses queries that would overspend a
+//     session's epsilon budget, applying sequential composition (Thm 4.1)
+//     and parallel composition for structurally disjoint queries
+//     (Thms 4.2/4.3; see `parallel_group` below);
+//   * a SensitivityCache — (policy, query-shape) -> S(f, P), so the
+//     NP-hard policy-graph bounds and edge enumerations are computed once
+//     per shape, not once per query;
+//   * a worker pool — a batch fans out across `num_threads` threads, each
+//     query drawing noise from an independent Random forked
+//     deterministically from the engine's root seed (util/random.h
+//     Fork(stream_id)), so a batch's output is bit-identical regardless
+//     of thread count or scheduling.
+//
+// Parallel groups: requests sharing a non-empty `parallel_group` are
+// charged max(eps) instead of sum(eps). The engine only accepts groups it
+// can prove structurally disjoint: every member must be a cell-restricted
+// histogram (kCellHistogram) under a partition secret graph G^P with
+// pairwise-disjoint cell sets — under G^P an individual's cell is public,
+// so disjoint cell sets touch disjoint individuals (Thm 4.2) — and the
+// policy's constraints must pass ParallelCompositionValid (Thm 4.3).
+
+#ifndef BLOWFISH_ENGINE_RELEASE_ENGINE_H_
+#define BLOWFISH_ENGINE_RELEASE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "engine/budget_accountant.h"
+#include "engine/sensitivity_cache.h"
+#include "mech/kmeans.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+enum class QueryKind {
+  kHistogram,       // complete histogram h
+  kCellHistogram,   // h restricted to a set of G^P partition cells
+  kRange,           // range count via the Ordered Mechanism
+  kCdf,             // full CDF via the Ordered Mechanism
+  kQuantiles,       // quantiles via the Ordered Mechanism
+  kKMeans,          // Blowfish SuLQ k-means
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// One query in a batch.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kHistogram;
+  /// Privacy parameter the noise is calibrated to. May be 0 only when the
+  /// query's policy-specific sensitivity is 0 (a free release).
+  double epsilon = 0.0;
+  std::string label;
+  /// Budget session to charge ("" = the default session).
+  std::string session;
+  /// Non-empty: charge this request jointly with all same-group,
+  /// same-session requests in the batch via parallel composition.
+  std::string parallel_group;
+
+  /// kCellHistogram: the G^P partition cells to release.
+  std::vector<uint64_t> cells;
+  /// kRange: inclusive bucket range.
+  size_t range_lo = 0;
+  size_t range_hi = 0;
+  /// kQuantiles.
+  std::vector<double> quantiles;
+  /// kKMeans.
+  KMeansOptions kmeans;
+};
+
+/// Per-query result. A failed query carries its error in `status`; the
+/// rest of the batch is unaffected.
+struct QueryResponse {
+  Status status;
+  std::string label;
+  /// Payload, layout per kind:
+  ///   kHistogram       noisy count per domain value
+  ///   kCellHistogram   noisy count per included value (domain order)
+  ///   kRange           { answer }
+  ///   kCdf             CDF value per bucket
+  ///   kQuantiles       bucket index per requested quantile
+  ///   kKMeans          { objective, c0_0..c0_{d-1}, c1_0.., ... }
+  std::vector<double> values;
+  /// The S(f, P) the noise was calibrated to.
+  double sensitivity = 0.0;
+  /// Whether the sensitivity came out of the cache.
+  bool cache_hit = false;
+  BudgetReceipt receipt;
+};
+
+struct ReleaseEngineOptions {
+  /// Worker threads per batch. Output is identical for any value >= 1.
+  size_t num_threads = 1;
+  /// Root seed; per-query RNGs are Fork(stream_id) derivations of it.
+  uint64_t root_seed = 20140612;
+  size_t cache_capacity = 128;
+  /// Budget for sessions auto-created on first use.
+  double default_session_budget = 10.0;
+  /// Edge budget for sensitivity computations on explicit graphs.
+  uint64_t max_edges = uint64_t{1} << 24;
+  /// Vertex bound for the exact policy-graph alpha/xi DFS (Thm 8.1).
+  size_t max_policy_graph_vertices = 24;
+};
+
+class ReleaseEngine {
+ public:
+  /// Builds the engine: materializes the complete histogram once (it is
+  /// shared read-only by all queries) and fingerprints the policy.
+  static StatusOr<std::unique_ptr<ReleaseEngine>> Create(
+      Policy policy, Dataset data, ReleaseEngineOptions options = {});
+
+  /// Serves a batch. Sensitivity resolution and budget charging run
+  /// sequentially (so admission is deterministic); execution fans out
+  /// across the worker pool. Batches are serialized against each other;
+  /// with the same construction seed and the same request history the
+  /// output is bit-identical regardless of num_threads.
+  std::vector<QueryResponse> ServeBatch(
+      const std::vector<QueryRequest>& requests);
+
+  BudgetAccountant& accountant() { return accountant_; }
+  SensitivityCache& cache() { return cache_; }
+  const Policy& policy() const { return policy_; }
+  const Dataset& data() const { return data_; }
+  const std::string& policy_fingerprint() const { return policy_fp_; }
+
+ private:
+  struct Work;
+
+  ReleaseEngine(Policy policy, Dataset data, Histogram hist,
+                ReleaseEngineOptions options);
+
+  /// Cache-backed S(f, P) for the request's shape. Sets `cache_hit`.
+  StatusOr<double> ResolveSensitivity(const QueryRequest& request,
+                                      bool* cache_hit);
+
+  /// Runs one admitted query with its own RNG; writes into `response`.
+  void Execute(const QueryRequest& request, Random rng,
+               QueryResponse* response) const;
+
+  Policy policy_;
+  Dataset data_;
+  Histogram hist_;
+  ReleaseEngineOptions options_;
+  std::string policy_fp_;
+  BudgetAccountant accountant_;
+  SensitivityCache cache_;
+  /// Per-query RNGs are Random(root_seed_).Fork(stream_id): derived from
+  /// the seed alone, never from generator state, so determinism cannot be
+  /// broken by an accidental draw.
+  uint64_t root_seed_;
+  /// Next RNG stream id; monotone across batches. Guarded by serve_mu_.
+  uint64_t next_stream_ = 0;
+  std::mutex serve_mu_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_RELEASE_ENGINE_H_

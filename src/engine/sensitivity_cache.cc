@@ -1,0 +1,86 @@
+#include "engine/sensitivity_cache.h"
+
+#include <sstream>
+
+#include "core/constraints.h"
+
+namespace blowfish {
+
+namespace {
+
+std::string MakeKey(const std::string& policy_fp,
+                    const std::string& query_shape) {
+  return policy_fp + "\x1f" + query_shape;
+}
+
+}  // namespace
+
+StatusOr<double> SensitivityCache::GetOrCompute(
+    const std::string& policy_fp, const std::string& query_shape,
+    const std::function<StatusOr<double>()>& compute) {
+  const std::string key = MakeKey(policy_fp, query_shape);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++stats_.misses;
+  StatusOr<double> computed = compute();
+  if (!computed.ok()) return computed.status();
+  if (capacity_ == 0) return *computed;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, *computed);
+  index_[key] = lru_.begin();
+  return *computed;
+}
+
+bool SensitivityCache::Contains(const std::string& policy_fp,
+                                const std::string& query_shape) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(MakeKey(policy_fp, query_shape)) > 0;
+}
+
+SensitivityCache::Stats SensitivityCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SensitivityCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void SensitivityCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::string SensitivityCache::PolicyFingerprint(const Policy& policy,
+                                                const std::string& tag) {
+  std::ostringstream out;
+  out << "T{";
+  for (const Attribute& a : policy.domain().attributes()) {
+    out << a.name << ":" << a.cardinality << ":" << a.scale << ";";
+  }
+  out << "}G{" << policy.graph().name() << "}Q{"
+      << policy.constraints().size();
+  for (const Rectangle& r : policy.constraints().rectangles()) {
+    out << "[";
+    for (uint64_t v : r.lo) out << v << ",";
+    out << ":";
+    for (uint64_t v : r.hi) out << v << ",";
+    out << "]";
+  }
+  out << "}";
+  if (!tag.empty()) out << "#" << tag;
+  return out.str();
+}
+
+}  // namespace blowfish

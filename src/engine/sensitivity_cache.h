@@ -1,0 +1,79 @@
+// Memoized policy-specific sensitivity for the serving layer.
+//
+// Sensitivity is the expensive half of every Blowfish release: the
+// Thm 8.2 policy-graph alpha/xi bounds are exponential DFS (the problem is
+// NP-hard, Thm 8.1), and even the generic unconstrained engine enumerates
+// secret-graph edges. But S(f, P) depends only on the (policy, query
+// shape) pair — never on the data or epsilon — so a serving system can
+// compute each value once and reuse it for the lifetime of the policy.
+// This cache is a mutex-guarded LRU map from (policy fingerprint, query
+// shape) to S(f, P), shared by all worker threads of a ReleaseEngine.
+
+#ifndef BLOWFISH_ENGINE_SENSITIVITY_CACHE_H_
+#define BLOWFISH_ENGINE_SENSITIVITY_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+/// Mutex-guarded LRU cache of (policy, query-shape) -> S(f, P).
+class SensitivityCache {
+ public:
+  explicit SensitivityCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  struct Stats {
+    uint64_t hits = 0;
+    /// Misses == number of times `compute` actually ran.
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Returns the cached sensitivity for (policy_fp, query_shape), or runs
+  /// `compute`, caches its value, and returns it. Errors from `compute`
+  /// are returned and NOT cached (a transient ResourceExhausted should not
+  /// poison the key). The compute runs under the cache lock, so each key
+  /// is computed exactly once even under concurrent traffic; keep compute
+  /// deterministic and side-effect free.
+  StatusOr<double> GetOrCompute(
+      const std::string& policy_fp, const std::string& query_shape,
+      const std::function<StatusOr<double>()>& compute);
+
+  /// Whether the key is currently cached (does not touch LRU order).
+  bool Contains(const std::string& policy_fp,
+                const std::string& query_shape) const;
+
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  /// A stable fingerprint of the policy for use as a cache key: domain
+  /// attributes (name/cardinality/scale), secret-graph name, and the
+  /// constraint shape (count + rectangle coordinates). Policies whose
+  /// constraints differ only in opaque predicates hash alike — pass a
+  /// distinguishing `tag` in that case.
+  static std::string PolicyFingerprint(const Policy& policy,
+                                       const std::string& tag = "");
+
+ private:
+  using Entry = std::pair<std::string, double>;  // (key, sensitivity)
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_SENSITIVITY_CACHE_H_

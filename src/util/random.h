@@ -18,7 +18,7 @@ namespace blowfish {
 /// library needs. Not thread-safe; use one instance per thread.
 class Random {
  public:
-  explicit Random(uint64_t seed) : gen_(seed) {}
+  explicit Random(uint64_t seed) : seed_(seed), gen_(seed) {}
 
   /// Uniform real in [0, 1).
   double Uniform();
@@ -43,13 +43,25 @@ class Random {
   double Gaussian(double mean, double stddev);
 
   /// Returns a fresh generator seeded from this one (for fanning out
-  /// independent per-repetition streams).
+  /// independent per-repetition streams). Advances this generator's state,
+  /// so successive calls yield different streams.
   Random Fork();
+
+  /// Returns an independent generator derived *statelessly* from this
+  /// generator's construction seed and `stream_id` (splitmix64 mixing).
+  /// Unlike Fork(), the result depends only on (seed, stream_id) — not on
+  /// how many draws this generator has made — so concurrent workers can be
+  /// given reproducible streams regardless of scheduling order.
+  Random Fork(uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with.
+  uint64_t seed() const { return seed_; }
 
   /// Access to the underlying engine for std:: distributions.
   std::mt19937_64& engine() { return gen_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 gen_;
 };
 

@@ -1,0 +1,113 @@
+#include "engine/budget_accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace blowfish {
+namespace {
+
+TEST(BudgetAccountantTest, SequentialSpendsAccumulate) {
+  BudgetAccountant accountant(1.0);
+  auto r1 = accountant.ChargeSequential("", 0.3, "q1");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_DOUBLE_EQ(r1->charged, 0.3);
+  EXPECT_DOUBLE_EQ(r1->remaining, 0.7);
+  auto r2 = accountant.ChargeSequential("", 0.5, "q2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r2->remaining, 0.2);
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.8);
+}
+
+TEST(BudgetAccountantTest, RefusesOverspendAndLeavesLedgerUntouched) {
+  BudgetAccountant accountant(1.0);
+  ASSERT_TRUE(accountant.ChargeSequential("", 0.8).ok());
+  auto refused = accountant.ChargeSequential("", 0.3);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // The refused charge must not count.
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.8);
+  // A smaller charge that fits still succeeds afterwards.
+  EXPECT_TRUE(accountant.ChargeSequential("", 0.2).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 1.0);
+}
+
+TEST(BudgetAccountantTest, ExactBudgetIsAllowed) {
+  BudgetAccountant accountant(1.0);
+  // Ten charges of 0.1 must sum to exactly the budget despite floating
+  // point accumulation.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(accountant.ChargeSequential("", 0.1).ok()) << i;
+  }
+  EXPECT_FALSE(accountant.ChargeSequential("", 0.01).ok());
+}
+
+TEST(BudgetAccountantTest, ParallelGroupCostsMax) {
+  BudgetAccountant accountant(1.0);
+  auto receipt = accountant.ChargeParallel("", {0.2, 0.5, 0.3}, "group");
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->parallel);
+  EXPECT_DOUBLE_EQ(receipt->charged, 0.5);
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.5);
+}
+
+TEST(BudgetAccountantTest, ParallelGroupRefusedWhenMaxOverBudget) {
+  BudgetAccountant accountant(0.4);
+  auto refused = accountant.ChargeParallel("", {0.2, 0.5});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.0);
+}
+
+TEST(BudgetAccountantTest, NamedSessionsAreIndependent) {
+  BudgetAccountant accountant(1.0);
+  ASSERT_TRUE(accountant.OpenSession("alice", 2.0).ok());
+  ASSERT_TRUE(accountant.ChargeSequential("alice", 1.5).ok());
+  // Auto-created session "bob" still has the default budget.
+  ASSERT_TRUE(accountant.ChargeSequential("bob", 0.9).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent("alice"), 1.5);
+  EXPECT_DOUBLE_EQ(accountant.Spent("bob"), 0.9);
+  EXPECT_DOUBLE_EQ(accountant.Remaining("alice"), 0.5);
+  // Alice's extra headroom does not leak to bob.
+  EXPECT_FALSE(accountant.ChargeSequential("bob", 0.5).ok());
+}
+
+TEST(BudgetAccountantTest, DuplicateOpenSessionFails) {
+  BudgetAccountant accountant(1.0);
+  ASSERT_TRUE(accountant.OpenSession("alice", 2.0).ok());
+  EXPECT_FALSE(accountant.OpenSession("alice", 3.0).ok());
+  EXPECT_FALSE(accountant.OpenSession("x", -1.0).ok());
+}
+
+TEST(BudgetAccountantTest, RejectsNegativeEpsilon) {
+  BudgetAccountant accountant(1.0);
+  EXPECT_EQ(accountant.ChargeSequential("", -0.1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.ChargeParallel("", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.ChargeParallel("", {0.1, -0.2}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetAccountantTest, ConcurrentChargesNeverOverspend) {
+  BudgetAccountant accountant(1.0);
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&accountant]() {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        (void)accountant.ChargeSequential("", 0.01);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 400 attempted charges of 0.01 against a budget of 1.0: exactly the
+  // first 100 (in arrival order) may land.
+  EXPECT_LE(accountant.Spent(""), 1.0 + 1e-9);
+  EXPECT_NEAR(accountant.Spent(""), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace blowfish

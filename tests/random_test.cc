@@ -125,5 +125,40 @@ TEST(RandomTest, ForkProducesDistinctStream) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(RandomTest, StreamForkIsReproducible) {
+  Random a(42), b(42);
+  // Draw from `a` first: stream forks must not depend on generator state.
+  for (int i = 0; i < 17; ++i) a.Uniform();
+  Random fa = a.Fork(uint64_t{5});
+  Random fb = b.Fork(uint64_t{5});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(fa.Uniform(), fb.Uniform());
+  }
+}
+
+TEST(RandomTest, StreamForksDiffer) {
+  Random root(42);
+  Random s0 = root.Fork(uint64_t{0});
+  Random s1 = root.Fork(uint64_t{1});
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.Uniform() == s1.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, StreamForkDiffersFromRootStream) {
+  // Fork(id) must not just reuse the root seed: stream 0 of seed 42 and a
+  // fresh Random(42) should be unrelated sequences.
+  Random root(42);
+  Random s0 = root.Fork(uint64_t{0});
+  Random raw(42);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.Uniform() == raw.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
 }  // namespace
 }  // namespace blowfish

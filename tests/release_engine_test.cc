@@ -1,0 +1,527 @@
+#include "engine/release_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/secret_graph.h"
+#include "engine/batch_request.h"
+#include "mech/laplace.h"
+#include "mech/ordered.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+std::shared_ptr<const Domain> GridDomain(uint64_t m, size_t k) {
+  return std::make_shared<const Domain>(Domain::Grid(m, k).value());
+}
+
+Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
+                 uint64_t seed = 7) {
+  Random rng(seed);
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(domain->size()) - 1)));
+  }
+  return Dataset::Create(domain, std::move(tuples)).value();
+}
+
+QueryRequest HistogramRequest(double eps) {
+  QueryRequest req;
+  req.kind = QueryKind::kHistogram;
+  req.epsilon = eps;
+  return req;
+}
+
+std::unique_ptr<ReleaseEngine> MakeEngine(const Policy& policy,
+                                          const Dataset& data,
+                                          ReleaseEngineOptions options) {
+  auto engine = ReleaseEngine::Create(policy, data, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+TEST(ReleaseEngineTest, HistogramMatchesDirectMechanism) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 500);
+  auto hist = data.CompleteHistogram().value();
+
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  auto engine = MakeEngine(policy, data, options);
+  auto responses = engine->ServeBatch({HistogramRequest(0.5)});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 2.0);
+
+  // The engine's first query draws from stream 0 of the root seed; the
+  // direct one-shot call with the same forked RNG must be bit-identical.
+  Random direct_rng = Random(kSeed).Fork(uint64_t{0});
+  auto direct = LaplaceRelease(hist.counts(), 2.0, 0.5, direct_rng);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(responses[0].values, *direct);
+}
+
+TEST(ReleaseEngineTest, OrderedFamilyMatchesDirectMechanism) {
+  auto domain = LineDomain(64);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 400);
+  auto hist = data.CompleteHistogram().value();
+
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  auto engine = MakeEngine(policy, data, options);
+  QueryRequest range;
+  range.kind = QueryKind::kRange;
+  range.epsilon = 0.4;
+  range.range_lo = 10;
+  range.range_hi = 40;
+  auto responses = engine->ServeBatch({range});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+
+  Random direct_rng = Random(kSeed).Fork(uint64_t{0});
+  auto direct = OrderedMechanism(hist, policy, 0.4, direct_rng);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(responses[0].values,
+            std::vector<double>{direct->RangeQuery(10, 40).value()});
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 1.0);  // line graph
+}
+
+TEST(ReleaseEngineTest, BatchIsDeterministicAcrossThreadCounts) {
+  auto domain = LineDomain(64);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 400);
+
+  std::vector<QueryRequest> batch;
+  batch.push_back(HistogramRequest(0.3));
+  QueryRequest range;
+  range.kind = QueryKind::kRange;
+  range.epsilon = 0.2;
+  range.range_lo = 5;
+  range.range_hi = 50;
+  batch.push_back(range);
+  QueryRequest quantiles;
+  quantiles.kind = QueryKind::kQuantiles;
+  quantiles.epsilon = 0.2;
+  quantiles.quantiles = {0.25, 0.5, 0.75};
+  batch.push_back(quantiles);
+  QueryRequest cdf;
+  cdf.kind = QueryKind::kCdf;
+  cdf.epsilon = 0.1;
+  batch.push_back(cdf);
+  QueryRequest kmeans;
+  kmeans.kind = QueryKind::kKMeans;
+  kmeans.epsilon = 0.5;
+  kmeans.kmeans.k = 2;
+  kmeans.kmeans.iterations = 2;
+  batch.push_back(kmeans);
+
+  std::vector<std::vector<QueryResponse>> runs;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ReleaseEngineOptions options;
+    options.root_seed = kSeed;
+    options.num_threads = threads;
+    options.default_session_budget = 100.0;
+    auto engine = MakeEngine(policy, data, options);
+    runs.push_back(engine->ServeBatch(batch));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (size_t i = 0; i < runs[0].size(); ++i) {
+    ASSERT_TRUE(runs[0][i].status.ok()) << i << ": "
+                                        << runs[0][i].status.ToString();
+    ASSERT_TRUE(runs[1][i].status.ok()) << i;
+    EXPECT_EQ(runs[0][i].values, runs[1][i].values) << "query " << i;
+    EXPECT_DOUBLE_EQ(runs[0][i].sensitivity, runs[1][i].sensitivity);
+    EXPECT_DOUBLE_EQ(runs[0][i].receipt.charged, runs[1][i].receipt.charged);
+  }
+}
+
+TEST(ReleaseEngineTest, RepeatedBatchDrawsFreshNoise) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 500);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 100.0;
+  auto engine = MakeEngine(policy, data, options);
+  auto first = engine->ServeBatch({HistogramRequest(0.5)});
+  auto second = engine->ServeBatch({HistogramRequest(0.5)});
+  ASSERT_TRUE(first[0].status.ok());
+  ASSERT_TRUE(second[0].status.ok());
+  // Stream ids advance across batches: re-asking the same query must not
+  // replay the same noise (that would leak the true answer's noise).
+  EXPECT_NE(first[0].values, second[0].values);
+}
+
+TEST(ReleaseEngineTest, CachedAndUncachedAnswersAgree) {
+  // Constrained policy: sensitivity needs the Thm 8.2 policy-graph bound.
+  auto domain = std::make_shared<const Domain>(
+      Domain::Create({Attribute{"A1", 2, 1.0}, Attribute{"A2", 2, 1.0},
+                      Attribute{"A3", 3, 1.0}})
+          .value());
+  ConstraintSet constraints;
+  ASSERT_TRUE(constraints.AddMarginal(domain, Marginal{{0, 1}}).ok());
+  auto graph = std::make_shared<const FullGraph>(domain->size());
+  Policy policy =
+      Policy::Create(domain, graph, std::move(constraints)).value();
+  Dataset data = MakeData(domain, 200);
+
+  std::vector<QueryRequest> batch(4, HistogramRequest(0.3));
+  std::vector<std::vector<QueryResponse>> runs;
+  std::vector<SensitivityCache::Stats> stats;
+  for (size_t capacity : {size_t{0}, size_t{128}}) {
+    ReleaseEngineOptions options;
+    options.root_seed = kSeed;
+    options.cache_capacity = capacity;
+    options.default_session_budget = 100.0;
+    auto engine = MakeEngine(policy, data, options);
+    runs.push_back(engine->ServeBatch(batch));
+    stats.push_back(engine->cache().stats());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(runs[0][i].status.ok()) << runs[0][i].status.ToString();
+    ASSERT_TRUE(runs[1][i].status.ok());
+    // Same answers...
+    EXPECT_EQ(runs[0][i].values, runs[1][i].values) << "query " << i;
+    EXPECT_DOUBLE_EQ(runs[0][i].sensitivity, runs[1][i].sensitivity);
+  }
+  // ...but the cached engine computed the bound once, not four times.
+  EXPECT_EQ(stats[0].misses, 4u);
+  EXPECT_EQ(stats[1].misses, 1u);
+  EXPECT_EQ(stats[1].hits, 3u);
+  EXPECT_FALSE(runs[1][0].cache_hit);
+  EXPECT_TRUE(runs[1][1].cache_hit);
+  // Example 8.3: S(h, P) = 8 for the [A1,A2] marginal under G^full.
+  EXPECT_DOUBLE_EQ(runs[1][0].sensitivity, 8.0);
+}
+
+TEST(ReleaseEngineTest, OverspendRefusedMidBatch) {
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 0.5;
+  auto engine = MakeEngine(policy, data, options);
+  auto responses = engine->ServeBatch(
+      {HistogramRequest(0.4), HistogramRequest(0.4), HistogramRequest(0.1)});
+  ASSERT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(responses[1].values.empty());
+  // Admission is in request order: the refused query spends nothing, so a
+  // later query that fits is still served.
+  ASSERT_TRUE(responses[2].status.ok());
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.5);
+}
+
+TEST(ReleaseEngineTest, NamedSessionsHaveIndependentBudgets) {
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 0.5;
+  auto engine = MakeEngine(policy, data, options);
+  ASSERT_TRUE(engine->accountant().OpenSession("alice", 2.0).ok());
+
+  QueryRequest alice = HistogramRequest(1.5);
+  alice.session = "alice";
+  QueryRequest anon = HistogramRequest(1.5);
+  auto responses = engine->ServeBatch({alice, anon});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_EQ(responses[0].receipt.session, "alice");
+  EXPECT_DOUBLE_EQ(responses[0].receipt.remaining, 0.5);
+  // The default session's smaller budget refuses the same query.
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReleaseEngineTest, ParallelGroupChargedMaxNotSum) {
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  Dataset data = MakeData(domain, 300);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest a;
+  a.kind = QueryKind::kCellHistogram;
+  a.epsilon = 0.3;
+  a.cells = {0};
+  a.parallel_group = "g";
+  QueryRequest b;
+  b.kind = QueryKind::kCellHistogram;
+  b.epsilon = 0.5;
+  b.cells = {3};
+  b.parallel_group = "g";
+  auto responses = engine->ServeBatch({a, b});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
+  // Thm 4.2: the group costs max(0.3, 0.5), not 0.8.
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.5);
+  EXPECT_TRUE(responses[0].receipt.parallel);
+  EXPECT_DOUBLE_EQ(responses[0].receipt.charged +
+                       responses[1].receipt.charged,
+                   0.5);
+  // Each member's noise is still calibrated to its own epsilon.
+  EXPECT_DOUBLE_EQ(responses[0].receipt.epsilon, 0.3);
+  EXPECT_DOUBLE_EQ(responses[1].receipt.epsilon, 0.5);
+  // Each cell of the 2x2-partitioned 4x4 grid holds 4 values.
+  EXPECT_EQ(responses[0].values.size(), 4u);
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 2.0);
+}
+
+TEST(ReleaseEngineTest, ParallelGroupWithOverlappingCellsRefused) {
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  Dataset data = MakeData(domain, 300);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 10.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest a;
+  a.kind = QueryKind::kCellHistogram;
+  a.epsilon = 0.3;
+  a.cells = {0, 1};
+  a.parallel_group = "g";
+  QueryRequest b = a;
+  b.cells = {1, 2};  // overlaps on cell 1
+  auto responses = engine->ServeBatch({a, b});
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
+}
+
+TEST(ReleaseEngineTest, ParallelGroupWithNonCellQueryRefused) {
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  Dataset data = MakeData(domain, 300);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 10.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest a;
+  a.kind = QueryKind::kCellHistogram;
+  a.epsilon = 0.3;
+  a.cells = {0};
+  a.parallel_group = "g";
+  QueryRequest b = HistogramRequest(0.3);
+  b.parallel_group = "g";
+  auto responses = engine->ServeBatch({a, b});
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReleaseEngineTest, EdgelessPolicyReleasesExactlyForFree) {
+  // Singleton partition cells: G^P has no edges, so S(h, P) = 0 and the
+  // histogram is released exactly at zero cost (Sec 5).
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {4, 4}).value();
+  Dataset data = MakeData(domain, 300);
+  auto hist = data.CompleteHistogram().value();
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 0.0;  // no budget at all
+  auto engine = MakeEngine(policy, data, options);
+  QueryRequest free;
+  free.kind = QueryKind::kHistogram;
+  free.epsilon = 0.0;
+  auto responses = engine->ServeBatch({free});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(responses[0].receipt.charged, 0.0);
+  EXPECT_EQ(responses[0].values, hist.counts());
+}
+
+TEST(ReleaseEngineTest, ParallelGroupChargedAtFirstMemberPosition) {
+  // Budget contention: the group appears before the sequential query, so
+  // under a 0.5 budget the group (0.4) wins and the later sequential
+  // query (0.4) is refused — admission is strictly in request order.
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  Dataset data = MakeData(domain, 300);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 0.5;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest a;
+  a.kind = QueryKind::kCellHistogram;
+  a.epsilon = 0.4;
+  a.cells = {0};
+  a.parallel_group = "g";
+  QueryRequest b = HistogramRequest(0.4);
+  auto responses = engine->ServeBatch({a, b});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.4);
+}
+
+TEST(ReleaseEngineTest, UnknownPartitionCellRefused) {
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  Dataset data = MakeData(domain, 300);
+  ReleaseEngineOptions options;
+  auto engine = MakeEngine(policy, data, options);
+  QueryRequest ghost;
+  ghost.kind = QueryKind::kCellHistogram;
+  ghost.epsilon = 0.3;
+  ghost.cells = {0, 99};
+  auto responses = engine->ServeBatch({ghost});
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReleaseEngineTest, EdgelessOrderedFamilyReleasedExactlyForFree) {
+  // theta < scale: the distance-threshold graph has no edges, so the
+  // cumulative histogram has sensitivity 0 and range/cdf/quantile
+  // queries are exact and free even at eps = 0.
+  auto domain = LineDomain(32);
+  Policy policy = Policy::DistanceThreshold(domain, 0.5).value();
+  Dataset data = MakeData(domain, 200);
+  auto cumulative = data.CompleteHistogram().value().CumulativeSums();
+  ReleaseEngineOptions options;
+  options.default_session_budget = 0.0;
+  auto engine = MakeEngine(policy, data, options);
+  QueryRequest range;
+  range.kind = QueryKind::kRange;
+  range.epsilon = 0.0;
+  range.range_lo = 4;
+  range.range_hi = 20;
+  QueryRequest cdf;
+  cdf.kind = QueryKind::kCdf;
+  cdf.epsilon = 0.0;
+  auto responses = engine->ServeBatch({range, cdf});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
+  EXPECT_DOUBLE_EQ(responses[0].values[0],
+                   cumulative[20] - cumulative[3]);
+  EXPECT_DOUBLE_EQ(responses[0].receipt.charged, 0.0);
+  EXPECT_EQ(responses[1].values.size(), 32u);
+}
+
+TEST(ReleaseEngineTest, MismatchedDomainsRefusedAtCreate) {
+  auto policy_domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(policy_domain).value();
+  // Same size and attribute count, different shape: 32 = 32 but the
+  // attribute cardinality/scale differ.
+  auto data_domain = std::make_shared<const Domain>(
+      Domain::Line(32, 2.0, "other").value());
+  Dataset data = MakeData(data_domain, 50);
+  auto engine = ReleaseEngine::Create(policy, data, {});
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReleaseEngineTest, PositiveSensitivityRequiresPositiveEpsilon) {
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  ReleaseEngineOptions options;
+  auto engine = MakeEngine(policy, data, options);
+  auto responses = engine->ServeBatch({HistogramRequest(0.0)});
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReleaseEngineTest, FailedQueryDoesNotSinkTheBatch) {
+  auto domain = GridDomain(4, 2);  // 2-D: cumulative queries must fail
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  ReleaseEngineOptions options;
+  options.default_session_budget = 10.0;
+  auto engine = MakeEngine(policy, data, options);
+  QueryRequest bad;
+  bad.kind = QueryKind::kCdf;
+  bad.epsilon = 0.5;
+  auto responses = engine->ServeBatch({bad, HistogramRequest(0.5)});
+  EXPECT_FALSE(responses[0].status.ok());
+  ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
+  // The failed query was never charged.
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.5);
+}
+
+TEST(BatchRequestTest, ParsesAllKindsAndKeys) {
+  const std::string text =
+      "# comment line\n"
+      "histogram eps=0.5 label=h1 session=alice\n"
+      "\n"
+      "cell_histogram eps=0.2 cells=0,3 group=g1\n"
+      "range eps=0.1 lo=5 hi=40\n"
+      "quantiles eps=0.1 qs=0.1,0.9\n"
+      "quantiles eps=0.1   # default quantiles\n"
+      "cdf eps=0.1\n"
+      "kmeans eps=0.5 k=3 iters=7\n";
+  auto requests = ParseBatchRequests(text);
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  ASSERT_EQ(requests->size(), 7u);
+  EXPECT_EQ((*requests)[0].kind, QueryKind::kHistogram);
+  EXPECT_DOUBLE_EQ((*requests)[0].epsilon, 0.5);
+  EXPECT_EQ((*requests)[0].label, "h1");
+  EXPECT_EQ((*requests)[0].session, "alice");
+  EXPECT_EQ((*requests)[1].cells, (std::vector<uint64_t>{0, 3}));
+  EXPECT_EQ((*requests)[1].parallel_group, "g1");
+  EXPECT_EQ((*requests)[2].range_lo, 5u);
+  EXPECT_EQ((*requests)[2].range_hi, 40u);
+  EXPECT_EQ((*requests)[3].quantiles, (std::vector<double>{0.1, 0.9}));
+  EXPECT_EQ((*requests)[4].quantiles,
+            (std::vector<double>{0.25, 0.5, 0.75}));
+  EXPECT_EQ((*requests)[6].kmeans.k, 3u);
+  EXPECT_EQ((*requests)[6].kmeans.iterations, 7u);
+}
+
+TEST(BatchRequestTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseBatchRequests("frobnicate eps=1\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("histogram eps\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("histogram eps=abc\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("histogram bogus=1\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("range eps=0.1 lo=x hi=2\n").ok());
+  // Negative integers must not wrap to huge uint64 values.
+  EXPECT_FALSE(ParseBatchRequests("kmeans eps=0.5 k=-1\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("range eps=0.1 lo=-1 hi=2\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("cell_histogram eps=0.1 cells=-3\n").ok());
+}
+
+TEST(BatchRequestTest, HashInsideValueIsNotAComment) {
+  auto requests = ParseBatchRequests(
+      "histogram eps=0.5 label=run#3 session=team#7  # real comment\n");
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  ASSERT_EQ(requests->size(), 1u);
+  EXPECT_EQ((*requests)[0].label, "run#3");
+  EXPECT_EQ((*requests)[0].session, "team#7");
+}
+
+TEST(BatchRequestTest, ParsedBatchRunsEndToEnd) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 200);
+  ReleaseEngineOptions options;
+  options.default_session_budget = 10.0;
+  auto engine = MakeEngine(policy, data, options);
+  auto requests = ParseBatchRequests(
+      "histogram eps=0.5 label=h\n"
+      "range eps=0.2 lo=2 hi=20 label=r\n"
+      "quantiles eps=0.2 label=q\n");
+  ASSERT_TRUE(requests.ok());
+  auto responses = engine->ServeBatch(*requests);
+  for (const auto& resp : responses) {
+    EXPECT_TRUE(resp.status.ok()) << resp.label << ": "
+                                  << resp.status.ToString();
+  }
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.9);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,141 @@
+#include "engine/sensitivity_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/secret_graph.h"
+
+namespace blowfish {
+namespace {
+
+TEST(SensitivityCacheTest, MissThenHit) {
+  SensitivityCache cache(8);
+  int computes = 0;
+  auto compute = [&computes]() -> StatusOr<double> {
+    ++computes;
+    return 2.0;
+  };
+  auto first = cache.GetOrCompute("P", "h", compute);
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(*first, 2.0);
+  auto second = cache.GetOrCompute("P", "h", compute);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(*second, 2.0);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SensitivityCacheTest, DistinctKeysAreDistinctEntries) {
+  SensitivityCache cache(8);
+  ASSERT_TRUE(
+      cache.GetOrCompute("P", "h", []() -> StatusOr<double> { return 2.0; })
+          .ok());
+  ASSERT_TRUE(cache
+                  .GetOrCompute("P", "S_T",
+                                []() -> StatusOr<double> { return 7.0; })
+                  .ok());
+  ASSERT_TRUE(cache
+                  .GetOrCompute("P2", "h",
+                                []() -> StatusOr<double> { return 4.0; })
+                  .ok());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_DOUBLE_EQ(*cache.GetOrCompute(
+                       "P", "h", []() -> StatusOr<double> { return -1.0; }),
+                   2.0);
+}
+
+TEST(SensitivityCacheTest, ErrorsAreNotCached) {
+  SensitivityCache cache(8);
+  int computes = 0;
+  auto failing = [&computes]() -> StatusOr<double> {
+    ++computes;
+    return Status::ResourceExhausted("edge budget");
+  };
+  EXPECT_FALSE(cache.GetOrCompute("P", "h", failing).ok());
+  EXPECT_FALSE(cache.GetOrCompute("P", "h", failing).ok());
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+  // A later success for the same key is cached normally.
+  ASSERT_TRUE(
+      cache.GetOrCompute("P", "h", []() -> StatusOr<double> { return 2.0; })
+          .ok());
+  EXPECT_TRUE(cache.Contains("P", "h"));
+}
+
+TEST(SensitivityCacheTest, LruEviction) {
+  SensitivityCache cache(2);
+  auto value = [](double v) {
+    return [v]() -> StatusOr<double> { return v; };
+  };
+  ASSERT_TRUE(cache.GetOrCompute("P", "a", value(1)).ok());
+  ASSERT_TRUE(cache.GetOrCompute("P", "b", value(2)).ok());
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_TRUE(cache.GetOrCompute("P", "a", value(-1)).ok());
+  ASSERT_TRUE(cache.GetOrCompute("P", "c", value(3)).ok());
+  EXPECT_TRUE(cache.Contains("P", "a"));
+  EXPECT_FALSE(cache.Contains("P", "b"));
+  EXPECT_TRUE(cache.Contains("P", "c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SensitivityCacheTest, ZeroCapacityAlwaysComputes) {
+  SensitivityCache cache(0);
+  int computes = 0;
+  auto compute = [&computes]() -> StatusOr<double> {
+    ++computes;
+    return 2.0;
+  };
+  ASSERT_TRUE(cache.GetOrCompute("P", "h", compute).ok());
+  ASSERT_TRUE(cache.GetOrCompute("P", "h", compute).ok());
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SensitivityCacheTest, ConcurrentAccessComputesOnce) {
+  SensitivityCache cache(8);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 100; ++i) {
+        auto v = cache.GetOrCompute("P", "h",
+                                    [&computes]() -> StatusOr<double> {
+                                      ++computes;
+                                      return 2.0;
+                                    });
+        ASSERT_TRUE(v.ok());
+        ASSERT_DOUBLE_EQ(*v, 2.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Compute runs under the cache lock: exactly one execution.
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 800u);
+}
+
+TEST(SensitivityCacheTest, PolicyFingerprintSeparatesPolicies) {
+  auto domain = std::make_shared<const Domain>(Domain::Line(16).value());
+  Policy full = Policy::FullDomain(domain).value();
+  Policy line = Policy::Line(domain).value();
+  Policy theta = Policy::DistanceThreshold(domain, 4.0).value();
+  const std::string fp_full = SensitivityCache::PolicyFingerprint(full);
+  const std::string fp_line = SensitivityCache::PolicyFingerprint(line);
+  const std::string fp_theta = SensitivityCache::PolicyFingerprint(theta);
+  EXPECT_NE(fp_full, fp_line);
+  EXPECT_NE(fp_full, fp_theta);
+  EXPECT_NE(fp_line, fp_theta);
+  // Same policy shape -> same fingerprint.
+  Policy full2 = Policy::FullDomain(domain).value();
+  EXPECT_EQ(fp_full, SensitivityCache::PolicyFingerprint(full2));
+  // Tags separate otherwise-identical fingerprints.
+  EXPECT_NE(fp_full, SensitivityCache::PolicyFingerprint(full, "tag"));
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -12,9 +12,16 @@
 //   blowfish_cli kmeans    --policy p.txt --csv data.csv --columns 0,1
 //                          --eps 0.5 --k 4
 //   blowfish_cli advise    --policy p.txt --eps 0.5
+//   blowfish_cli batch     --policy p.txt --csv data.csv
+//                          --requests reqs.txt [--threads 4] [--seed 7]
+//                          [--budget 10]
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
+// The `batch` command serves a whole request file through one
+// ReleaseEngine process (engine/release_engine.h): budget-accounted,
+// sensitivity-cached, fanned out over --threads workers, output identical
+// for any thread count. See engine/batch_request.h for the file format.
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +33,8 @@
 
 #include "core/policy_spec.h"
 #include "data/csv_loader.h"
+#include "engine/batch_request.h"
+#include "engine/release_engine.h"
 #include "mech/cdf_applications.h"
 #include "mech/error_models.h"
 #include "mech/kmeans.h"
@@ -138,6 +147,56 @@ int RunCli(Args args) {
   if (!data.ok()) return Fail(data.status().ToString());
   std::printf("# loaded %zu rows\n", data->size());
 
+  if (args.command == "batch") {
+    const char* requests_path = args.Get("requests");
+    if (requests_path == nullptr) return Fail("--requests <file> required");
+    auto request_text = ReadFile(requests_path);
+    if (!request_text.ok()) return Fail(request_text.status().ToString());
+    auto requests = ParseBatchRequests(*request_text);
+    if (!requests.ok()) return Fail(requests.status().ToString());
+
+    ReleaseEngineOptions options;
+    options.root_seed = rng.seed();
+    if (const char* t = args.Get("threads")) {
+      options.num_threads = std::stoul(t);
+    }
+    if (const char* b = args.Get("budget")) {
+      options.default_session_budget = std::stod(b);
+    }
+    auto engine =
+        ReleaseEngine::Create(policy, std::move(*data), options);
+    if (!engine.ok()) return Fail(engine.status().ToString());
+
+    auto responses = (*engine)->ServeBatch(*requests);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const QueryRequest& req = (*requests)[i];
+      const QueryResponse& resp = responses[i];
+      std::printf("## query %zu kind=%s label=%s status=%s\n", i,
+                  QueryKindName(req.kind), resp.label.c_str(),
+                  resp.status.ok() ? "OK" : resp.status.ToString().c_str());
+      if (!resp.status.ok()) continue;
+      std::printf(
+          "# sensitivity=%g cache_hit=%d eps=%g charged=%g remaining=%g "
+          "session=%s%s\n",
+          resp.sensitivity, resp.cache_hit ? 1 : 0, resp.receipt.epsilon,
+          resp.receipt.charged, resp.receipt.remaining,
+          resp.receipt.session.empty() ? "(default)"
+                                       : resp.receipt.session.c_str(),
+          resp.receipt.parallel ? " parallel=1" : "");
+      for (size_t v = 0; v < resp.values.size(); ++v) {
+        std::printf("%s%.6f", v == 0 ? "" : ",", resp.values[v]);
+      }
+      if (!resp.values.empty()) std::printf("\n");
+    }
+    const SensitivityCache::Stats stats = (*engine)->cache().stats();
+    std::printf("## cache hits=%llu misses=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions));
+    std::printf("%s", (*engine)->accountant().ToString().c_str());
+    return 0;
+  }
+
   if (args.command == "kmeans") {
     KMeansOptions opts;
     if (const char* k = args.Get("k")) opts.k = std::stoul(k);
@@ -213,7 +272,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: blowfish_cli "
-                 "<histogram|cdf|range|quantiles|kmeans|advise> "
+                 "<histogram|cdf|range|quantiles|kmeans|advise|batch> "
                  "--policy <file> [--csv <file>] [--eps <v>] ...\n");
     return 1;
   }
