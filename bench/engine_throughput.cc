@@ -8,12 +8,17 @@
 // cold baseline recomputes that per query, as the one-shot library calls
 // do; the engine computes it once and serves the rest from the LRU cache.
 //
-// Output: queries/sec cold vs warm, the speedup (acceptance: >= 5x), and
+// Output: queries/sec cold vs warm, the speedup (acceptance: >= 5x),
 // whether a repeated batch with the same root seed is bit-identical
-// across --threads 1 and --threads 4.
+// across --threads 1 and --threads 4, a persistent-pool vs
+// per-batch-thread-spawn executor comparison (the reason
+// server/thread_pool.h exists), and whether an EngineHost batch is
+// bit-identical for any pool size (acceptance: it is).
 
 #include <chrono>
 #include <cstdio>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "core/policy.h"
@@ -22,6 +27,8 @@
 #include "data/synthetic.h"
 #include "engine/release_engine.h"
 #include "mech/laplace.h"
+#include "server/engine_host.h"
+#include "server/thread_pool.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -178,7 +185,81 @@ int Run() {
   std::printf("determinism_threads_1_vs_4,%s\n",
               deterministic ? "PASS" : "FAIL");
 
-  return (speedup >= 5.0 && deterministic) ? 0 : 1;
+  // --- Persistent pool vs per-batch thread spawn. ------------------------
+  // PR 1 spawned a fresh worker set per batch; the server layer keeps one
+  // pool alive. Same work, same fan-out width — the difference is pure
+  // thread-lifecycle overhead per batch.
+  constexpr size_t kExecBatches = 200;
+  constexpr size_t kExecWidth = 8;
+  auto busy_task = []() {
+    // A few microseconds of arithmetic, stand-in for a cheap cached query.
+    volatile uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 4000; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+  };
+  double pool_seconds = 0.0;
+  {
+    ThreadPool pool(kExecWidth);
+    const auto start = Clock::now();
+    for (size_t b = 0; b < kExecBatches; ++b) {
+      std::vector<std::future<void>> done;
+      done.reserve(kExecWidth);
+      for (size_t t = 0; t < kExecWidth; ++t) {
+        done.push_back(pool.Submit(busy_task));
+      }
+      for (auto& f : done) f.get();
+    }
+    pool_seconds = SecondsSince(start);
+  }
+  double spawn_seconds = 0.0;
+  {
+    const auto start = Clock::now();
+    for (size_t b = 0; b < kExecBatches; ++b) {
+      std::vector<std::thread> threads;
+      threads.reserve(kExecWidth);
+      for (size_t t = 0; t < kExecWidth; ++t) {
+        threads.emplace_back(busy_task);
+      }
+      for (auto& t : threads) t.join();
+    }
+    spawn_seconds = SecondsSince(start);
+  }
+  std::printf("pool_batches_per_sec,%.1f\n", kExecBatches / pool_seconds);
+  std::printf("spawn_batches_per_sec,%.1f\n", kExecBatches / spawn_seconds);
+  std::printf("executor_speedup,%.2f\n", spawn_seconds / pool_seconds);
+
+  // --- EngineHost: bit-identical for any pool size. ----------------------
+  // The multi-tenant host shares one pool across tenants; per-tenant
+  // output must still be a pure function of (tenant seed, admission
+  // order), never of pool width.
+  std::vector<std::vector<QueryResponse>> host_runs;
+  bool host_ok = true;
+  for (size_t pool_size : {size_t{1}, size_t{4}}) {
+    EngineHostOptions host_options;
+    host_options.num_threads = pool_size;
+    EngineHost host(host_options);
+    TenantOptions tenant;
+    tenant.default_session_budget = 1e9;
+    tenant.root_seed = kSeed;
+    if (!host.AddTenant("bench", "t0", *policy, *data, tenant).ok()) {
+      std::fprintf(stderr, "host: AddTenant failed\n");
+      return 1;
+    }
+    auto responses = host.ServeBatch("bench", "t0", HistogramBatch(16, kEps));
+    if (!responses.ok()) {
+      std::fprintf(stderr, "host: %s\n",
+                   responses.status().ToString().c_str());
+      return 1;
+    }
+    host_runs.push_back(std::move(*responses));
+  }
+  for (const QueryResponse& r : host_runs[0]) host_ok &= r.status.ok();
+  host_ok = host_ok && Identical(host_runs[0], host_runs[1]);
+  std::printf("host_determinism_pool_1_vs_4,%s\n",
+              host_ok ? "PASS" : "FAIL");
+
+  return (speedup >= 5.0 && deterministic && host_ok) ? 0 : 1;
 }
 
 }  // namespace

@@ -30,6 +30,21 @@ Status PrivacyAccountant::SpendParallel(const std::vector<double>& epsilons,
   return Status::OK();
 }
 
+Status PrivacyAccountant::Refund(double epsilon, std::string label) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("refund epsilon must be positive");
+  }
+  if (epsilon > total_ + 1e-12) {
+    return Status::InvalidArgument(
+        "refund of " + std::to_string(epsilon) +
+        " exceeds total recorded loss " + std::to_string(total_));
+  }
+  entries_.push_back(Entry{std::move(label), -epsilon, /*parallel=*/false});
+  total_ -= epsilon;
+  if (total_ < 0.0) total_ = 0.0;  // absorb float dust from the tolerance
+  return Status::OK();
+}
+
 std::string PrivacyAccountant::ToString() const {
   std::string out = "PrivacyAccountant(total=" + std::to_string(total_);
   for (const Entry& e : entries_) {

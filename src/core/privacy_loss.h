@@ -35,6 +35,12 @@ class PrivacyAccountant {
   Status SpendParallel(const std::vector<double>& epsilons,
                        std::string label = "");
 
+  /// Returns `epsilon` of previously recorded loss: the release it paid
+  /// for failed before anything was published, so no privacy was spent.
+  /// The ledger stays append-only — the refund is recorded as a negative
+  /// entry. Fails if epsilon exceeds the current total.
+  Status Refund(double epsilon, std::string label = "");
+
   /// Total (eps, P)-Blowfish loss so far.
   double TotalEpsilon() const { return total_; }
 

@@ -1,39 +1,13 @@
 #include "engine/batch_request.h"
 
 #include <cctype>
-#include <cstdlib>
 #include <sstream>
+
+#include "util/parse.h"
 
 namespace blowfish {
 
 namespace {
-
-StatusOr<double> ParseDouble(const std::string& value,
-                             const std::string& context) {
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed number '" + value + "' for " +
-                                   context);
-  }
-  return parsed;
-}
-
-StatusOr<uint64_t> ParseUint(const std::string& value,
-                             const std::string& context) {
-  // strtoull silently wraps negative input to huge values; reject it.
-  if (value.find('-') != std::string::npos) {
-    return Status::InvalidArgument("expected a non-negative integer, got '" +
-                                   value + "' for " + context);
-  }
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed integer '" + value +
-                                   "' for " + context);
-  }
-  return static_cast<uint64_t>(parsed);
-}
 
 StatusOr<QueryKind> ParseKind(const std::string& kind) {
   if (kind == "histogram") return QueryKind::kHistogram;
@@ -50,7 +24,7 @@ Status ApplyKeyValue(const std::string& key, const std::string& value,
   const std::string context =
       "'" + key + "' on line " + std::to_string(line_no);
   if (key == "eps") {
-    BLOWFISH_ASSIGN_OR_RETURN(request->epsilon, ParseDouble(value, context));
+    BLOWFISH_ASSIGN_OR_RETURN(request->epsilon, ParseFiniteDouble(value, context));
     return Status::OK();
   }
   if (key == "label") {
@@ -69,18 +43,18 @@ Status ApplyKeyValue(const std::string& key, const std::string& value,
     std::istringstream in(value);
     std::string token;
     while (std::getline(in, token, ',')) {
-      BLOWFISH_ASSIGN_OR_RETURN(uint64_t cell, ParseUint(token, context));
+      BLOWFISH_ASSIGN_OR_RETURN(uint64_t cell, ParseNonNegativeInt(token, context));
       request->cells.push_back(cell);
     }
     return Status::OK();
   }
   if (key == "lo") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t lo, ParseUint(value, context));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t lo, ParseNonNegativeInt(value, context));
     request->range_lo = static_cast<size_t>(lo);
     return Status::OK();
   }
   if (key == "hi") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t hi, ParseUint(value, context));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t hi, ParseNonNegativeInt(value, context));
     request->range_hi = static_cast<size_t>(hi);
     return Status::OK();
   }
@@ -88,18 +62,18 @@ Status ApplyKeyValue(const std::string& key, const std::string& value,
     std::istringstream in(value);
     std::string token;
     while (std::getline(in, token, ',')) {
-      BLOWFISH_ASSIGN_OR_RETURN(double q, ParseDouble(token, context));
+      BLOWFISH_ASSIGN_OR_RETURN(double q, ParseFiniteDouble(token, context));
       request->quantiles.push_back(q);
     }
     return Status::OK();
   }
   if (key == "k") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t k, ParseUint(value, context));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t k, ParseNonNegativeInt(value, context));
     request->kmeans.k = static_cast<size_t>(k);
     return Status::OK();
   }
   if (key == "iters") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t iters, ParseUint(value, context));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t iters, ParseNonNegativeInt(value, context));
     request->kmeans.iterations = static_cast<size_t>(iters);
     return Status::OK();
   }

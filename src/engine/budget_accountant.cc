@@ -1,6 +1,7 @@
 #include "engine/budget_accountant.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace blowfish {
@@ -16,8 +17,10 @@ BudgetAccountant::SessionState& BudgetAccountant::GetOrCreateLocked(
 
 Status BudgetAccountant::OpenSession(const std::string& session,
                                      double budget) {
-  if (budget < 0.0) {
-    return Status::InvalidArgument("session budget must be >= 0");
+  // !(>= 0) rather than (< 0): NaN passes a < check and would disable
+  // enforcement forever (spent + eps > NaN is never true).
+  if (!(budget >= 0.0) || !std::isfinite(budget)) {
+    return Status::InvalidArgument("session budget must be finite and >= 0");
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.count(session) > 0) {
@@ -42,10 +45,12 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeSequential(
         " would exceed budget (spent " + std::to_string(spent) + " of " +
         std::to_string(state.budget) + ")");
   }
+  BudgetReceipt receipt;
   if (epsilon > 0.0) {
     BLOWFISH_RETURN_IF_ERROR(state.ledger.SpendSequential(epsilon, label));
+    receipt.charge_id = next_charge_id_++;
+    state.open_charges[receipt.charge_id] = epsilon;
   }
-  BudgetReceipt receipt;
   receipt.session = session;
   receipt.label = std::move(label);
   receipt.charged = epsilon;
@@ -73,10 +78,12 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
         std::to_string(cost) + " would exceed budget (spent " +
         std::to_string(spent) + " of " + std::to_string(state.budget) + ")");
   }
+  BudgetReceipt receipt;
   if (cost > 0.0) {
     BLOWFISH_RETURN_IF_ERROR(state.ledger.SpendParallel(epsilons, label));
+    receipt.charge_id = next_charge_id_++;
+    state.open_charges[receipt.charge_id] = cost;
   }
-  BudgetReceipt receipt;
   receipt.session = session;
   receipt.label = std::move(label);
   receipt.charged = cost;
@@ -84,6 +91,58 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
   receipt.remaining = state.budget - state.ledger.TotalEpsilon();
   receipt.parallel = true;
   return receipt;
+}
+
+Status BudgetAccountant::Refund(const BudgetReceipt& receipt) {
+  if (receipt.charged < 0.0) {
+    return Status::InvalidArgument("refund charge must be >= 0");
+  }
+  if (receipt.charged == 0.0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(receipt.session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session '" + receipt.session +
+                            "' has never been charged");
+  }
+  SessionState& state = it->second;
+  auto charge = state.open_charges.find(receipt.charge_id);
+  if (charge == state.open_charges.end()) {
+    return Status::FailedPrecondition(
+        "receipt's charge is unknown or already refunded (a receipt "
+        "refunds at most once)");
+  }
+  if (charge->second != receipt.charged) {
+    return Status::InvalidArgument(
+        "receipt claims a charge of " + std::to_string(receipt.charged) +
+        " but the ledger recorded " + std::to_string(charge->second));
+  }
+  const std::string label =
+      (receipt.label.empty() ? std::string("release") : receipt.label) +
+      " [refund]";
+  BLOWFISH_RETURN_IF_ERROR(state.ledger.Refund(charge->second, label));
+  state.open_charges.erase(charge);
+  return Status::OK();
+}
+
+void BudgetAccountant::Settle(const BudgetReceipt& receipt) {
+  if (receipt.charge_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(receipt.session);
+  if (it == sessions_.end()) return;
+  it->second.open_charges.erase(receipt.charge_id);
+}
+
+std::vector<BudgetAccountant::SessionInfo> BudgetAccountant::ListSessions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, state] : sessions_) {
+    const double spent = state.ledger.TotalEpsilon();
+    out.push_back(SessionInfo{name, state.budget, spent,
+                              state.budget - spent});
+  }
+  return out;
 }
 
 double BudgetAccountant::Spent(const std::string& session) const {

@@ -26,6 +26,10 @@ namespace blowfish {
 struct BudgetReceipt {
   std::string session;
   std::string label;
+  /// Identifies the ledger charge this receipt proves (0 = no positive
+  /// charge was recorded). Refund validates against it, so a receipt can
+  /// be refunded at most once and only for what was actually charged.
+  uint64_t charge_id = 0;
   /// Epsilon charged to the session by this receipt. For a parallel group
   /// the whole group is covered by one charge of max(eps); the receipts of
   /// the individual queries carry charged = 0 except the group's most
@@ -37,6 +41,9 @@ struct BudgetReceipt {
   /// Session budget left after the charge.
   double remaining = 0.0;
   bool parallel = false;
+  /// Set by the engine when the charge was returned because the query
+  /// failed after admission (see BudgetAccountant::Refund).
+  bool refunded = false;
 };
 
 /// Refusing, session-scoped epsilon budget. All methods are thread-safe.
@@ -65,10 +72,39 @@ class BudgetAccountant {
                                          const std::vector<double>& epsilons,
                                          std::string label = "");
 
+  /// Returns a receipt's charge to its session: a query that failed
+  /// *after* budget admission (mechanism error mid-batch) spent no
+  /// privacy — nothing was released — so its epsilon goes back. The
+  /// receipt's charge_id is validated against the session's outstanding
+  /// charges, so a receipt refunds at most once (a second attempt fails
+  /// with FailedPrecondition — replaying a receipt must not mint budget)
+  /// and only for the amount actually recorded. Fails with NotFound for
+  /// a session that was never charged. Refunding a zero charge is a
+  /// no-op.
+  Status Refund(const BudgetReceipt& receipt);
+
+  /// Marks a receipt's charge as delivered — no longer refundable — and
+  /// drops its refund-tracking entry, so open_charges stays bounded by
+  /// in-flight work instead of growing with lifetime query count. The
+  /// engine settles every successful (non-refunded) receipt at batch
+  /// end. Idempotent; unknown receipts are ignored.
+  void Settle(const BudgetReceipt& receipt);
+
   /// Total spent / remaining for a session (0 / default budget if the
   /// session does not exist yet).
   double Spent(const std::string& session) const;
   double Remaining(const std::string& session) const;
+
+  /// One session's budget line, for the `sessions` CLI and monitoring.
+  struct SessionInfo {
+    std::string name;
+    double budget = 0.0;
+    double spent = 0.0;
+    double remaining = 0.0;
+  };
+
+  /// Snapshot of every open session, in name order.
+  std::vector<SessionInfo> ListSessions() const;
 
   /// Human-readable multi-session summary.
   std::string ToString() const;
@@ -77,6 +113,8 @@ class BudgetAccountant {
   struct SessionState {
     double budget = 0.0;
     PrivacyAccountant ledger;
+    /// charge_id -> charged epsilon, for charges not yet refunded.
+    std::map<uint64_t, double> open_charges;
   };
 
   /// Must be called with mu_ held.
@@ -84,6 +122,7 @@ class BudgetAccountant {
 
   mutable std::mutex mu_;
   double default_budget_;
+  uint64_t next_charge_id_ = 1;  // guarded by mu_
   std::map<std::string, SessionState> sessions_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <map>
 #include <set>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 
 #include "core/policy_graph.h"
@@ -14,6 +16,7 @@
 #include "mech/cdf_applications.h"
 #include "mech/laplace.h"
 #include "mech/ordered.h"
+#include "server/thread_pool.h"
 
 namespace blowfish {
 
@@ -111,8 +114,15 @@ StatusOr<std::string> QueryShape(const QueryRequest& request) {
 
 StatusOr<std::unique_ptr<ReleaseEngine>> ReleaseEngine::Create(
     Policy policy, Dataset data, ReleaseEngineOptions options) {
-  if (options.num_threads == 0) {
-    return Status::InvalidArgument("num_threads must be >= 1");
+  if (options.pool == nullptr && options.num_threads == 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 1 when no pool is injected");
+  }
+  if (!(options.default_session_budget >= 0.0) ||
+      !std::isfinite(options.default_session_budget)) {
+    return Status::InvalidArgument(
+        "default_session_budget must be finite and >= 0 (a NaN budget "
+        "would silently disable enforcement)");
   }
   if (data.domain().num_attributes() != policy.domain().num_attributes()) {
     return Status::InvalidArgument(
@@ -139,15 +149,24 @@ ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
       hist_(std::move(hist)), options_(options),
       policy_fp_(SensitivityCache::PolicyFingerprint(policy_)),
       accountant_(options.default_session_budget),
-      cache_(options.cache_capacity), root_seed_(options.root_seed) {}
+      cache_(options.shared_cache
+                 ? options.shared_cache
+                 : std::make_shared<SensitivityCache>(
+                       options.cache_capacity)),
+      pool_(options.pool ? options.pool
+                         : std::make_shared<ThreadPool>(
+                               options.num_threads - 1)),
+      root_seed_(options.root_seed) {}
 
 StatusOr<double> ReleaseEngine::ResolveSensitivity(
     const QueryRequest& request, bool* cache_hit) {
   BLOWFISH_ASSIGN_OR_RETURN(std::string shape, QueryShape(request));
-  *cache_hit = cache_.Contains(policy_fp_, shape);
+  // The hit flag is reported by GetOrCompute under the cache's own lock;
+  // a separate Contains() probe would race other engines sharing the
+  // cache.
   switch (request.kind) {
     case QueryKind::kHistogram:
-      return cache_.GetOrCompute(
+      return cache_->GetOrCompute(
           policy_fp_, shape, [this]() -> StatusOr<double> {
             if (!policy_.has_constraints()) {
               return HistogramSensitivity(policy_.graph());
@@ -160,9 +179,10 @@ StatusOr<double> ReleaseEngine::ResolveSensitivity(
                                    options_.max_edges));
             return pg.HistogramSensitivityBound(
                 options_.max_policy_graph_vertices);
-          });
+          },
+          cache_hit);
     case QueryKind::kCellHistogram:
-      return cache_.GetOrCompute(
+      return cache_->GetOrCompute(
           policy_fp_, shape, [this, &request]() -> StatusOr<double> {
             if (policy_.has_constraints()) {
               return Status::Unimplemented(
@@ -191,23 +211,26 @@ StatusOr<double> ReleaseEngine::ResolveSensitivity(
             CellHistogramQuery query(*partition, policy_.domain(), cells);
             return UnconstrainedSensitivity(query, policy_.graph(),
                                             options_.max_edges);
-          });
+          },
+          cache_hit);
     case QueryKind::kRange:
     case QueryKind::kCdf:
     case QueryKind::kQuantiles:
-      return cache_.GetOrCompute(
+      return cache_->GetOrCompute(
           policy_fp_, shape, [this]() -> StatusOr<double> {
             return CumulativeHistogramSensitivity(policy_);
-          });
+          },
+          cache_hit);
     case QueryKind::kKMeans:
       // K-means releases both q_sum and q_size; admission (in particular
       // the eps = 0 free-release rule) must key on the larger of the two.
-      return cache_.GetOrCompute(
+      return cache_->GetOrCompute(
           policy_fp_, shape, [this]() -> StatusOr<double> {
             BLOWFISH_ASSIGN_OR_RETURN(double q_sum,
                                       QSumSensitivity(policy_));
             return std::max(q_sum, QSizeSensitivity(policy_.graph()));
-          });
+          },
+          cache_hit);
   }
   return Status::InvalidArgument("unknown query kind");
 }
@@ -471,24 +494,114 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     work.push_back(Work{i, next_stream_++});
   }
 
-  // --- Execution: fan out across the worker pool. ------------------------
-  const size_t num_threads =
-      std::max<size_t>(1, std::min(options_.num_threads, work.size()));
-  std::atomic<size_t> next_work{0};
-  auto run_worker = [&]() {
+  // --- Execution: drain cooperatively with the persistent pool. ----------
+  // The admitted items go into shared state; pool workers are invited to
+  // help, but the submitting thread drains the queue too, so the batch
+  // completes even if every pool worker is busy with other tenants (or
+  // the pool has zero workers) — which also makes nested submission (a
+  // batch task running *on* the pool fanning out to the same pool)
+  // deadlock-free. A helper arriving after the queue is drained claims an
+  // out-of-range index and returns at once; the shared_ptr keeps the
+  // claim counter alive for such stragglers even after ServeBatch
+  // returns, and by then no unclaimed item exists, so the pointers into
+  // this frame's requests/responses are never dereferenced again.
+  struct BatchState {
+    std::vector<Work> work;
+    const std::vector<QueryRequest>* requests = nullptr;
+    std::vector<QueryResponse>* responses = nullptr;
+    const ReleaseEngine* engine = nullptr;
+    std::atomic<size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable all_done;
+    size_t done = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->work = std::move(work);
+  state->requests = &requests;
+  state->responses = &responses;
+  state->engine = this;
+  auto drain = [](const std::shared_ptr<BatchState>& s) {
+    size_t completed = 0;
     while (true) {
-      const size_t w = next_work.fetch_add(1);
-      if (w >= work.size()) break;
-      const Work& item = work[w];
-      Execute(requests[item.index], Random(root_seed_).Fork(item.stream_id),
-              &responses[item.index]);
+      const size_t w = s->next.fetch_add(1);
+      if (w >= s->work.size()) break;
+      const Work& item = s->work[w];
+      s->engine->Execute(
+          (*s->requests)[item.index],
+          Random(s->engine->root_seed_).Fork(item.stream_id),
+          &(*s->responses)[item.index]);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(s->done_mu);
+      s->done += completed;
+      if (s->done == s->work.size()) s->all_done.notify_all();
     }
   };
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads - 1);
-  for (size_t t = 1; t < num_threads; ++t) workers.emplace_back(run_worker);
-  run_worker();
-  for (std::thread& t : workers) t.join();
+  const size_t helpers = std::min(
+      pool_->size(), state->work.empty() ? 0 : state->work.size() - 1);
+  for (size_t t = 0; t < helpers; ++t) {
+    pool_->Post([state, drain]() { drain(state); });
+  }
+  drain(state);
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->all_done.wait(
+        lock, [&]() { return state->done == state->work.size(); });
+  }
+
+  // A failed query releases nothing: drop any partial payload computed
+  // before the failure (e.g. the first of several quantiles, already
+  // noisy), both as hygiene and because the refund below is only sound
+  // if nothing was published.
+  for (QueryResponse& resp : responses) {
+    if (!resp.status.ok()) resp.values.clear();
+  }
+
+  // --- Refunds: a query that failed *after* its budget charge (mechanism
+  // error mid-batch) returns the charge to its session. Sequential
+  // charges refund individually; a parallel group's single charge covered
+  // every member, so it is returned only when the whole group failed —
+  // if any member released, the group charge still pays for it.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    if (resp.status.ok() || resp.receipt.parallel) continue;
+    if (resp.receipt.charged <= 0.0) continue;
+    if (accountant_.Refund(resp.receipt).ok()) {
+      resp.receipt.refunded = true;
+      resp.receipt.remaining = accountant_.Remaining(resp.receipt.session);
+    }
+  }
+  for (const auto& [key, group] : groups) {
+    bool all_failed = true;
+    bool group_charged = false;
+    for (size_t m : group.members) {
+      if (responses[m].status.ok()) all_failed = false;
+      if (responses[m].receipt.parallel &&
+          responses[m].receipt.charged > 0.0) {
+        group_charged = true;
+      }
+    }
+    if (!all_failed || !group_charged) continue;
+    for (size_t m : group.members) {
+      if (responses[m].receipt.charged > 0.0 &&
+          accountant_.Refund(responses[m].receipt).ok()) {
+        responses[m].receipt.refunded = true;
+      }
+    }
+    for (size_t m : group.members) {
+      responses[m].receipt.remaining = accountant_.Remaining(key.first);
+    }
+  }
+
+  // Delivered charges can never be refunded again; settling them keeps
+  // the accountant's refund-tracking state bounded by in-flight batches
+  // rather than lifetime query count.
+  for (QueryResponse& resp : responses) {
+    if (resp.receipt.charge_id != 0 && !resp.receipt.refunded) {
+      accountant_.Settle(resp.receipt);
+    }
+  }
 
   return responses;
 }

@@ -11,12 +11,20 @@
 //     (Thms 4.2/4.3; see `parallel_group` below);
 //   * a SensitivityCache — (policy, query-shape) -> S(f, P), so the
 //     NP-hard policy-graph bounds and edge enumerations are computed once
-//     per shape, not once per query;
-//   * a worker pool — a batch fans out across `num_threads` threads, each
-//     query drawing noise from an independent Random forked
-//     deterministically from the engine's root seed (util/random.h
+//     per shape, not once per query. The cache may be shared process-wide
+//     across engines (see server/engine_host.h): S(f, P) depends only on
+//     the policy and query shape, never on the data, so tenants serving
+//     different datasets under the same policy reuse each other's work;
+//   * a persistent worker pool (server/thread_pool.h) — either injected
+//     (one pool shared by every tenant of an EngineHost) or owned. A
+//     batch's queries are drained cooperatively: the submitting thread
+//     executes queries alongside the pool's workers, so a batch completes
+//     even when every pool worker is busy with other tenants (and nested
+//     submission — a batch task on the pool fanning out to the same pool —
+//     cannot deadlock). Each query draws noise from an independent Random
+//     forked deterministically from the engine's root seed (util/random.h
 //     Fork(stream_id)), so a batch's output is bit-identical regardless
-//     of thread count or scheduling.
+//     of pool size or scheduling.
 //
 // Parallel groups: requests sharing a non-empty `parallel_group` are
 // charged max(eps) instead of sum(eps). The engine only accepts groups it
@@ -101,9 +109,23 @@ struct QueryResponse {
   BudgetReceipt receipt;
 };
 
+class ThreadPool;
+
 struct ReleaseEngineOptions {
-  /// Worker threads per batch. Output is identical for any value >= 1.
+  /// Execution parallelism when `pool` is null: the engine starts its own
+  /// persistent pool of num_threads - 1 workers at construction (the
+  /// batch-submitting thread is the remaining worker). Output is
+  /// identical for any value >= 1. Ignored when `pool` is set.
   size_t num_threads = 1;
+  /// Shared persistent worker pool. When set, batches execute on it (the
+  /// submitting thread participates too) instead of engine-owned threads;
+  /// the pool must outlive the engine. An EngineHost passes one pool to
+  /// all of its tenants.
+  std::shared_ptr<ThreadPool> pool;
+  /// Shared sensitivity cache. When set, it replaces the engine's private
+  /// cache (and `cache_capacity` is ignored); an EngineHost passes one
+  /// process-wide cache to all of its tenants.
+  std::shared_ptr<SensitivityCache> shared_cache;
   /// Root seed; per-query RNGs are Fork(stream_id) derivations of it.
   uint64_t root_seed = 20140612;
   size_t cache_capacity = 128;
@@ -124,14 +146,18 @@ class ReleaseEngine {
 
   /// Serves a batch. Sensitivity resolution and budget charging run
   /// sequentially (so admission is deterministic); execution fans out
-  /// across the worker pool. Batches are serialized against each other;
-  /// with the same construction seed and the same request history the
-  /// output is bit-identical regardless of num_threads.
+  /// across the worker pool, with the calling thread draining the batch
+  /// queue alongside the workers. A query that fails *after* its budget
+  /// charge (mechanism error mid-batch) is refunded — for a parallel
+  /// group, only when every member failed, since one group charge covers
+  /// all members. Batches are serialized against each other; with the
+  /// same construction seed and the same request history the output is
+  /// bit-identical regardless of pool size.
   std::vector<QueryResponse> ServeBatch(
       const std::vector<QueryRequest>& requests);
 
   BudgetAccountant& accountant() { return accountant_; }
-  SensitivityCache& cache() { return cache_; }
+  SensitivityCache& cache() { return *cache_; }
   const Policy& policy() const { return policy_; }
   const Dataset& data() const { return data_; }
   const std::string& policy_fingerprint() const { return policy_fp_; }
@@ -156,7 +182,10 @@ class ReleaseEngine {
   ReleaseEngineOptions options_;
   std::string policy_fp_;
   BudgetAccountant accountant_;
-  SensitivityCache cache_;
+  /// Injected (options.shared_cache) or engine-private.
+  std::shared_ptr<SensitivityCache> cache_;
+  /// Injected (options.pool) or engine-owned (num_threads - 1 workers).
+  std::shared_ptr<ThreadPool> pool_;
   /// Per-query RNGs are Random(root_seed_).Fork(stream_id): derived from
   /// the seed alone, never from generator state, so determinism cannot be
   /// broken by an accidental draw.

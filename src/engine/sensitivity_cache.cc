@@ -1,12 +1,18 @@
 #include "engine/sensitivity_cache.h"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/constraints.h"
+#include "util/parse.h"
 
 namespace blowfish {
 
 namespace {
+
+constexpr char kCacheFileHeader[] = "# blowfish-sensitivity-cache v1";
 
 std::string MakeKey(const std::string& policy_fp,
                     const std::string& query_shape) {
@@ -17,26 +23,35 @@ std::string MakeKey(const std::string& policy_fp,
 
 StatusOr<double> SensitivityCache::GetOrCompute(
     const std::string& policy_fp, const std::string& query_shape,
-    const std::function<StatusOr<double>()>& compute) {
+    const std::function<StatusOr<double>()>& compute, bool* was_hit) {
   const std::string key = MakeKey(policy_fp, query_shape);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+  if (was_hit != nullptr) *was_hit = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    if (in_flight_.count(key) == 0) break;
+    // Someone is computing this key right now; wait for their result
+    // rather than duplicating an NP-hard computation. If their compute
+    // errored (nothing cached), the next iteration claims the key.
+    in_flight_cv_.wait(lock);
   }
+  in_flight_.insert(key);
   ++stats_.misses;
+  lock.unlock();
+  // The expensive part runs without the lock: one tenant's cold
+  // policy-graph bound must not block other keys' hits and computes.
   StatusOr<double> computed = compute();
+  lock.lock();
+  in_flight_.erase(key);
+  in_flight_cv_.notify_all();
   if (!computed.ok()) return computed.status();
-  if (capacity_ == 0) return *computed;
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-  lru_.emplace_front(key, *computed);
-  index_[key] = lru_.begin();
+  PutLocked(key, *computed);
   return *computed;
 }
 
@@ -60,6 +75,122 @@ void SensitivityCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+void SensitivityCache::PutLocked(const std::string& key,
+                                 double sensitivity) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = sensitivity;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ == 0) return;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, sensitivity);
+  index_[key] = lru_.begin();
+}
+
+Status SensitivityCache::Save(std::ostream& out) const {
+  // Snapshot under the lock, write outside it: disk I/O must not stall
+  // every tenant's admission path on the shared cache mutex.
+  std::vector<Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(lru_.rbegin(), lru_.rend());
+  }
+  out << kCacheFileHeader << "\n";
+  // Least recently used first: Load inserts each line at the LRU front,
+  // so the last line written (the hottest entry) ends up hottest again.
+  for (const Entry& entry : snapshot) {
+    if (entry.first.find('\n') != std::string::npos ||
+        entry.first.find('\t') != std::string::npos) {
+      return Status::Internal(
+          "cache key contains a tab or newline and cannot be serialized");
+    }
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", entry.second);
+    out << value << "\t" << entry.first << "\n";
+  }
+  if (!out) return Status::Internal("write to cache stream failed");
+  return Status::OK();
+}
+
+Status SensitivityCache::SaveToFile(const std::string& path) const {
+  // Write-then-rename: a Save that fails midway (full disk, bad key)
+  // must not have already truncated the previous good cache file into a
+  // partial-but-loadable one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      return Status::NotFound("cannot open '" + tmp + "' to write");
+    }
+    Status saved = Save(file);
+    file.flush();
+    if (saved.ok() && !file) {
+      saved = Status::Internal("write to '" + tmp + "' failed");
+    }
+    if (!saved.ok()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return saved;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+Status SensitivityCache::Load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheFileHeader) {
+    return Status::InvalidArgument(
+        "not a sensitivity cache file (missing '" +
+        std::string(kCacheFileHeader) + "' header)");
+  }
+  // Parse the whole file before touching the cache, so a file truncated
+  // mid-write (e.g. a crash during Save) is rejected without leaving the
+  // cache half-merged or evicting entries for garbage.
+  std::vector<Entry> parsed;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("cache line " + std::to_string(line_no) +
+                                     ": expected <value>\\t<key>");
+    }
+    const std::string value_text = line.substr(0, tab);
+    auto value = ParseFiniteDouble(
+        value_text, "cache line " + std::to_string(line_no));
+    if (!value.ok()) return value.status();
+    // A sensitivity is a nonnegative real; inf/NaN are rejected above,
+    // and a negative value could only come from corruption.
+    if (*value < 0.0) {
+      return Status::InvalidArgument("cache line " + std::to_string(line_no) +
+                                     ": negative sensitivity '" +
+                                     value_text + "'");
+    }
+    parsed.emplace_back(line.substr(tab + 1), *value);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : parsed) PutLocked(entry.first, entry.second);
+  return Status::OK();
+}
+
+Status SensitivityCache::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  return Load(file);
 }
 
 std::string SensitivityCache::PolicyFingerprint(const Policy& policy,

@@ -12,10 +12,13 @@
 #ifndef BLOWFISH_ENGINE_SENSITIVITY_CACHE_H_
 #define BLOWFISH_ENGINE_SENSITIVITY_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <list>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -40,12 +43,20 @@ class SensitivityCache {
   /// Returns the cached sensitivity for (policy_fp, query_shape), or runs
   /// `compute`, caches its value, and returns it. Errors from `compute`
   /// are returned and NOT cached (a transient ResourceExhausted should not
-  /// poison the key). The compute runs under the cache lock, so each key
-  /// is computed exactly once even under concurrent traffic; keep compute
-  /// deterministic and side-effect free.
+  /// poison the key). The compute runs *outside* the cache lock with a
+  /// per-key in-flight marker: each key is still computed exactly once
+  /// under concurrent traffic (duplicate requesters wait for the
+  /// in-flight result), but a slow NP-hard computation for one key never
+  /// blocks hits or computes for other keys — essential now that one
+  /// cache is shared by every tenant of an EngineHost. Keep compute
+  /// deterministic and side-effect free. `was_hit` (optional) reports
+  /// whether this call was served from the cache, decided under the
+  /// cache's own lock — a separate Contains() probe would race other
+  /// engines sharing the cache.
   StatusOr<double> GetOrCompute(
       const std::string& policy_fp, const std::string& query_shape,
-      const std::function<StatusOr<double>()>& compute);
+      const std::function<StatusOr<double>()>& compute,
+      bool* was_hit = nullptr);
 
   /// Whether the key is currently cached (does not touch LRU order).
   bool Contains(const std::string& policy_fp,
@@ -55,6 +66,20 @@ class SensitivityCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   void Clear();
+
+  /// Text serialization, so a restarted process starts warm instead of
+  /// re-running the NP-hard bounds. Format: a version header, then one
+  /// `<value>\t<key>` line per entry, least recently used first (so Load,
+  /// which inserts in line order at the LRU front, reproduces the
+  /// recency order). Values round-trip bit-exactly via %.17g.
+  Status Save(std::ostream& out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Merges a previously saved cache into this one (existing keys are
+  /// overwritten; capacity eviction applies). Rejects files that do not
+  /// start with the version header.
+  Status Load(std::istream& in);
+  Status LoadFromFile(const std::string& path);
 
   /// A stable fingerprint of the policy for use as a cache key: domain
   /// attributes (name/cardinality/scale), secret-graph name, and the
@@ -67,10 +92,17 @@ class SensitivityCache {
  private:
   using Entry = std::pair<std::string, double>;  // (key, sensitivity)
 
+  /// Inserts (or refreshes) a key at the LRU front. Must hold mu_.
+  void PutLocked(const std::string& key, double sensitivity);
+
   mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Keys whose compute is running outside the lock; duplicate
+  /// requesters wait on in_flight_cv_ instead of recomputing.
+  std::set<std::string> in_flight_;
+  std::condition_variable in_flight_cv_;
   Stats stats_;
 };
 

@@ -49,18 +49,12 @@ Random Random::Fork() {
   return Random(gen_());
 }
 
-namespace {
-
-// splitmix64 finalizer (Steele et al., "Fast splittable pseudorandom
-// number generators"): bijective avalanche mix of a 64-bit word.
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 Random Random::Fork(uint64_t stream_id) const {
   return Random(SplitMix64(seed_ ^ SplitMix64(stream_id)));

@@ -14,6 +14,13 @@
 
 namespace blowfish {
 
+/// splitmix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators"): bijective avalanche mix of a 64-bit word. The
+/// substrate of Random::Fork(stream_id) and of every derived-seed scheme
+/// in the codebase (e.g. the serving host's tenant seeds) — one
+/// implementation, so derivations cannot silently diverge.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministically seedable pseudo-random generator with the samplers the
 /// library needs. Not thread-safe; use one instance per thread.
 class Random {

@@ -90,6 +90,88 @@ TEST(BudgetAccountantTest, RejectsNegativeEpsilon) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(BudgetAccountantTest, RefundRestoresTheBalance) {
+  BudgetAccountant accountant(1.0);
+  auto receipt = accountant.ChargeSequential("", 0.4, "q");
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.4);
+  ASSERT_TRUE(accountant.Refund(*receipt).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.Remaining(""), 1.0);
+  // The refunded epsilon is spendable again.
+  EXPECT_TRUE(accountant.ChargeSequential("", 1.0).ok());
+}
+
+TEST(BudgetAccountantTest, RefundValidatesItsInputs) {
+  BudgetAccountant accountant(1.0);
+  BudgetReceipt ghost;
+  ghost.session = "nobody";
+  ghost.charged = 0.2;
+  EXPECT_EQ(accountant.Refund(ghost).code(), StatusCode::kNotFound);
+
+  auto receipt = accountant.ChargeSequential("", 0.3);
+  ASSERT_TRUE(receipt.ok());
+  BudgetReceipt inflated = *receipt;
+  inflated.charged = 0.9;  // more than the session ever spent
+  EXPECT_EQ(accountant.Refund(inflated).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.3);
+
+  BudgetReceipt negative = *receipt;
+  negative.charged = -0.1;
+  EXPECT_EQ(accountant.Refund(negative).code(),
+            StatusCode::kInvalidArgument);
+
+  // A zero charge refunds as a no-op, even for an unknown session.
+  BudgetReceipt zero;
+  zero.session = "nobody";
+  zero.charged = 0.0;
+  EXPECT_TRUE(accountant.Refund(zero).ok());
+}
+
+TEST(BudgetAccountantTest, ReceiptRefundsAtMostOnce) {
+  // Replaying a receipt (or a copy of it) must not mint budget.
+  BudgetAccountant accountant(1.0);
+  auto first = accountant.ChargeSequential("", 0.3);
+  auto second = accountant.ChargeSequential("", 0.3);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->charge_id, second->charge_id);
+  ASSERT_TRUE(accountant.Refund(*first).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.3);
+  const BudgetReceipt replay = *first;  // copies refund no better
+  EXPECT_EQ(accountant.Refund(replay).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.3);
+  // A receipt forging a foreign charge_id with the wrong amount is also
+  // rejected.
+  BudgetReceipt forged = *second;
+  forged.charged = 0.25;
+  EXPECT_EQ(accountant.Refund(forged).code(),
+            StatusCode::kInvalidArgument);
+  // The untouched second receipt still refunds normally, once.
+  EXPECT_TRUE(accountant.Refund(*second).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(""), 0.0);
+}
+
+TEST(BudgetAccountantTest, ListSessionsSnapshotsEveryLedger) {
+  BudgetAccountant accountant(5.0);
+  ASSERT_TRUE(accountant.OpenSession("alice", 2.0).ok());
+  ASSERT_TRUE(accountant.ChargeSequential("alice", 0.5).ok());
+  ASSERT_TRUE(accountant.ChargeSequential("", 1.0).ok());
+  auto sessions = accountant.ListSessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  // std::map order: "" sorts before "alice".
+  EXPECT_EQ(sessions[0].name, "");
+  EXPECT_DOUBLE_EQ(sessions[0].budget, 5.0);
+  EXPECT_DOUBLE_EQ(sessions[0].spent, 1.0);
+  EXPECT_DOUBLE_EQ(sessions[0].remaining, 4.0);
+  EXPECT_EQ(sessions[1].name, "alice");
+  EXPECT_DOUBLE_EQ(sessions[1].budget, 2.0);
+  EXPECT_DOUBLE_EQ(sessions[1].spent, 0.5);
+  EXPECT_DOUBLE_EQ(sessions[1].remaining, 1.5);
+}
+
 TEST(BudgetAccountantTest, ConcurrentChargesNeverOverspend) {
   BudgetAccountant accountant(1.0);
   constexpr int kThreads = 8;

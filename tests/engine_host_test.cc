@@ -1,0 +1,269 @@
+#include "server/engine_host.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/secret_graph.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
+                 uint64_t seed = 7) {
+  Random rng(seed);
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(domain->size()) - 1)));
+  }
+  return Dataset::Create(domain, std::move(tuples)).value();
+}
+
+QueryRequest HistogramRequest(double eps) {
+  QueryRequest req;
+  req.kind = QueryKind::kHistogram;
+  req.epsilon = eps;
+  return req;
+}
+
+TEST(EngineHostTest, ServesARegisteredTenant) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host;
+  ASSERT_TRUE(host.AddTenant("p", "d", policy, MakeData(domain, 200)).ok());
+  auto responses = host.ServeBatch("p", "d", {HistogramRequest(0.5)});
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses->size(), 1u);
+  EXPECT_TRUE((*responses)[0].status.ok());
+  EXPECT_EQ((*responses)[0].values.size(), 32u);
+}
+
+TEST(EngineHostTest, UnknownTenantReturnsNotFound) {
+  EngineHost host;
+  auto responses = host.ServeBatch("nope", "nada", {HistogramRequest(0.5)});
+  EXPECT_EQ(responses.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineHostTest, DuplicateTenantRefused) {
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host;
+  ASSERT_TRUE(host.AddTenant("p", "d", policy, MakeData(domain, 50)).ok());
+  EXPECT_EQ(host.AddTenant("p", "d", policy, MakeData(domain, 50)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(host.HasTenant("p", "d"));
+  EXPECT_FALSE(host.HasTenant("p", "other"));
+  EXPECT_EQ(host.Tenants().size(), 1u);
+}
+
+TEST(EngineHostTest, LazyConstructionErrorSurfacesAtFirstBatch) {
+  // Policy and dataset domains disagree; AddTenant accepts the pair
+  // (construction is lazy), and the mismatch is reported by the first
+  // batch — and every later one.
+  auto policy_domain = LineDomain(32);
+  auto data_domain = std::make_shared<const Domain>(
+      Domain::Line(32, 2.0, "other").value());
+  Policy policy = Policy::FullDomain(policy_domain).value();
+  EngineHost host;
+  ASSERT_TRUE(
+      host.AddTenant("p", "d", policy, MakeData(data_domain, 50)).ok());
+  auto first = host.ServeBatch("p", "d", {HistogramRequest(0.5)});
+  EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
+  auto second = host.ServeBatch("p", "d", {HistogramRequest(0.5)});
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineHostTest, TenantBudgetsAreIsolated) {
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host;
+  TenantOptions small;
+  small.default_session_budget = 0.5;
+  ASSERT_TRUE(
+      host.AddTenant("p", "a", policy, MakeData(domain, 100), small).ok());
+  ASSERT_TRUE(
+      host.AddTenant("p", "b", policy, MakeData(domain, 100), small).ok());
+
+  // Tenant a spends its whole budget...
+  auto first = host.ServeBatch("p", "a", {HistogramRequest(0.5)});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)[0].status.ok()) << (*first)[0].status.ToString();
+  auto refused = host.ServeBatch("p", "a", {HistogramRequest(0.5)});
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ((*refused)[0].status.code(), StatusCode::kResourceExhausted);
+
+  // ...and tenant b is untouched.
+  auto fresh = host.ServeBatch("p", "b", {HistogramRequest(0.5)});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)[0].status.ok()) << (*fresh)[0].status.ToString();
+}
+
+TEST(EngineHostTest, TenantsSharingAPolicyShareSensitivityWork) {
+  // Two tenants, same policy shape, different datasets: S(f, P) does not
+  // depend on the data, so the second tenant's first query hits the
+  // process-wide cache.
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host;
+  ASSERT_TRUE(
+      host.AddTenant("p", "a", policy, MakeData(domain, 100, 1)).ok());
+  ASSERT_TRUE(
+      host.AddTenant("p", "b", policy, MakeData(domain, 100, 2)).ok());
+  auto first = host.ServeBatch("p", "a", {HistogramRequest(0.2)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE((*first)[0].cache_hit);
+  auto second = host.ServeBatch("p", "b", {HistogramRequest(0.2)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE((*second)[0].cache_hit);
+  const SensitivityCache::Stats stats = host.cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(EngineHostTest, BatchOutputBitIdenticalForAnyPoolSize) {
+  auto domain = LineDomain(64);
+  Policy policy = Policy::Line(domain).value();
+
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(HistogramRequest(0.2));
+  QueryRequest range;
+  range.kind = QueryKind::kRange;
+  range.epsilon = 0.1;
+  range.range_lo = 5;
+  range.range_hi = 50;
+  batch.push_back(range);
+
+  std::vector<std::vector<QueryResponse>> runs;
+  for (size_t pool_size : {size_t{0}, size_t{1}, size_t{8}}) {
+    EngineHostOptions options;
+    options.num_threads = pool_size;
+    EngineHost host(options);
+    TenantOptions tenant;
+    tenant.default_session_budget = 100.0;
+    ASSERT_TRUE(host.AddTenant("p", "d", policy, MakeData(domain, 400),
+                               tenant)
+                    .ok());
+    auto responses = host.ServeBatch("p", "d", batch);
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    runs.push_back(std::move(*responses));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[0].size(), runs[r].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      ASSERT_TRUE(runs[0][i].status.ok());
+      ASSERT_TRUE(runs[r][i].status.ok());
+      EXPECT_EQ(runs[0][i].values, runs[r][i].values)
+          << "pool size run " << r << ", query " << i;
+    }
+  }
+}
+
+TEST(EngineHostTest, ExplicitTenantSeedOverridesDerivedSeed) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 200);
+
+  // Same explicit seed in two differently-keyed tenants: same noise.
+  EngineHost host;
+  TenantOptions seeded;
+  seeded.root_seed = 123;
+  ASSERT_TRUE(host.AddTenant("p", "x", policy, data, seeded).ok());
+  ASSERT_TRUE(host.AddTenant("p", "y", policy, data, seeded).ok());
+  auto x = host.ServeBatch("p", "x", {HistogramRequest(0.5)});
+  auto y = host.ServeBatch("p", "y", {HistogramRequest(0.5)});
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ((*x)[0].values, (*y)[0].values);
+
+  // Derived seeds differ by key: distinct tenants draw distinct noise.
+  EngineHost host2;
+  ASSERT_TRUE(host2.AddTenant("p", "x", policy, data).ok());
+  ASSERT_TRUE(host2.AddTenant("p", "y", policy, data).ok());
+  auto dx = host2.ServeBatch("p", "x", {HistogramRequest(0.5)});
+  auto dy = host2.ServeBatch("p", "y", {HistogramRequest(0.5)});
+  ASSERT_TRUE(dx.ok());
+  ASSERT_TRUE(dy.ok());
+  EXPECT_NE((*dx)[0].values, (*dy)[0].values);
+}
+
+TEST(EngineHostTest, ManyAsyncBatchesInterleaveAndAllComplete) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHostOptions options;
+  options.num_threads = 4;
+  EngineHost host(options);
+  constexpr int kTenants = 6;
+  constexpr int kBatchesPerTenant = 5;
+  TenantOptions tenant;
+  tenant.default_session_budget = 1e6;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(host.AddTenant("p", "t" + std::to_string(t), policy,
+                               MakeData(domain, 100, 10 + t), tenant)
+                    .ok());
+  }
+  // All batches in flight before any result is collected.
+  std::vector<std::future<StatusOr<std::vector<QueryResponse>>>> pending;
+  for (int b = 0; b < kBatchesPerTenant; ++b) {
+    for (int t = 0; t < kTenants; ++t) {
+      pending.push_back(host.SubmitBatch(
+          "p", "t" + std::to_string(t),
+          {HistogramRequest(0.1), HistogramRequest(0.1)}));
+    }
+  }
+  for (auto& f : pending) {
+    auto responses = f.get();
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    for (const QueryResponse& resp : *responses) {
+      EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    }
+  }
+}
+
+TEST(EngineHostTest, ServeBatchFromOwnPoolWorkerDoesNotDeadlock) {
+  // A task running on the host's single pool worker calls the
+  // synchronous ServeBatch: it must run inline rather than block on a
+  // batch queued behind itself.
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHostOptions options;
+  options.num_threads = 1;
+  EngineHost host(options);
+  ASSERT_TRUE(host.AddTenant("p", "d", policy, MakeData(domain, 100)).ok());
+  auto nested = host.pool().Submit([&host]() {
+    return host.ServeBatch("p", "d", {HistogramRequest(0.5)});
+  });
+  ASSERT_EQ(nested.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "nested ServeBatch deadlocked on the pool";
+  auto responses = nested.get();
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  EXPECT_TRUE((*responses)[0].status.ok());
+}
+
+TEST(EngineHostTest, NonFiniteTenantBudgetRefusedAtFirstBatch) {
+  // A NaN budget would make every admission check pass (spent + eps >
+  // NaN is never true); engine construction must refuse it.
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host;
+  TenantOptions bad;
+  bad.default_session_budget = std::nan("");
+  ASSERT_TRUE(
+      host.AddTenant("p", "d", policy, MakeData(domain, 50), bad).ok());
+  auto responses = host.ServeBatch("p", "d", {HistogramRequest(0.5)});
+  EXPECT_EQ(responses.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace blowfish

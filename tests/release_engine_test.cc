@@ -10,6 +10,7 @@
 #include "engine/batch_request.h"
 #include "mech/laplace.h"
 #include "mech/ordered.h"
+#include "server/thread_pool.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -451,6 +452,138 @@ TEST(ReleaseEngineTest, FailedQueryDoesNotSinkTheBatch) {
   ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
   // The failed query was never charged.
   EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.5);
+}
+
+TEST(ReleaseEngineTest, FailedQueryAfterAdmissionIsRefunded) {
+  // A range query with an out-of-bounds endpoint resolves its sensitivity
+  // (the cumulative-histogram shape is fine) and passes budget admission,
+  // then fails at execution time in RangeFromCumulative. The charge must
+  // come back: a failed query leaves the balance unchanged.
+  auto domain = LineDomain(32);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 200);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest bad;
+  bad.kind = QueryKind::kRange;
+  bad.epsilon = 0.3;
+  bad.range_lo = 5;
+  bad.range_hi = 1000;  // beyond the domain
+  auto responses = engine->ServeBatch({bad});
+  ASSERT_FALSE(responses[0].status.ok());
+  EXPECT_TRUE(responses[0].receipt.refunded);
+  EXPECT_DOUBLE_EQ(responses[0].receipt.remaining, 1.0);
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
+
+  // The refunded epsilon is spendable: a full-budget query still fits.
+  auto retry = engine->ServeBatch({HistogramRequest(1.0)});
+  ASSERT_TRUE(retry[0].status.ok()) << retry[0].status.ToString();
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 1.0);
+}
+
+TEST(ReleaseEngineTest, DeliveredReceiptsAreSettledAndNotRefundable) {
+  // Once a batch returns, every delivered charge is settled: replaying
+  // a response's receipt against the accountant must not mint budget
+  // (and the settle keeps refund tracking bounded by in-flight work).
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  auto engine = MakeEngine(policy, data, options);
+  auto responses = engine->ServeBatch({HistogramRequest(0.3)});
+  ASSERT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(engine->accountant().Refund(responses[0].receipt).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.3);
+}
+
+TEST(ReleaseEngineTest, FailedQueryCarriesNoPartialPayload) {
+  // quantiles={0.5, 2.0}: the first quantile is computed (from a noisy
+  // cumulative) before the out-of-range second one fails. The refund is
+  // only sound if nothing was published, so the partial noisy value must
+  // be dropped along with the charge.
+  auto domain = LineDomain(32);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 200);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest bad;
+  bad.kind = QueryKind::kQuantiles;
+  bad.epsilon = 0.3;
+  bad.quantiles = {0.5, 2.0};
+  auto responses = engine->ServeBatch({bad});
+  ASSERT_FALSE(responses[0].status.ok());
+  EXPECT_TRUE(responses[0].values.empty());
+  EXPECT_TRUE(responses[0].receipt.refunded);
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
+}
+
+TEST(ReleaseEngineTest, MixedBatchRefundsOnlyTheFailedQuery) {
+  auto domain = LineDomain(32);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 200);
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 10.0;
+  auto engine = MakeEngine(policy, data, options);
+
+  QueryRequest good;
+  good.kind = QueryKind::kRange;
+  good.epsilon = 0.2;
+  good.range_lo = 2;
+  good.range_hi = 20;
+  QueryRequest bad = good;
+  bad.epsilon = 0.3;
+  bad.range_hi = 1000;
+  auto responses = engine->ServeBatch({good, bad, HistogramRequest(0.1)});
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  ASSERT_FALSE(responses[1].status.ok());
+  ASSERT_TRUE(responses[2].status.ok()) << responses[2].status.ToString();
+  EXPECT_FALSE(responses[0].receipt.refunded);
+  EXPECT_TRUE(responses[1].receipt.refunded);
+  // 0.2 + 0.1 stay spent; the failed 0.3 came back.
+  EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.3);
+}
+
+TEST(ReleaseEngineTest, EnginesOnASharedPoolStayDeterministic) {
+  // Two engines injected with one shared pool: output must match the
+  // engine-owned-pool runs bit for bit (determinism comes from stream
+  // ids, not from which thread executes).
+  auto domain = LineDomain(64);
+  Policy policy = Policy::Line(domain).value();
+  Dataset data = MakeData(domain, 400);
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(HistogramRequest(0.1));
+
+  ReleaseEngineOptions solo;
+  solo.root_seed = kSeed;
+  solo.num_threads = 1;
+  solo.default_session_budget = 100.0;
+  auto reference = MakeEngine(policy, data, solo)->ServeBatch(batch);
+
+  auto pool = std::make_shared<ThreadPool>(4);
+  ReleaseEngineOptions pooled;
+  pooled.root_seed = kSeed;
+  pooled.pool = pool;
+  pooled.default_session_budget = 100.0;
+  auto engine_a = MakeEngine(policy, data, pooled);
+  auto engine_b = MakeEngine(policy, data, pooled);
+  auto from_a = engine_a->ServeBatch(batch);
+  auto from_b = engine_b->ServeBatch(batch);
+  ASSERT_EQ(reference.size(), from_a.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(reference[i].status.ok());
+    EXPECT_EQ(reference[i].values, from_a[i].values) << "query " << i;
+    EXPECT_EQ(reference[i].values, from_b[i].values) << "query " << i;
+  }
 }
 
 TEST(BatchRequestTest, ParsesAllKindsAndKeys) {

@@ -14,7 +14,10 @@
 //   blowfish_cli advise    --policy p.txt --eps 0.5
 //   blowfish_cli batch     --policy p.txt --csv data.csv
 //                          --requests reqs.txt [--threads 4] [--seed 7]
-//                          [--budget 10]
+//                          [--budget 10] [--cache_file warm.cache]
+//   blowfish_cli serve     --config host.cfg [--threads 4]
+//                          [--cache_file warm.cache]
+//   blowfish_cli sessions  --config host.cfg [--tenant name]
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
@@ -22,13 +25,24 @@
 // ReleaseEngine process (engine/release_engine.h): budget-accounted,
 // sensitivity-cached, fanned out over --threads workers, output identical
 // for any thread count. See engine/batch_request.h for the file format.
+// The `serve` command drives a multi-tenant EngineHost
+// (server/engine_host.h) from a config file (server/serve_config.h):
+// every tenant's request batch is submitted asynchronously up front and
+// they interleave on one shared worker pool and one shared sensitivity
+// cache. The `sessions` command lists each tenant's open budget sessions
+// and remaining epsilon. `--cache_file` warm-starts the sensitivity
+// cache from a previous run and saves it back on exit.
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <future>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/policy_spec.h"
@@ -41,6 +55,9 @@
 #include "mech/laplace.h"
 #include "mech/ordered.h"
 #include "mech/ordered_hierarchical.h"
+#include "server/engine_host.h"
+#include "server/serve_config.h"
+#include "util/parse.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -69,20 +86,28 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-std::vector<double> ParseDoubleList(const std::string& s) {
+StatusOr<std::vector<double>> ParseDoubleList(const std::string& s,
+                                              const std::string& context) {
   std::vector<double> out;
   std::istringstream in(s);
   std::string token;
-  while (std::getline(in, token, ',')) out.push_back(std::stod(token));
+  while (std::getline(in, token, ',')) {
+    BLOWFISH_ASSIGN_OR_RETURN(double value,
+                              ParseFiniteDouble(token, context));
+    out.push_back(value);
+  }
   return out;
 }
 
-std::vector<size_t> ParseSizeList(const std::string& s) {
+StatusOr<std::vector<size_t>> ParseSizeList(const std::string& s,
+                                            const std::string& context) {
   std::vector<size_t> out;
   std::istringstream in(s);
   std::string token;
   while (std::getline(in, token, ',')) {
-    out.push_back(static_cast<size_t>(std::stoul(token)));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t value,
+                              ParseNonNegativeInt(token, context));
+    out.push_back(static_cast<size_t>(value));
   }
   return out;
 }
@@ -101,14 +126,257 @@ StatusOr<Dataset> LoadData(Args& args, const Policy& policy,
     spec.column = columns[i];
     spec.attribute = policy.domain().attribute(i);
     if (const char* bin = args.Get("bin_width")) {
-      spec.bin_width = std::stod(bin);
+      BLOWFISH_ASSIGN_OR_RETURN(spec.bin_width,
+                                ParseFiniteDouble(bin, "--bin_width"));
     }
     specs.push_back(spec);
   }
   return LoadCsvFile(csv_path, specs);
 }
 
+void PrintResponses(const std::vector<QueryRequest>& requests,
+                    const std::vector<QueryResponse>& responses) {
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const QueryRequest& req = requests[i];
+    const QueryResponse& resp = responses[i];
+    std::printf("## query %zu kind=%s label=%s status=%s\n", i,
+                QueryKindName(req.kind), resp.label.c_str(),
+                resp.status.ok() ? "OK" : resp.status.ToString().c_str());
+    if (!resp.status.ok()) {
+      if (resp.receipt.refunded) {
+        std::printf("# refunded=%g remaining=%g session=%s\n",
+                    resp.receipt.charged, resp.receipt.remaining,
+                    resp.receipt.session.empty()
+                        ? "(default)"
+                        : resp.receipt.session.c_str());
+      }
+      continue;
+    }
+    std::printf(
+        "# sensitivity=%g cache_hit=%d eps=%g charged=%g remaining=%g "
+        "session=%s%s\n",
+        resp.sensitivity, resp.cache_hit ? 1 : 0, resp.receipt.epsilon,
+        resp.receipt.charged, resp.receipt.remaining,
+        resp.receipt.session.empty() ? "(default)"
+                                     : resp.receipt.session.c_str(),
+        resp.receipt.parallel ? " parallel=1" : "");
+    for (size_t v = 0; v < resp.values.size(); ++v) {
+      std::printf("%s%.6f", v == 0 ? "" : ",", resp.values[v]);
+    }
+    if (!resp.values.empty()) std::printf("\n");
+  }
+}
+
+void PrintCacheStats(const SensitivityCache& cache) {
+  const SensitivityCache::Stats stats = cache.stats();
+  std::printf("## cache hits=%llu misses=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions));
+}
+
+/// Loads a tenant's policy spec and CSV according to its config block.
+StatusOr<std::pair<Policy, Dataset>> LoadTenant(const TenantConfig& tenant) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string spec_text,
+                            ReadFile(tenant.policy_file));
+  BLOWFISH_ASSIGN_OR_RETURN(ParsedPolicy parsed,
+                            ParsePolicySpec(spec_text));
+  const Policy& policy = parsed.policy;
+  if (tenant.columns.size() != policy.domain().num_attributes()) {
+    return Status::InvalidArgument(
+        "tenant '" + tenant.name +
+        "': number of columns must match the policy's attributes");
+  }
+  std::vector<CsvColumnSpec> specs;
+  for (size_t i = 0; i < tenant.columns.size(); ++i) {
+    CsvColumnSpec spec;
+    spec.column = tenant.columns[i];
+    spec.attribute = policy.domain().attribute(i);
+    if (tenant.bin_width.has_value()) spec.bin_width = *tenant.bin_width;
+    specs.push_back(spec);
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(Dataset data,
+                            LoadCsvFile(tenant.csv_file, specs));
+  return std::make_pair(std::move(parsed.policy), std::move(data));
+}
+
+/// Builds the host and registers every tenant from the config; opens the
+/// tenants' declared budget sessions. Tenant keys are (policy file,
+/// tenant name). Shared by `serve` and `sessions`.
+StatusOr<std::unique_ptr<EngineHost>> BuildHost(const ServeConfig& config) {
+  EngineHostOptions host_options;
+  host_options.num_threads = config.threads;
+  host_options.cache_capacity = config.cache_capacity;
+  if (config.seed.has_value()) host_options.root_seed = *config.seed;
+  auto host = std::make_unique<EngineHost>(host_options);
+  if (!config.cache_file.empty()) {
+    Status loaded = host->cache().LoadFromFile(config.cache_file);
+    // A missing file is a cold start, not an error.
+    if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+      return loaded;
+    }
+  }
+  for (const TenantConfig& tenant : config.tenants) {
+    BLOWFISH_ASSIGN_OR_RETURN(auto loaded, LoadTenant(tenant));
+    TenantOptions tenant_options;
+    tenant_options.default_session_budget = tenant.budget;
+    tenant_options.root_seed = tenant.seed;
+    BLOWFISH_RETURN_IF_ERROR(
+        host->AddTenant(tenant.policy_file, tenant.name,
+                        std::move(loaded.first), std::move(loaded.second),
+                        tenant_options));
+    if (!tenant.sessions.empty()) {
+      // Opening sessions needs the accountant, which forces the engine.
+      BLOWFISH_ASSIGN_OR_RETURN(
+          ReleaseEngine * engine,
+          host->engine(tenant.policy_file, tenant.name));
+      for (const auto& [name, budget] : tenant.sessions) {
+        BLOWFISH_RETURN_IF_ERROR(
+            engine->accountant().OpenSession(name, budget));
+      }
+    }
+  }
+  return host;
+}
+
+StatusOr<ServeConfig> LoadServeConfig(Args& args) {
+  const char* config_path = args.Get("config");
+  if (config_path == nullptr) {
+    return Status::InvalidArgument("--config <file> is required");
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(std::string text, ReadFile(config_path));
+  BLOWFISH_ASSIGN_OR_RETURN(ServeConfig config, ParseServeConfig(text));
+  if (const char* t = args.Get("threads")) {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t threads,
+                              ParseNonNegativeInt(t, "--threads"));
+    config.threads = static_cast<size_t>(threads);
+  }
+  if (const char* f = args.Get("cache_file")) config.cache_file = f;
+  if (const char* s = args.Get("seed")) {
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t seed,
+                              ParseNonNegativeInt(s, "--seed"));
+    config.seed = seed;
+  }
+  return config;
+}
+
+int RunServe(Args& args) {
+  auto config = LoadServeConfig(args);
+  if (!config.ok()) return Fail(config.status().ToString());
+  auto host = BuildHost(*config);
+  if (!host.ok()) return Fail(host.status().ToString());
+  std::printf("# serving %zu tenants on %zu pool threads\n",
+              config->tenants.size(), (*host)->pool().size());
+
+  // Submit every tenant's batch before collecting any result: the
+  // batches interleave on the shared pool.
+  struct PendingBatch {
+    const TenantConfig* tenant;
+    std::vector<QueryRequest> requests;
+    std::future<StatusOr<std::vector<QueryResponse>>> result;
+  };
+  std::vector<PendingBatch> pending;
+  for (const TenantConfig& tenant : config->tenants) {
+    if (tenant.requests_file.empty()) continue;
+    auto request_text = ReadFile(tenant.requests_file);
+    if (!request_text.ok()) return Fail(request_text.status().ToString());
+    auto requests = ParseBatchRequests(*request_text);
+    if (!requests.ok()) {
+      return Fail("tenant '" + tenant.name +
+                  "': " + requests.status().ToString());
+    }
+    PendingBatch batch;
+    batch.tenant = &tenant;
+    batch.requests = *requests;  // kept for printing alongside responses
+    batch.result = (*host)->SubmitBatch(tenant.policy_file, tenant.name,
+                                        std::move(*requests));
+    pending.push_back(std::move(batch));
+  }
+  // One tenant failing (e.g. a lazy engine-construction error) must not
+  // sink the others: their batches already executed — budget spent,
+  // noise drawn — so their results are delivered and the cache is still
+  // saved. The exit code reports the failure.
+  bool any_tenant_failed = false;
+  for (PendingBatch& batch : pending) {
+    std::printf("### tenant %s\n", batch.tenant->name.c_str());
+    auto responses = batch.result.get();
+    if (!responses.ok()) {
+      std::printf("# tenant failed: %s\n",
+                  responses.status().ToString().c_str());
+      any_tenant_failed = true;
+      continue;
+    }
+    PrintResponses(batch.requests, *responses);
+  }
+  PrintCacheStats((*host)->cache());
+  for (const TenantConfig& tenant : config->tenants) {
+    if (tenant.requests_file.empty() && tenant.sessions.empty()) continue;
+    auto engine = (*host)->engine(tenant.policy_file, tenant.name);
+    if (!engine.ok()) continue;
+    std::printf("### tenant %s\n%s", tenant.name.c_str(),
+                (*engine)->accountant().ToString().c_str());
+  }
+  if (!config->cache_file.empty()) {
+    Status saved = (*host)->cache().SaveToFile(config->cache_file);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::printf("# sensitivity cache saved to %s (%zu entries)\n",
+                config->cache_file.c_str(), (*host)->cache().size());
+  }
+  return any_tenant_failed ? 1 : 0;
+}
+
+int RunSessions(Args& args) {
+  auto config = LoadServeConfig(args);
+  if (!config.ok()) return Fail(config.status().ToString());
+  const char* filter = args.Get("tenant");
+  if (filter != nullptr) {
+    // Narrow before building: no point ingesting every tenant's CSV to
+    // print one tenant's sessions.
+    std::vector<TenantConfig> kept;
+    for (TenantConfig& tenant : config->tenants) {
+      if (tenant.name == filter) kept.push_back(std::move(tenant));
+    }
+    if (kept.empty()) {
+      return Fail("no tenant named '" + std::string(filter) +
+                  "' in the config");
+    }
+    config->tenants = std::move(kept);
+  }
+  // Budget ledgers live in the serving process, so a fresh CLI
+  // invocation can only ever see the configured opening balances — which
+  // are fully determined by the config. Answer from the config directly
+  // rather than ingesting every tenant's CSV and materializing engines
+  // just to read back these constants.
+  std::printf("# budgets are per-process: spent reflects this process "
+              "only\n");
+  std::printf("tenant,session,budget,spent,remaining\n");
+  for (const TenantConfig& tenant : config->tenants) {
+    std::set<std::string> seen;
+    for (const auto& [name, budget] : tenant.sessions) {
+      // The same checks OpenSession would apply at serve time.
+      if (!seen.insert(name).second) {
+        return Fail("tenant '" + tenant.name + "': session '" + name +
+                    "' declared twice");
+      }
+      if (budget < 0.0) {
+        return Fail("tenant '" + tenant.name + "': session '" + name +
+                    "' budget must be >= 0");
+      }
+      std::printf("%s,%s,%g,0,%g\n", tenant.name.c_str(), name.c_str(),
+                  budget, budget);
+    }
+    // The default session materializes at first charge; until then it
+    // has the tenant's default budget and nothing spent.
+    std::printf("%s,(default),%g,0,%g\n", tenant.name.c_str(),
+                tenant.budget, tenant.budget);
+  }
+  return 0;
+}
+
 int RunCli(Args args) {
+  if (args.command == "serve") return RunServe(args);
+  if (args.command == "sessions") return RunSessions(args);
+
   const char* policy_path = args.Get("policy");
   if (policy_path == nullptr) return Fail("--policy <file> is required");
   auto spec_text = ReadFile(policy_path);
@@ -118,8 +386,18 @@ int RunCli(Args args) {
   Policy& policy = parsed->policy;
 
   double eps = parsed->epsilon.value_or(1.0);
-  if (const char* e = args.Get("eps")) eps = std::stod(e);
-  Random rng(args.Get("seed") ? std::stoull(args.Get("seed")) : 20140612);
+  if (const char* e = args.Get("eps")) {
+    auto parsed_eps = ParseFiniteDouble(e, "--eps");
+    if (!parsed_eps.ok()) return Fail(parsed_eps.status().ToString());
+    eps = *parsed_eps;
+  }
+  uint64_t seed = 20140612;
+  if (const char* s = args.Get("seed")) {
+    auto parsed_seed = ParseNonNegativeInt(s, "--seed");
+    if (!parsed_seed.ok()) return Fail(parsed_seed.status().ToString());
+    seed = *parsed_seed;
+  }
+  Random rng(seed);
 
   std::printf("# policy %s, eps = %g\n", policy.ToString().c_str(), eps);
 
@@ -139,9 +417,17 @@ int RunCli(Args args) {
   }
 
   std::vector<size_t> columns = {0};
-  if (const char* c = args.Get("columns")) columns = ParseSizeList(c);
+  if (const char* c = args.Get("columns")) {
+    auto parsed_columns = ParseSizeList(c, "--columns");
+    if (!parsed_columns.ok()) {
+      return Fail(parsed_columns.status().ToString());
+    }
+    columns = *parsed_columns;
+  }
   if (const char* c = args.Get("column")) {
-    columns = {static_cast<size_t>(std::stoul(c))};
+    auto column = ParseNonNegativeInt(c, "--column");
+    if (!column.ok()) return Fail(column.status().ToString());
+    columns = {static_cast<size_t>(*column)};
   }
   auto data = LoadData(args, policy, columns);
   if (!data.ok()) return Fail(data.status().ToString());
@@ -158,49 +444,53 @@ int RunCli(Args args) {
     ReleaseEngineOptions options;
     options.root_seed = rng.seed();
     if (const char* t = args.Get("threads")) {
-      options.num_threads = std::stoul(t);
+      auto threads = ParseNonNegativeInt(t, "--threads");
+      if (!threads.ok()) return Fail(threads.status().ToString());
+      options.num_threads = static_cast<size_t>(*threads);
     }
     if (const char* b = args.Get("budget")) {
-      options.default_session_budget = std::stod(b);
+      auto budget = ParseFiniteDouble(b, "--budget");
+      if (!budget.ok()) return Fail(budget.status().ToString());
+      options.default_session_budget = *budget;
     }
     auto engine =
         ReleaseEngine::Create(policy, std::move(*data), options);
     if (!engine.ok()) return Fail(engine.status().ToString());
 
-    auto responses = (*engine)->ServeBatch(*requests);
-    for (size_t i = 0; i < responses.size(); ++i) {
-      const QueryRequest& req = (*requests)[i];
-      const QueryResponse& resp = responses[i];
-      std::printf("## query %zu kind=%s label=%s status=%s\n", i,
-                  QueryKindName(req.kind), resp.label.c_str(),
-                  resp.status.ok() ? "OK" : resp.status.ToString().c_str());
-      if (!resp.status.ok()) continue;
-      std::printf(
-          "# sensitivity=%g cache_hit=%d eps=%g charged=%g remaining=%g "
-          "session=%s%s\n",
-          resp.sensitivity, resp.cache_hit ? 1 : 0, resp.receipt.epsilon,
-          resp.receipt.charged, resp.receipt.remaining,
-          resp.receipt.session.empty() ? "(default)"
-                                       : resp.receipt.session.c_str(),
-          resp.receipt.parallel ? " parallel=1" : "");
-      for (size_t v = 0; v < resp.values.size(); ++v) {
-        std::printf("%s%.6f", v == 0 ? "" : ",", resp.values[v]);
+    const char* cache_file = args.Get("cache_file");
+    if (cache_file != nullptr) {
+      Status loaded = (*engine)->cache().LoadFromFile(cache_file);
+      // A missing file is a cold start, not an error.
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        return Fail(loaded.ToString());
       }
-      if (!resp.values.empty()) std::printf("\n");
     }
-    const SensitivityCache::Stats stats = (*engine)->cache().stats();
-    std::printf("## cache hits=%llu misses=%llu evictions=%llu\n",
-                static_cast<unsigned long long>(stats.hits),
-                static_cast<unsigned long long>(stats.misses),
-                static_cast<unsigned long long>(stats.evictions));
+
+    auto responses = (*engine)->ServeBatch(*requests);
+    PrintResponses(*requests, responses);
+    PrintCacheStats((*engine)->cache());
     std::printf("%s", (*engine)->accountant().ToString().c_str());
+    if (cache_file != nullptr) {
+      Status saved = (*engine)->cache().SaveToFile(cache_file);
+      if (!saved.ok()) return Fail(saved.ToString());
+      std::printf("# sensitivity cache saved to %s (%zu entries)\n",
+                  cache_file, (*engine)->cache().size());
+    }
     return 0;
   }
 
   if (args.command == "kmeans") {
     KMeansOptions opts;
-    if (const char* k = args.Get("k")) opts.k = std::stoul(k);
-    if (const char* it = args.Get("iters")) opts.iterations = std::stoul(it);
+    if (const char* k = args.Get("k")) {
+      auto parsed_k = ParseNonNegativeInt(k, "--k");
+      if (!parsed_k.ok()) return Fail(parsed_k.status().ToString());
+      opts.k = static_cast<size_t>(*parsed_k);
+    }
+    if (const char* it = args.Get("iters")) {
+      auto iters = ParseNonNegativeInt(it, "--iters");
+      if (!iters.ok()) return Fail(iters.status().ToString());
+      opts.iterations = static_cast<size_t>(*iters);
+    }
     auto result = BlowfishKMeans(*data, policy, eps, opts, rng);
     if (!result.ok()) return Fail(result.status().ToString());
     std::printf("objective,%.6g\n", result->objective);
@@ -246,14 +536,23 @@ int RunCli(Args args) {
     const char* lo = args.Get("lo");
     const char* hi = args.Get("hi");
     if (lo == nullptr || hi == nullptr) return Fail("--lo/--hi required");
-    auto answer = released->RangeQuery(std::stoul(lo), std::stoul(hi));
+    auto lo_bucket = ParseNonNegativeInt(lo, "--lo");
+    if (!lo_bucket.ok()) return Fail(lo_bucket.status().ToString());
+    auto hi_bucket = ParseNonNegativeInt(hi, "--hi");
+    if (!hi_bucket.ok()) return Fail(hi_bucket.status().ToString());
+    auto answer = released->RangeQuery(static_cast<size_t>(*lo_bucket),
+                                       static_cast<size_t>(*hi_bucket));
     if (!answer.ok()) return Fail(answer.status().ToString());
     std::printf("range[%s,%s],%.2f\n", lo, hi, *answer);
     return 0;
   }
   if (args.command == "quantiles") {
     std::vector<double> qs = {0.25, 0.5, 0.75};
-    if (const char* q = args.Get("qs")) qs = ParseDoubleList(q);
+    if (const char* q = args.Get("qs")) {
+      auto parsed_qs = ParseDoubleList(q, "--qs");
+      if (!parsed_qs.ok()) return Fail(parsed_qs.status().ToString());
+      qs = *parsed_qs;
+    }
     std::printf("q,bucket\n");
     for (double q : qs) {
       auto b = QuantileFromCumulative(released->inferred_cumulative, q);
@@ -273,7 +572,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: blowfish_cli "
                  "<histogram|cdf|range|quantiles|kmeans|advise|batch> "
-                 "--policy <file> [--csv <file>] [--eps <v>] ...\n");
+                 "--policy <file> [--csv <file>] [--eps <v>] ...\n"
+                 "       blowfish_cli serve    --config <file> "
+                 "[--threads <n>] [--cache_file <file>]\n"
+                 "       blowfish_cli sessions --config <file> "
+                 "[--tenant <name>]\n");
     return 1;
   }
   blowfish::Args args;
@@ -286,5 +589,13 @@ int main(int argc, char** argv) {
     }
     args.flags[flag + 2] = argv[i + 1];
   }
-  return blowfish::RunCli(std::move(args));
+  // Flag values go through util/parse.h, which returns errors instead of
+  // throwing; this catch is a last-resort backstop (e.g. std::length_error
+  // from an absurd allocation request) so bad input never aborts.
+  try {
+    return blowfish::RunCli(std::move(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
