@@ -12,7 +12,7 @@
 // whether a repeated batch with the same root seed is bit-identical
 // across --threads 1 and --threads 4, a persistent-pool vs
 // per-batch-thread-spawn executor comparison (the reason
-// server/thread_pool.h exists), and whether an EngineHost batch is
+// util/thread_pool.h exists), and whether an EngineHost batch is
 // bit-identical for any pool size (acceptance: it is).
 
 #include <chrono>
@@ -25,10 +25,11 @@
 #include "core/policy_graph.h"
 #include "core/secret_graph.h"
 #include "data/synthetic.h"
+#include "engine/batch_request.h"
 #include "engine/release_engine.h"
 #include "mech/laplace.h"
 #include "server/engine_host.h"
-#include "server/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -66,11 +67,12 @@ StatusOr<Dataset> MakeData(const Policy& policy, size_t n, Random& rng) {
 }
 
 std::vector<QueryRequest> HistogramBatch(size_t count, double eps) {
-  std::vector<QueryRequest> batch(count);
+  std::vector<QueryRequest> batch;
+  batch.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    batch[i].kind = QueryKind::kHistogram;
-    batch[i].epsilon = eps;
-    batch[i].label = "q" + std::to_string(i);
+    QueryRequest request = MakeQueryRequest("histogram", eps).value();
+    request.label = "q" + std::to_string(i);
+    batch.push_back(std::move(request));
   }
   return batch;
 }

@@ -3,81 +3,43 @@
 #include <cctype>
 #include <sstream>
 
+#include "engine/ops/query_op.h"
 #include "util/parse.h"
 
 namespace blowfish {
 
 namespace {
 
-StatusOr<QueryKind> ParseKind(const std::string& kind) {
-  if (kind == "histogram") return QueryKind::kHistogram;
-  if (kind == "cell_histogram") return QueryKind::kCellHistogram;
-  if (kind == "range") return QueryKind::kRange;
-  if (kind == "cdf") return QueryKind::kCdf;
-  if (kind == "quantiles") return QueryKind::kQuantiles;
-  if (kind == "kmeans") return QueryKind::kKMeans;
-  return Status::InvalidArgument("unknown query kind '" + kind + "'");
-}
-
-Status ApplyKeyValue(const std::string& key, const std::string& value,
-                     size_t line_no, QueryRequest* request) {
-  const std::string context =
-      "'" + key + "' on line " + std::to_string(line_no);
-  if (key == "eps") {
-    BLOWFISH_ASSIGN_OR_RETURN(request->epsilon, ParseFiniteDouble(value, context));
-    return Status::OK();
-  }
-  if (key == "label") {
-    request->label = value;
-    return Status::OK();
-  }
-  if (key == "session") {
-    request->session = value;
-    return Status::OK();
-  }
-  if (key == "group") {
-    request->parallel_group = value;
-    return Status::OK();
-  }
-  if (key == "cells") {
-    std::istringstream in(value);
-    std::string token;
-    while (std::getline(in, token, ',')) {
-      BLOWFISH_ASSIGN_OR_RETURN(uint64_t cell, ParseNonNegativeInt(token, context));
-      request->cells.push_back(cell);
+/// Builds one request from a kind and its key=value items: envelope keys
+/// are applied here, everything else goes to the op's own Parse, and
+/// leftovers are rejected. The single construction path for parsed
+/// files, MakeQueryRequest, and the CLI.
+StatusOr<QueryRequest> BuildRequest(
+    const std::string& kind,
+    const std::vector<std::pair<std::string, std::string>>& items,
+    const std::string& context) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::unique_ptr<QueryOp> op,
+                            QueryOpRegistry::Global().Create(kind));
+  QueryRequest request;
+  KeyValueBag bag(context);
+  for (const auto& [key, value] : items) {
+    if (key == "eps") {
+      BLOWFISH_ASSIGN_OR_RETURN(
+          request.epsilon, ParseFiniteDouble(value, "'eps' " + context));
+    } else if (key == "label") {
+      request.label = value;
+    } else if (key == "session") {
+      request.session = value;
+    } else if (key == "group") {
+      request.parallel_group = value;
+    } else {
+      bag.Add(key, value);
     }
-    return Status::OK();
   }
-  if (key == "lo") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t lo, ParseNonNegativeInt(value, context));
-    request->range_lo = static_cast<size_t>(lo);
-    return Status::OK();
-  }
-  if (key == "hi") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t hi, ParseNonNegativeInt(value, context));
-    request->range_hi = static_cast<size_t>(hi);
-    return Status::OK();
-  }
-  if (key == "qs") {
-    std::istringstream in(value);
-    std::string token;
-    while (std::getline(in, token, ',')) {
-      BLOWFISH_ASSIGN_OR_RETURN(double q, ParseFiniteDouble(token, context));
-      request->quantiles.push_back(q);
-    }
-    return Status::OK();
-  }
-  if (key == "k") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t k, ParseNonNegativeInt(value, context));
-    request->kmeans.k = static_cast<size_t>(k);
-    return Status::OK();
-  }
-  if (key == "iters") {
-    BLOWFISH_ASSIGN_OR_RETURN(uint64_t iters, ParseNonNegativeInt(value, context));
-    request->kmeans.iterations = static_cast<size_t>(iters);
-    return Status::OK();
-  }
-  return Status::InvalidArgument("unknown key " + context);
+  BLOWFISH_RETURN_IF_ERROR(op->Parse(bag));
+  BLOWFISH_RETURN_IF_ERROR(bag.ExpectEmpty(kind));
+  request.op = std::move(op);
+  return request;
 }
 
 }  // namespace
@@ -103,9 +65,7 @@ StatusOr<std::vector<QueryRequest>> ParseBatchRequests(
     std::istringstream tokens(line);
     std::string kind_token;
     if (!(tokens >> kind_token)) continue;  // blank line
-    BLOWFISH_ASSIGN_OR_RETURN(QueryKind kind, ParseKind(kind_token));
-    QueryRequest request;
-    request.kind = kind;
+    std::vector<std::pair<std::string, std::string>> items;
     std::string token;
     while (tokens >> token) {
       const size_t eq = token.find('=');
@@ -114,15 +74,26 @@ StatusOr<std::vector<QueryRequest>> ParseBatchRequests(
             "expected key=value, got '" + token + "' on line " +
             std::to_string(line_no));
       }
-      BLOWFISH_RETURN_IF_ERROR(ApplyKeyValue(
-          token.substr(0, eq), token.substr(eq + 1), line_no, &request));
+      items.emplace_back(token.substr(0, eq), token.substr(eq + 1));
     }
-    if (request.kind == QueryKind::kQuantiles && request.quantiles.empty()) {
-      request.quantiles = {0.25, 0.5, 0.75};
-    }
+    BLOWFISH_ASSIGN_OR_RETURN(
+        QueryRequest request,
+        BuildRequest(kind_token, items,
+                     "on line " + std::to_string(line_no)));
     requests.push_back(std::move(request));
   }
   return requests;
+}
+
+StatusOr<QueryRequest> MakeQueryRequest(
+    const std::string& kind, double epsilon,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  BLOWFISH_ASSIGN_OR_RETURN(QueryRequest request,
+                            BuildRequest(kind, kv, "in request arguments"));
+  bool eps_in_kv = false;
+  for (const auto& [key, value] : kv) eps_in_kv = eps_in_kv || key == "eps";
+  if (!eps_in_kv) request.epsilon = epsilon;
+  return request;
 }
 
 }  // namespace blowfish

@@ -2,15 +2,92 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/parse.h"
 
 namespace blowfish {
+
+namespace {
+
+constexpr char kLedgerFileHeader[] = "# blowfish-budget-ledger v1";
+
+struct LedgerEntry {
+  std::string name;
+  double budget = 0.0;
+  double spent = 0.0;
+};
+
+/// Parses a serialized ledger (header + `<budget>\t<spent>\t<session>`
+/// lines). Shared by Load and by SaveToFile's merge, so the two cannot
+/// drift on the accepted grammar.
+StatusOr<std::vector<LedgerEntry>> ParseLedger(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kLedgerFileHeader) {
+    return Status::InvalidArgument(
+        "not a budget ledger file (missing '" +
+        std::string(kLedgerFileHeader) + "' header)");
+  }
+  std::vector<LedgerEntry> parsed;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string context = "ledger line " + std::to_string(line_no);
+    const size_t tab1 = line.find('\t');
+    const size_t tab2 =
+        tab1 == std::string::npos ? std::string::npos
+                                  : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      return Status::InvalidArgument(
+          context + ": expected <budget>\\t<spent>\\t<session>");
+    }
+    LedgerEntry entry;
+    BLOWFISH_ASSIGN_OR_RETURN(
+        entry.budget, ParseFiniteDouble(line.substr(0, tab1), context));
+    BLOWFISH_ASSIGN_OR_RETURN(
+        entry.spent,
+        ParseFiniteDouble(line.substr(tab1 + 1, tab2 - tab1 - 1), context));
+    if (entry.budget < 0.0 || entry.spent < 0.0) {
+      return Status::InvalidArgument(context +
+                                     ": budget and spent must be >= 0");
+    }
+    entry.name = line.substr(tab2 + 1);
+    parsed.push_back(std::move(entry));
+  }
+  return parsed;
+}
+
+Status WriteLedgerLine(std::ostream& out, const std::string& name,
+                       double budget, double spent) {
+  if (name.find('\n') != std::string::npos ||
+      name.find('\t') != std::string::npos) {
+    return Status::Internal(
+        "session name contains a tab or newline and cannot be "
+        "serialized");
+  }
+  char budget_text[64];
+  char spent_text[64];
+  std::snprintf(budget_text, sizeof(budget_text), "%.17g", budget);
+  std::snprintf(spent_text, sizeof(spent_text), "%.17g", spent);
+  out << budget_text << "\t" << spent_text << "\t" << name << "\n";
+  return Status::OK();
+}
+
+}  // namespace
 
 BudgetAccountant::SessionState& BudgetAccountant::GetOrCreateLocked(
     const std::string& session) {
   auto it = sessions_.find(session);
   if (it == sessions_.end()) {
-    it = sessions_.emplace(session, SessionState{default_budget_, {}}).first;
+    SessionState state;
+    state.budget = default_budget_;
+    it = sessions_.emplace(session, std::move(state)).first;
   }
   return it->second;
 }
@@ -27,7 +104,9 @@ Status BudgetAccountant::OpenSession(const std::string& session,
     return Status::InvalidArgument("session '" + session +
                                    "' already exists");
   }
-  sessions_.emplace(session, SessionState{budget, {}});
+  SessionState state;
+  state.budget = budget;
+  sessions_.emplace(session, std::move(state));
   return Status::OK();
 }
 
@@ -156,6 +235,92 @@ double BudgetAccountant::Remaining(const std::string& session) const {
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return default_budget_;
   return it->second.budget - it->second.ledger.TotalEpsilon();
+}
+
+Status BudgetAccountant::Save(std::ostream& out) const {
+  // Snapshot under the lock, write outside it: disk I/O must not stall
+  // the admission path.
+  std::vector<SessionInfo> snapshot = ListSessions();
+  out << kLedgerFileHeader << "\n";
+  for (const SessionInfo& session : snapshot) {
+    BLOWFISH_RETURN_IF_ERROR(
+        WriteLedgerLine(out, session.name, session.budget, session.spent));
+  }
+  if (!out) return Status::Internal("write to ledger stream failed");
+  return Status::OK();
+}
+
+Status BudgetAccountant::SaveToFile(const std::string& path) const {
+  // Read-merge-write under one lock acquisition: a blind overwrite
+  // would erase spend another host recorded since this process loaded
+  // the file. Sessions this accountant never saw are kept as persisted;
+  // sessions both sides know keep the larger spent figure (persisted
+  // spend never decreases). Exact when concurrent hosts charge disjoint
+  // sessions; hosts charging the *same* session concurrently still
+  // undercount (each is blind to the other's in-flight spend) — that
+  // needs a shared accountant, not a shared file.
+  return AtomicUpdateFile(
+      path,
+      [this](const std::string* existing, std::ostream& out) -> Status {
+        std::map<std::string, SessionInfo> merged;
+        for (const SessionInfo& session : ListSessions()) {
+          merged[session.name] = session;
+        }
+        if (existing != nullptr) {
+          std::istringstream in(*existing);
+          auto persisted = ParseLedger(in);
+          // An unparseable existing file (corruption predating the
+          // atomic-write protocol) has nothing mergeable; overwrite it.
+          if (persisted.ok()) {
+            for (const LedgerEntry& entry : *persisted) {
+              auto it = merged.find(entry.name);
+              if (it == merged.end()) {
+                SessionInfo keep;
+                keep.name = entry.name;
+                keep.budget = entry.budget;
+                keep.spent = entry.spent;
+                keep.remaining = entry.budget - entry.spent;
+                merged[entry.name] = keep;
+              } else if (entry.spent > it->second.spent) {
+                it->second.spent = entry.spent;
+              }
+            }
+          }
+        }
+        out << kLedgerFileHeader << "\n";
+        for (const auto& [name, session] : merged) {
+          BLOWFISH_RETURN_IF_ERROR(
+              WriteLedgerLine(out, name, session.budget, session.spent));
+        }
+        if (!out) return Status::Internal("write to ledger stream failed");
+        return Status::OK();
+      });
+}
+
+Status BudgetAccountant::Load(std::istream& in) {
+  // Parse the whole file before touching the accountant, so a file
+  // truncated mid-write is rejected without leaving sessions half-merged.
+  BLOWFISH_ASSIGN_OR_RETURN(std::vector<LedgerEntry> parsed,
+                            ParseLedger(in));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LedgerEntry& entry : parsed) {
+    // The file is the cross-process authority: replace, don't add to,
+    // any session it names (re-loading the same ledger is idempotent).
+    SessionState state;
+    state.budget = entry.budget;
+    if (entry.spent > 0.0) {
+      BLOWFISH_RETURN_IF_ERROR(
+          state.ledger.SpendSequential(entry.spent, "[restored]"));
+    }
+    sessions_[entry.name] = std::move(state);
+  }
+  return Status::OK();
+}
+
+Status BudgetAccountant::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  return Load(file);
 }
 
 std::string BudgetAccountant::ToString() const {

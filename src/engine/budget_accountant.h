@@ -12,6 +12,7 @@
 #ifndef BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 #define BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
@@ -108,6 +109,33 @@ class BudgetAccountant {
 
   /// Human-readable multi-session summary.
   std::string ToString() const;
+
+  /// Text serialization, so spend survives the serving process: a
+  /// restarted host (or a `sessions` CLI run in another process) sees
+  /// what earlier processes charged instead of the opening balances.
+  /// Format: a version header, then one `<budget>\t<spent>\t<session>`
+  /// line per session, in name order; values round-trip bit-exactly via
+  /// %.17g. Outstanding (unsettled) charges are persisted as spent —
+  /// refunds do not survive a restart.
+  Status Save(std::ostream& out) const;
+  /// Atomic read-merge-write under the advisory `<path>.lock`
+  /// (util/atomic_file.h): sessions another process persisted since
+  /// this accountant loaded the file are kept (same-name sessions keep
+  /// the larger spent — persisted spend never decreases), and the
+  /// locked write-then-rename means concurrent hosts sharing one
+  /// ledger file cannot corrupt it. Exact when concurrent hosts charge
+  /// disjoint sessions; hosts charging the same session concurrently
+  /// still undercount each other's in-flight spend (a shared file is
+  /// not a shared accountant).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Merges a previously saved ledger into this accountant: each line
+  /// creates its session — or *replaces* an existing session's budget
+  /// and spend (the file is the authority on cross-process state).
+  /// Rejects files that do not start with the version header; a
+  /// malformed file leaves the accountant untouched.
+  Status Load(std::istream& in);
+  Status LoadFromFile(const std::string& path);
 
  private:
   struct SessionState {

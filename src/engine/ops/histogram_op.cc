@@ -1,0 +1,61 @@
+// `histogram` — the complete histogram h, the workhorse release of Sec 5.
+//
+//   histogram eps=0.5 [label=] [session=]
+//
+// Unconstrained policies use the closed form S(h, P) = 2 (0 for an
+// edgeless graph); constrained policies pay the Thm 8.2 policy-graph
+// alpha/xi bound — the NP-hard computation the SensitivityCache exists
+// for.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/policy_graph.h"
+#include "core/sensitivity.h"
+#include "engine/ops/query_op.h"
+#include "mech/laplace.h"
+
+namespace blowfish {
+namespace {
+
+class HistogramOp final : public QueryOp {
+ public:
+  std::string KindName() const override { return "histogram"; }
+
+  Status Parse(KeyValueBag& kv) override {
+    (void)kv;  // no op-specific keys
+    return Status::OK();
+  }
+
+  StatusOr<std::string> SensitivityShape() const override {
+    return std::string("h");
+  }
+
+  StatusOr<double> ComputeSensitivity(
+      const Policy& policy, const SensitivityEnv& env) const override {
+    if (!policy.has_constraints()) {
+      return HistogramSensitivity(policy.graph());
+    }
+    // Thm 8.2: the NP-hard alpha/xi bound — the cache's raison d'etre.
+    BLOWFISH_ASSIGN_OR_RETURN(
+        PolicyGraph pg, PolicyGraph::Build(policy.constraints(),
+                                           policy.graph(), env.max_edges));
+    return pg.HistogramSensitivityBound(env.max_policy_graph_vertices);
+  }
+
+  StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,
+                                        Random rng) const override {
+    CompleteHistogramQuery query(ctx.policy.domain().size());
+    std::vector<double> truth = query.Evaluate(ctx.hist);
+    if (ctx.sensitivity == 0.0) return truth;
+    return LaplaceRelease(truth, ctx.sensitivity, ctx.epsilon, rng);
+  }
+};
+
+const QueryOpRegistrar kRegistrar{
+    "histogram", [] { return std::make_unique<HistogramOp>(); }};
+
+}  // namespace
+}  // namespace blowfish

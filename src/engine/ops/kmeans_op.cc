@@ -1,0 +1,74 @@
+// `kmeans` — Blowfish SuLQ k-means (Sec 6).
+//
+//   kmeans eps=0.5 [k=4] [iters=10] [label=] [session=]
+//
+// Each iteration releases q_size (sensitivity 2) and q_sum (sensitivity
+// per Lemma 6.1); admission keys on max(S(q_sum), S(q_size)) so the
+// eps = 0 free-release rule only fires when *both* are free. Payload:
+// { objective, c0_0..c0_{d-1}, c1_0.., ... }.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sensitivity.h"
+#include "engine/ops/query_op.h"
+#include "mech/kmeans.h"
+
+namespace blowfish {
+namespace {
+
+class KMeansOp final : public QueryOp {
+ public:
+  std::string KindName() const override { return "kmeans"; }
+  std::string ExampleArgs() const override { return "k=2 iters=2"; }
+
+  Status Parse(KeyValueBag& kv) override {
+    BLOWFISH_RETURN_IF_ERROR(kv.TakeIndex("k", &options_.k));
+    BLOWFISH_RETURN_IF_ERROR(kv.TakeIndex("iters", &options_.iterations));
+    return Status::OK();
+  }
+
+  StatusOr<std::string> SensitivityShape() const override {
+    return std::string("kmeans");
+  }
+
+  StatusOr<double> ComputeSensitivity(
+      const Policy& policy, const SensitivityEnv& env) const override {
+    (void)env;
+    // K-means releases both q_sum and q_size; admission (in particular
+    // the eps = 0 free-release rule) must key on the larger of the two.
+    BLOWFISH_ASSIGN_OR_RETURN(double q_sum, QSumSensitivity(policy));
+    return std::max(q_sum, QSizeSensitivity(policy.graph()));
+  }
+
+  StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,
+                                        Random rng) const override {
+    // sensitivity == 0 means the secret graph is edgeless: every
+    // internal Laplace release is exact regardless of epsilon, so a
+    // placeholder epsilon keeps the mech-layer eps > 0 check happy.
+    const double eps = ctx.sensitivity == 0.0 && ctx.epsilon <= 0.0
+                           ? 1.0
+                           : ctx.epsilon;
+    BLOWFISH_ASSIGN_OR_RETURN(
+        KMeansResult result,
+        BlowfishKMeans(ctx.data, ctx.policy, eps, options_, rng));
+    std::vector<double> out;
+    out.push_back(result.objective);
+    for (const auto& centroid : result.centroids) {
+      out.insert(out.end(), centroid.begin(), centroid.end());
+    }
+    return out;
+  }
+
+ private:
+  KMeansOptions options_;
+};
+
+const QueryOpRegistrar kRegistrar{
+    "kmeans", [] { return std::make_unique<KMeansOp>(); }};
+
+}  // namespace
+}  // namespace blowfish

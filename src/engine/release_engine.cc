@@ -1,116 +1,22 @@
 #include "engine/release_engine.h"
 
-#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <map>
 #include <set>
-#include <sstream>
-#include <unordered_map>
+#include <utility>
 
-#include "core/policy_graph.h"
 #include "core/privacy_loss.h"
 #include "core/secret_graph.h"
-#include "core/sensitivity.h"
-#include "mech/cdf_applications.h"
-#include "mech/laplace.h"
-#include "mech/ordered.h"
-#include "server/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace blowfish {
 
-const char* QueryKindName(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kHistogram: return "histogram";
-    case QueryKind::kCellHistogram: return "cell_histogram";
-    case QueryKind::kRange: return "range";
-    case QueryKind::kCdf: return "cdf";
-    case QueryKind::kQuantiles: return "quantiles";
-    case QueryKind::kKMeans: return "kmeans";
-  }
-  return "unknown";
+std::string QueryKindName(const QueryRequest& request) {
+  return request.op == nullptr ? std::string("unknown")
+                               : request.op->KindName();
 }
-
-namespace {
-
-/// The complete histogram restricted to a set of G^P partition cells:
-/// one output row per domain value whose cell is in the set, in domain
-/// order. Moving a tuple across an edge of G^P changes two rows if the
-/// edge's (shared) cell is included, none otherwise.
-class CellHistogramQuery final : public LinearQuery {
- public:
-  CellHistogramQuery(const PartitionGraph& partition, const Domain& domain,
-                     const std::set<uint64_t>& cells) {
-    for (ValueIndex x = 0; x < domain.size(); ++x) {
-      if (cells.count(partition.CellOf(x)) > 0) {
-        row_of_[x] = included_.size();
-        included_.push_back(x);
-      }
-    }
-  }
-
-  size_t output_dim() const override { return included_.size(); }
-
-  void ForEachColumnEntry(
-      ValueIndex x,
-      const std::function<void(size_t, double)>& fn) const override {
-    auto it = row_of_.find(x);
-    if (it != row_of_.end()) fn(it->second, 1.0);
-  }
-
-  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
-    if (x == y) return 0.0;
-    return (row_of_.count(x) > 0 ? 1.0 : 0.0) +
-           (row_of_.count(y) > 0 ? 1.0 : 0.0);
-  }
-
-  std::vector<double> Evaluate(const Histogram& h) const override {
-    std::vector<double> out;
-    out.reserve(included_.size());
-    for (ValueIndex x : included_) out.push_back(h[x]);
-    return out;
-  }
-
-  std::string name() const override { return "h_cells"; }
-
-  const std::vector<ValueIndex>& included() const { return included_; }
-
- private:
-  std::vector<ValueIndex> included_;
-  std::unordered_map<ValueIndex, size_t> row_of_;
-};
-
-std::string CellShape(const std::vector<uint64_t>& cells) {
-  std::set<uint64_t> sorted(cells.begin(), cells.end());
-  std::ostringstream out;
-  out << "h_cells{";
-  for (uint64_t c : sorted) out << c << ",";
-  out << "}";
-  return out.str();
-}
-
-/// The query shape string a request's sensitivity is cached under.
-StatusOr<std::string> QueryShape(const QueryRequest& request) {
-  switch (request.kind) {
-    case QueryKind::kHistogram:
-      return std::string("h");
-    case QueryKind::kCellHistogram:
-      if (request.cells.empty()) {
-        return Status::InvalidArgument("cell_histogram requires cells");
-      }
-      return CellShape(request.cells);
-    case QueryKind::kRange:
-    case QueryKind::kCdf:
-    case QueryKind::kQuantiles:
-      return std::string("S_T");
-    case QueryKind::kKMeans:
-      return std::string("kmeans");
-  }
-  return Status::InvalidArgument("unknown query kind");
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<ReleaseEngine>> ReleaseEngine::Create(
     Policy policy, Dataset data, ReleaseEngineOptions options) {
@@ -160,192 +66,32 @@ ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
 
 StatusOr<double> ReleaseEngine::ResolveSensitivity(
     const QueryRequest& request, bool* cache_hit) {
-  BLOWFISH_ASSIGN_OR_RETURN(std::string shape, QueryShape(request));
+  BLOWFISH_ASSIGN_OR_RETURN(std::string shape,
+                            request.op->SensitivityShape());
+  const SensitivityEnv env{options_.max_edges,
+                           options_.max_policy_graph_vertices};
   // The hit flag is reported by GetOrCompute under the cache's own lock;
   // a separate Contains() probe would race other engines sharing the
   // cache.
-  switch (request.kind) {
-    case QueryKind::kHistogram:
-      return cache_->GetOrCompute(
-          policy_fp_, shape, [this]() -> StatusOr<double> {
-            if (!policy_.has_constraints()) {
-              return HistogramSensitivity(policy_.graph());
-            }
-            // Thm 8.2: the NP-hard alpha/xi bound — the cache's raison
-            // d'etre.
-            BLOWFISH_ASSIGN_OR_RETURN(
-                PolicyGraph pg,
-                PolicyGraph::Build(policy_.constraints(), policy_.graph(),
-                                   options_.max_edges));
-            return pg.HistogramSensitivityBound(
-                options_.max_policy_graph_vertices);
-          },
-          cache_hit);
-    case QueryKind::kCellHistogram:
-      return cache_->GetOrCompute(
-          policy_fp_, shape, [this, &request]() -> StatusOr<double> {
-            if (policy_.has_constraints()) {
-              return Status::Unimplemented(
-                  "cell_histogram is not supported on constrained "
-                  "policies");
-            }
-            const auto* partition =
-                dynamic_cast<const PartitionGraph*>(&policy_.graph());
-            if (partition == nullptr) {
-              return Status::FailedPrecondition(
-                  "cell_histogram requires a partition (G^P) secret "
-                  "graph");
-            }
-            std::set<uint64_t> cells(request.cells.begin(),
-                                     request.cells.end());
-            std::set<uint64_t> missing = cells;
-            for (ValueIndex x = 0; x < policy_.domain().size(); ++x) {
-              missing.erase(partition->CellOf(x));
-              if (missing.empty()) break;
-            }
-            if (!missing.empty()) {
-              return Status::InvalidArgument(
-                  "cell " + std::to_string(*missing.begin()) +
-                  " contains no domain values (unknown partition cell?)");
-            }
-            CellHistogramQuery query(*partition, policy_.domain(), cells);
-            return UnconstrainedSensitivity(query, policy_.graph(),
-                                            options_.max_edges);
-          },
-          cache_hit);
-    case QueryKind::kRange:
-    case QueryKind::kCdf:
-    case QueryKind::kQuantiles:
-      return cache_->GetOrCompute(
-          policy_fp_, shape, [this]() -> StatusOr<double> {
-            return CumulativeHistogramSensitivity(policy_);
-          },
-          cache_hit);
-    case QueryKind::kKMeans:
-      // K-means releases both q_sum and q_size; admission (in particular
-      // the eps = 0 free-release rule) must key on the larger of the two.
-      return cache_->GetOrCompute(
-          policy_fp_, shape, [this]() -> StatusOr<double> {
-            BLOWFISH_ASSIGN_OR_RETURN(double q_sum,
-                                      QSumSensitivity(policy_));
-            return std::max(q_sum, QSizeSensitivity(policy_.graph()));
-          },
-          cache_hit);
-  }
-  return Status::InvalidArgument("unknown query kind");
+  return cache_->GetOrCompute(
+      policy_fp_, shape,
+      [this, &request, &env]() -> StatusOr<double> {
+        return request.op->ComputeSensitivity(policy_, env);
+      },
+      cache_hit);
 }
 
 void ReleaseEngine::Execute(const QueryRequest& request, Random rng,
                             QueryResponse* response) const {
-  switch (request.kind) {
-    case QueryKind::kHistogram: {
-      CompleteHistogramQuery query(policy_.domain().size());
-      std::vector<double> truth = query.Evaluate(hist_);
-      if (response->sensitivity == 0.0) {
-        response->values = std::move(truth);
-        return;
-      }
-      auto released = LaplaceRelease(truth, response->sensitivity,
-                                     request.epsilon, rng);
-      if (!released.ok()) {
-        response->status = released.status();
-        return;
-      }
-      response->values = std::move(*released);
-      return;
-    }
-    case QueryKind::kCellHistogram: {
-      const auto* partition =
-          dynamic_cast<const PartitionGraph*>(&policy_.graph());
-      if (partition == nullptr) {
-        response->status = Status::FailedPrecondition(
-            "cell_histogram requires a partition (G^P) secret graph");
-        return;
-      }
-      std::set<uint64_t> cells(request.cells.begin(), request.cells.end());
-      CellHistogramQuery query(*partition, policy_.domain(), cells);
-      std::vector<double> truth = query.Evaluate(hist_);
-      if (response->sensitivity == 0.0) {
-        response->values = std::move(truth);
-        return;
-      }
-      auto released = LaplaceRelease(truth, response->sensitivity,
-                                     request.epsilon, rng);
-      if (!released.ok()) {
-        response->status = released.status();
-        return;
-      }
-      response->values = std::move(*released);
-      return;
-    }
-    case QueryKind::kRange:
-    case QueryKind::kCdf:
-    case QueryKind::kQuantiles: {
-      std::vector<double> cumulative;
-      if (response->sensitivity == 0.0) {
-        // Free release: no pair of P-neighbours changes the cumulative
-        // histogram, so the exact prefix sums can be published.
-        cumulative = hist_.CumulativeSums();
-      } else {
-        auto released =
-            OrderedMechanism(hist_, policy_, request.epsilon, rng);
-        if (!released.ok()) {
-          response->status = released.status();
-          return;
-        }
-        cumulative = std::move(released->inferred_cumulative);
-      }
-      if (request.kind == QueryKind::kRange) {
-        auto answer = RangeFromCumulative(cumulative, request.range_lo,
-                                          request.range_hi);
-        if (!answer.ok()) {
-          response->status = answer.status();
-          return;
-        }
-        response->values = {*answer};
-        return;
-      }
-      if (request.kind == QueryKind::kCdf) {
-        auto cdf = CdfFromCumulative(cumulative);
-        if (!cdf.ok()) {
-          response->status = cdf.status();
-          return;
-        }
-        response->values = std::move(*cdf);
-        return;
-      }
-      response->values.reserve(request.quantiles.size());
-      for (double q : request.quantiles) {
-        auto bucket = QuantileFromCumulative(cumulative, q);
-        if (!bucket.ok()) {
-          response->status = bucket.status();
-          return;
-        }
-        response->values.push_back(static_cast<double>(*bucket));
-      }
-      return;
-    }
-    case QueryKind::kKMeans: {
-      // sensitivity == 0 means the secret graph is edgeless: every
-      // internal Laplace release is exact regardless of epsilon, so a
-      // placeholder epsilon keeps the mech-layer eps > 0 check happy.
-      const double eps = response->sensitivity == 0.0 && request.epsilon <= 0.0
-                             ? 1.0
-                             : request.epsilon;
-      auto result = BlowfishKMeans(data_, policy_, eps, request.kmeans, rng);
-      if (!result.ok()) {
-        response->status = result.status();
-        return;
-      }
-      response->values.push_back(result->objective);
-      for (const auto& centroid : result->centroids) {
-        response->values.insert(response->values.end(), centroid.begin(),
-                                centroid.end());
-      }
-      return;
-    }
+  const QueryExecContext ctx{policy_, data_, hist_, request.epsilon,
+                             response->sensitivity};
+  StatusOr<std::vector<double>> released =
+      request.op->Execute(ctx, std::move(rng));
+  if (!released.ok()) {
+    response->status = released.status();
+    return;
   }
-  response->status = Status::InvalidArgument("unknown query kind");
+  response->values = std::move(*released);
 }
 
 struct ReleaseEngine::Work {
@@ -354,13 +100,25 @@ struct ReleaseEngine::Work {
 };
 
 std::vector<QueryResponse> ReleaseEngine::ServeBatch(
-    const std::vector<QueryRequest>& requests) {
+    const std::vector<QueryRequest>& requests,
+    const QueryCompletionCallback& on_complete) {
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
   std::vector<QueryResponse> responses(requests.size());
 
-  // --- Admission pass 1 (sequential): resolve sensitivities. -------------
+  // --- Admission pass 1 (sequential): validate, resolve sensitivities. ---
   for (size_t i = 0; i < requests.size(); ++i) {
     responses[i].label = requests[i].label;
+    if (requests[i].op == nullptr) {
+      responses[i].status = Status::InvalidArgument(
+          "request has no query op (construct requests via "
+          "ParseBatchRequests or MakeQueryRequest)");
+      continue;
+    }
+    Status valid = requests[i].op->Validate(policy_);
+    if (!valid.ok()) {
+      responses[i].status = valid;
+      continue;
+    }
     bool cache_hit = false;
     auto sensitivity = ResolveSensitivity(requests[i], &cache_hit);
     if (!sensitivity.ok()) {
@@ -398,10 +156,10 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     const QueryRequest& req = requests[i];
     if (req.parallel_group.empty()) {
       const double charge =
-          responses[i].sensitivity == 0.0 ? 0.0 : req.epsilon;
+          req.op->Charge(responses[i].sensitivity, req.epsilon);
       auto receipt = accountant_.ChargeSequential(
           req.session, charge,
-          req.label.empty() ? QueryKindName(req.kind) : req.label);
+          req.label.empty() ? req.op->KindName() : req.label);
       if (!receipt.ok()) {
         responses[i].status = receipt.status();
         continue;
@@ -414,18 +172,18 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     if (!groups_done.insert(key).second) continue;  // already handled
     const Group& group = groups.at(key);
     Status valid = Status::OK();
-    // Structural disjointness: only cell-restricted histograms under G^P
-    // with pairwise-disjoint cell sets qualify (see header comment).
+    // Structural disjointness: every member's op must expose the G^P
+    // cells it touches, and the cell sets must be pairwise disjoint
+    // (see header comment).
     std::set<uint64_t> seen_cells;
     for (size_t m : group.members) {
-      if (requests[m].kind != QueryKind::kCellHistogram) {
-        valid = Status::FailedPrecondition(
-            "parallel group '" + key.second +
-            "' contains a query that is not a cell_histogram; cannot "
-            "prove structural disjointness");
+      auto cells = requests[m].op->ParallelCells();
+      if (!cells.ok()) {
+        valid = Status::FailedPrecondition("parallel group '" + key.second +
+                                           "': " + cells.status().message());
         break;
       }
-      for (uint64_t c : requests[m].cells) {
+      for (uint64_t c : *cells) {
         if (!seen_cells.insert(c).second) {
           valid = Status::FailedPrecondition(
               "parallel group '" + key.second + "' cell sets overlap (cell " +
@@ -457,12 +215,11 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::vector<double> epsilons;
     size_t argmax = group.members.front();
     for (size_t m : group.members) {
-      const double charge =
-          responses[m].sensitivity == 0.0 ? 0.0 : requests[m].epsilon;
+      const double charge = requests[m].op->Charge(
+          responses[m].sensitivity, requests[m].epsilon);
       epsilons.push_back(charge);
-      const double best =
-          responses[argmax].sensitivity == 0.0 ? 0.0
-                                               : requests[argmax].epsilon;
+      const double best = requests[argmax].op->Charge(
+          responses[argmax].sensitivity, requests[argmax].epsilon);
       if (charge > best) argmax = m;
     }
     auto receipt =
@@ -473,10 +230,10 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     }
     for (size_t m : group.members) {
       BudgetReceipt r = *receipt;
-      r.label = requests[m].label.empty() ? QueryKindName(requests[m].kind)
+      r.label = requests[m].label.empty() ? requests[m].op->KindName()
                                           : requests[m].label;
-      r.epsilon = responses[m].sensitivity == 0.0 ? 0.0
-                                                  : requests[m].epsilon;
+      r.epsilon = requests[m].op->Charge(responses[m].sensitivity,
+                                         requests[m].epsilon);
       // The one group charge is attributed to the most expensive member.
       if (m != argmax) r.charged = 0.0;
       responses[m].receipt = std::move(r);
@@ -492,6 +249,15 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!responses[i].status.ok()) continue;
     work.push_back(Work{i, next_stream_++});
+  }
+
+  // --- Streaming: queries refused at admission complete right now, in
+  // request order, before any execution; admitted queries stream from
+  // the drain below as each finishes.
+  if (on_complete) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!responses[i].status.ok()) on_complete(i, responses[i]);
+    }
   }
 
   // --- Execution: drain cooperatively with the persistent pool. ----------
@@ -510,7 +276,11 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     const std::vector<QueryRequest>* requests = nullptr;
     std::vector<QueryResponse>* responses = nullptr;
     const ReleaseEngine* engine = nullptr;
+    const QueryCompletionCallback* on_complete = nullptr;
     std::atomic<size_t> next{0};
+    /// Serializes streaming callbacks: completions may land on several
+    /// workers at once, but user code sees one call at a time.
+    std::mutex callback_mu;
     std::mutex done_mu;
     std::condition_variable all_done;
     size_t done = 0;
@@ -520,16 +290,26 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   state->requests = &requests;
   state->responses = &responses;
   state->engine = this;
+  state->on_complete = on_complete ? &on_complete : nullptr;
   auto drain = [](const std::shared_ptr<BatchState>& s) {
     size_t completed = 0;
     while (true) {
       const size_t w = s->next.fetch_add(1);
       if (w >= s->work.size()) break;
       const Work& item = s->work[w];
-      s->engine->Execute(
-          (*s->requests)[item.index],
-          Random(s->engine->root_seed_).Fork(item.stream_id),
-          &(*s->responses)[item.index]);
+      QueryResponse& response = (*s->responses)[item.index];
+      s->engine->Execute((*s->requests)[item.index],
+                         Random(s->engine->root_seed_).Fork(item.stream_id),
+                         &response);
+      // A failed query releases nothing: drop any partial payload
+      // computed before the failure (e.g. the first of several
+      // quantiles, already noisy), both as hygiene and because the
+      // end-of-batch refund is only sound if nothing was published.
+      if (!response.status.ok()) response.values.clear();
+      if (s->on_complete != nullptr) {
+        std::lock_guard<std::mutex> lock(s->callback_mu);
+        (*s->on_complete)(item.index, response);
+      }
       ++completed;
     }
     if (completed > 0) {
@@ -548,14 +328,6 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::unique_lock<std::mutex> lock(state->done_mu);
     state->all_done.wait(
         lock, [&]() { return state->done == state->work.size(); });
-  }
-
-  // A failed query releases nothing: drop any partial payload computed
-  // before the failure (e.g. the first of several quantiles, already
-  // noisy), both as hygiene and because the refund below is only sound
-  // if nothing was published.
-  for (QueryResponse& resp : responses) {
-    if (!resp.status.ok()) resp.values.clear();
   }
 
   // --- Refunds: a query that failed *after* its budget charge (mechanism

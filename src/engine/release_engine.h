@@ -15,7 +15,7 @@
 //     across engines (see server/engine_host.h): S(f, P) depends only on
 //     the policy and query shape, never on the data, so tenants serving
 //     different datasets under the same policy reuse each other's work;
-//   * a persistent worker pool (server/thread_pool.h) — either injected
+//   * a persistent worker pool (util/thread_pool.h) — either injected
 //     (one pool shared by every tenant of an EngineHost) or owned. A
 //     batch's queries are drained cooperatively: the submitting thread
 //     executes queries alongside the pool's workers, so a batch completes
@@ -26,18 +26,26 @@
 //     Fork(stream_id)), so a batch's output is bit-identical regardless
 //     of pool size or scheduling.
 //
+// The engine knows no query kind by name: every request carries a
+// QueryOp (engine/ops/query_op.h), and validation, sensitivity shape and
+// computation, charging, parallel-composition eligibility, and execution
+// all dispatch through it. Adding a workload is one new op file; the
+// engine is untouched.
+//
 // Parallel groups: requests sharing a non-empty `parallel_group` are
 // charged max(eps) instead of sum(eps). The engine only accepts groups it
-// can prove structurally disjoint: every member must be a cell-restricted
-// histogram (kCellHistogram) under a partition secret graph G^P with
-// pairwise-disjoint cell sets — under G^P an individual's cell is public,
-// so disjoint cell sets touch disjoint individuals (Thm 4.2) — and the
+// can prove structurally disjoint: every member's op must expose its G^P
+// partition cells (QueryOp::ParallelCells — today only cell-restricted
+// histograms do), the cell sets must be pairwise disjoint under a
+// partition secret graph (an individual's cell is public under G^P, so
+// disjoint cell sets touch disjoint individuals, Thm 4.2), and the
 // policy's constraints must pass ParallelCompositionValid (Thm 4.3).
 
 #ifndef BLOWFISH_ENGINE_RELEASE_ENGINE_H_
 #define BLOWFISH_ENGINE_RELEASE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,28 +54,21 @@
 #include "core/dataset.h"
 #include "core/policy.h"
 #include "engine/budget_accountant.h"
+#include "engine/ops/query_op.h"
 #include "engine/sensitivity_cache.h"
-#include "mech/kmeans.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace blowfish {
 
-enum class QueryKind {
-  kHistogram,       // complete histogram h
-  kCellHistogram,   // h restricted to a set of G^P partition cells
-  kRange,           // range count via the Ordered Mechanism
-  kCdf,             // full CDF via the Ordered Mechanism
-  kQuantiles,       // quantiles via the Ordered Mechanism
-  kKMeans,          // Blowfish SuLQ k-means
-};
-
-const char* QueryKindName(QueryKind kind);
-
-/// One query in a batch.
+/// One query in a batch: a parsed QueryOp plus the serving envelope.
+/// Construct via ParseBatchRequests or MakeQueryRequest
+/// (engine/batch_request.h) — both go through the QueryOpRegistry.
 struct QueryRequest {
-  QueryKind kind = QueryKind::kHistogram;
+  /// The parsed query (immutable; shared across request copies). A
+  /// request with no op fails admission with InvalidArgument.
+  std::shared_ptr<const QueryOp> op;
   /// Privacy parameter the noise is calibrated to. May be 0 only when the
   /// query's policy-specific sensitivity is 0 (a free release).
   double epsilon = 0.0;
@@ -77,30 +78,21 @@ struct QueryRequest {
   /// Non-empty: charge this request jointly with all same-group,
   /// same-session requests in the batch via parallel composition.
   std::string parallel_group;
-
-  /// kCellHistogram: the G^P partition cells to release.
-  std::vector<uint64_t> cells;
-  /// kRange: inclusive bucket range.
-  size_t range_lo = 0;
-  size_t range_hi = 0;
-  /// kQuantiles.
-  std::vector<double> quantiles;
-  /// kKMeans.
-  KMeansOptions kmeans;
 };
+
+/// The request's kind name, resolved through its op. Returns the
+/// sentinel "unknown" for a request with no op — the registry
+/// (QueryOpRegistry) is the single source of truth for name <-> op
+/// round-trips; there is no separate kind table to fall through.
+std::string QueryKindName(const QueryRequest& request);
 
 /// Per-query result. A failed query carries its error in `status`; the
 /// rest of the batch is unaffected.
 struct QueryResponse {
   Status status;
   std::string label;
-  /// Payload, layout per kind:
-  ///   kHistogram       noisy count per domain value
-  ///   kCellHistogram   noisy count per included value (domain order)
-  ///   kRange           { answer }
-  ///   kCdf             CDF value per bucket
-  ///   kQuantiles       bucket index per requested quantile
-  ///   kKMeans          { objective, c0_0..c0_{d-1}, c1_0.., ... }
+  /// Released payload; layout is per kind (see the op's file under
+  /// engine/ops/).
   std::vector<double> values;
   /// The S(f, P) the noise was calibrated to.
   double sensitivity = 0.0;
@@ -108,6 +100,17 @@ struct QueryResponse {
   bool cache_hit = false;
   BudgetReceipt receipt;
 };
+
+/// Streaming per-query completion: invoked exactly once per request —
+/// for admitted queries as each finishes executing, for refused queries
+/// before execution starts (in request order). Calls are serialized (no
+/// two run concurrently) but may arrive on pool worker threads and, for
+/// admitted queries, in completion order, which depends on scheduling.
+/// The payload seen by the callback is bit-identical to the one in
+/// ServeBatch's returned vector for any pool size; only the receipt may
+/// still change after the callback (end-of-batch refunds/settlement).
+using QueryCompletionCallback =
+    std::function<void(size_t index, const QueryResponse& response)>;
 
 class ThreadPool;
 
@@ -153,8 +156,14 @@ class ReleaseEngine {
   /// all members. Batches are serialized against each other; with the
   /// same construction seed and the same request history the output is
   /// bit-identical regardless of pool size.
+  ///
+  /// `on_complete`, when set, streams each query's response as it
+  /// finishes instead of making callers wait for the whole batch (see
+  /// QueryCompletionCallback for the exact contract). The returned
+  /// vector is unchanged by streaming.
   std::vector<QueryResponse> ServeBatch(
-      const std::vector<QueryRequest>& requests);
+      const std::vector<QueryRequest>& requests,
+      const QueryCompletionCallback& on_complete = nullptr);
 
   BudgetAccountant& accountant() { return accountant_; }
   SensitivityCache& cache() { return *cache_; }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/constraints.h"
+#include "util/atomic_file.h"
 #include "util/parse.h"
 
 namespace blowfish {
@@ -121,32 +122,11 @@ Status SensitivityCache::Save(std::ostream& out) const {
 }
 
 Status SensitivityCache::SaveToFile(const std::string& path) const {
-  // Write-then-rename: a Save that fails midway (full disk, bad key)
-  // must not have already truncated the previous good cache file into a
-  // partial-but-loadable one.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) {
-      return Status::NotFound("cannot open '" + tmp + "' to write");
-    }
-    Status saved = Save(file);
-    file.flush();
-    if (saved.ok() && !file) {
-      saved = Status::Internal("write to '" + tmp + "' failed");
-    }
-    if (!saved.ok()) {
-      file.close();
-      std::remove(tmp.c_str());
-      return saved;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
-                            "'");
-  }
-  return Status::OK();
+  // Locked write-then-rename (util/atomic_file.h): a Save that fails
+  // midway must not have truncated the previous good cache file, and
+  // concurrent hosts sharing one warm file must not interleave writes.
+  return AtomicWriteFile(
+      path, [this](std::ostream& out) { return Save(out); });
 }
 
 Status SensitivityCache::Load(std::istream& in) {

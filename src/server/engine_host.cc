@@ -98,20 +98,23 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
 
 std::future<StatusOr<std::vector<QueryResponse>>> EngineHost::SubmitBatch(
     const std::string& policy_id, const std::string& dataset_id,
-    std::vector<QueryRequest> requests) {
+    std::vector<QueryRequest> requests,
+    QueryCompletionCallback on_complete) {
   return pool_->Submit(
       [this, key = TenantKey{policy_id, dataset_id},
-       requests = std::move(requests)]()
+       requests = std::move(requests),
+       on_complete = std::move(on_complete)]()
           -> StatusOr<std::vector<QueryResponse>> {
         auto engine = GetOrCreateEngine(key);
         if (!engine.ok()) return engine.status();
-        return (*engine)->ServeBatch(requests);
+        return (*engine)->ServeBatch(requests, on_complete);
       });
 }
 
 StatusOr<std::vector<QueryResponse>> EngineHost::ServeBatch(
     const std::string& policy_id, const std::string& dataset_id,
-    std::vector<QueryRequest> requests) {
+    std::vector<QueryRequest> requests,
+    QueryCompletionCallback on_complete) {
   if (pool_->IsWorkerThread()) {
     // Called from one of our own pool workers: blocking on a future of a
     // task queued behind this one would deadlock a small pool. Run the
@@ -119,9 +122,11 @@ StatusOr<std::vector<QueryResponse>> EngineHost::ServeBatch(
     // workers help with its queries.
     auto engine = GetOrCreateEngine(TenantKey{policy_id, dataset_id});
     if (!engine.ok()) return engine.status();
-    return (*engine)->ServeBatch(requests);
+    return (*engine)->ServeBatch(requests, on_complete);
   }
-  return SubmitBatch(policy_id, dataset_id, std::move(requests)).get();
+  return SubmitBatch(policy_id, dataset_id, std::move(requests),
+                     std::move(on_complete))
+      .get();
 }
 
 StatusOr<ReleaseEngine*> EngineHost::engine(const std::string& policy_id,

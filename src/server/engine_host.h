@@ -42,7 +42,7 @@
 #include "core/policy.h"
 #include "engine/release_engine.h"
 #include "engine/sensitivity_cache.h"
-#include "server/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/status.h"
 
 namespace blowfish {
@@ -94,16 +94,26 @@ class EngineHost {
   /// them; different tenants' batches interleave freely. Do not block on
   /// the future from a task running on this host's own pool — the batch
   /// is queued behind you; use ServeBatch, which runs inline there.
+  ///
+  /// `on_complete`, when set, streams each query's response as it
+  /// finishes, ahead of the future (engine/release_engine.h documents
+  /// the callback contract). Payloads are bit-identical to the future's
+  /// for any pool size; callbacks run on pool threads, serialized per
+  /// batch. No callback fires for a batch that fails before reaching
+  /// the engine (unknown tenant, construction error) — the future
+  /// carries that error.
   std::future<StatusOr<std::vector<QueryResponse>>> SubmitBatch(
       const std::string& policy_id, const std::string& dataset_id,
-      std::vector<QueryRequest> requests);
+      std::vector<QueryRequest> requests,
+      QueryCompletionCallback on_complete = nullptr);
 
   /// Synchronous convenience: SubmitBatch + get(); called from one of
   /// this host's own pool workers, it serves the batch inline instead
   /// (deadlock-free).
   StatusOr<std::vector<QueryResponse>> ServeBatch(
       const std::string& policy_id, const std::string& dataset_id,
-      std::vector<QueryRequest> requests);
+      std::vector<QueryRequest> requests,
+      QueryCompletionCallback on_complete = nullptr);
 
   /// The tenant's engine, constructing it on the calling thread if this
   /// is its first use (e.g. to open budget sessions before traffic).

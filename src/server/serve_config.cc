@@ -96,6 +96,10 @@ Status ApplyTenantKey(const std::string& key, const std::string& value,
     tenant->requests_file = value;
     return Status::OK();
   }
+  if (key == "ledger") {
+    tenant->ledger_file = value;
+    return Status::OK();
+  }
   if (key == "session") {
     // `session = name : budget`
     const size_t colon = value.find(':');

@@ -19,6 +19,7 @@
 //   budget = 10                  # default per-session epsilon cap
 //   seed = 7                     # optional explicit tenant seed
 //   requests = census_reqs.txt   # batch file served by `serve`
+//   ledger = census.ledger       # optional: persist budget spend
 //   session = alice : 2.5        # open a named session (repeatable)
 
 #ifndef BLOWFISH_SERVER_SERVE_CONFIG_H_
@@ -43,6 +44,11 @@ struct TenantConfig {
   double budget = 10.0;
   std::optional<uint64_t> seed;
   std::string requests_file;
+  /// Optional budget-ledger file: loaded before serving (spend from
+  /// earlier processes carries over) and saved back on exit, so
+  /// `sessions` reports cross-process spend. One file per tenant — the
+  /// accountant is per tenant.
+  std::string ledger_file;
   /// (session name, budget) pairs to open before serving.
   std::vector<std::pair<std::string, double>> sessions;
 };

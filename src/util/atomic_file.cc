@@ -1,0 +1,70 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/file_lock.h"
+
+namespace blowfish {
+
+namespace {
+
+/// The tmp-write-then-rename step. The caller must hold `path`'s lock.
+Status InstallLocked(const std::string& path,
+                     const std::function<Status(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      return Status::NotFound("cannot open '" + tmp + "' to write");
+    }
+    Status written = writer(file);
+    file.flush();
+    if (written.ok() && !file) {
+      written = Status::Internal("write to '" + tmp + "' failed");
+    }
+    if (!written.ok()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& writer) {
+  BLOWFISH_ASSIGN_OR_RETURN(FileLock lock, FileLock::Acquire(path));
+  return InstallLocked(path, writer);
+}
+
+Status AtomicUpdateFile(
+    const std::string& path,
+    const std::function<Status(const std::string* existing,
+                               std::ostream& out)>& writer) {
+  BLOWFISH_ASSIGN_OR_RETURN(FileLock lock, FileLock::Acquire(path));
+  std::string existing;
+  bool have_existing = false;
+  {
+    std::ifstream file(path);
+    if (file) {
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      existing = buffer.str();
+      have_existing = true;
+    }
+  }
+  return InstallLocked(path, [&](std::ostream& out) {
+    return writer(have_existing ? &existing : nullptr, out);
+  });
+}
+
+}  // namespace blowfish

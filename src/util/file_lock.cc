@@ -1,0 +1,100 @@
+#include "util/file_lock.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace blowfish {
+
+namespace {
+
+/// Reads the (diagnostic) owner pid out of a lock file; 0 if
+/// unreadable or garbled. Only used for the timeout error message —
+/// flock, not the pid, is the exclusion.
+long ReadOwnerPid(int fd) {
+  char buf[32] = {0};
+  const ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return 0;
+  long pid = 0;
+  if (std::sscanf(buf, "%ld", &pid) != 1 || pid <= 0) return 0;
+  return pid;
+}
+
+}  // namespace
+
+StatusOr<FileLock> FileLock::Acquire(const std::string& path,
+                                     int timeout_ms) {
+  const std::string lock_path = path + ".lock";
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open lock file '" + lock_path +
+                            "': " + std::strerror(errno));
+  }
+  while (true) {
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) {
+      // Stamp our pid for `fuser`-style diagnostics. The stamp is
+      // best-effort: the flock already excludes everyone else.
+      char buf[32];
+      const int len = std::snprintf(buf, sizeof(buf), "%ld\n",
+                                    static_cast<long>(::getpid()));
+      if (len > 0) {
+        (void)::ftruncate(fd, 0);
+        (void)::pwrite(fd, buf, static_cast<size_t>(len), 0);
+      }
+      return FileLock(lock_path, fd);
+    }
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      const int saved = errno;
+      ::close(fd);
+      return Status::Internal("cannot flock '" + lock_path +
+                              "': " + std::strerror(saved));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      const long owner = ReadOwnerPid(fd);
+      ::close(fd);
+      return Status::ResourceExhausted(
+          "lock '" + lock_path + "' held" +
+          (owner > 0 ? " by pid " + std::to_string(owner) : "") +
+          " past " + std::to_string(timeout_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : lock_path_(std::move(other.lock_path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    lock_path_ = std::move(other.lock_path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { Release(); }
+
+void FileLock::Release() {
+  if (fd_ < 0) return;
+  // Closing drops the flock; the lock file itself stays (unlinking it
+  // would reopen the two-owners race the flock design avoids).
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace blowfish

@@ -1,4 +1,4 @@
-#include "server/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace blowfish {
 

@@ -1,11 +1,13 @@
-// Persistent worker pool for the serving host.
+// Persistent worker pool (leaf utility — no dependencies above util/).
 //
-// PR 1's ReleaseEngine spawned a fresh set of std::threads for every
-// batch — fine for a benchmark, hostile to a server: thread creation is
-// tens of microseconds of syscall work per batch, and a process hosting
-// many tenants would stampede the scheduler. This pool starts its workers
-// once; they sleep on a mutex+condvar task queue and serve every tenant's
-// batches for the lifetime of the process.
+// Used by both the engine layer (ReleaseEngine fans a batch's queries
+// out over it) and the server layer (EngineHost shares one pool across
+// tenants); it lives in util/ so neither layer has to reach into the
+// other for it. A fresh-threads-per-batch design would pay tens of
+// microseconds of syscall work per batch and stampede the scheduler
+// under many tenants; this pool starts its workers once — they sleep on
+// a mutex+condvar task queue and serve every caller's work for the
+// lifetime of the process.
 //
 // Semantics:
 //   * Submit(f) enqueues a callable and returns a std::future for its
@@ -22,8 +24,8 @@
 // nested use (a batch task on the pool fanning its queries out to the
 // same pool) deadlock-free.
 
-#ifndef BLOWFISH_SERVER_THREAD_POOL_H_
-#define BLOWFISH_SERVER_THREAD_POOL_H_
+#ifndef BLOWFISH_UTIL_THREAD_POOL_H_
+#define BLOWFISH_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
@@ -105,4 +107,4 @@ class ThreadPool {
 
 }  // namespace blowfish
 
-#endif  // BLOWFISH_SERVER_THREAD_POOL_H_
+#endif  // BLOWFISH_UTIL_THREAD_POOL_H_

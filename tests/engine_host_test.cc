@@ -9,6 +9,7 @@
 
 #include "core/policy.h"
 #include "core/secret_graph.h"
+#include "engine/batch_request.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -31,10 +32,7 @@ Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
 }
 
 QueryRequest HistogramRequest(double eps) {
-  QueryRequest req;
-  req.kind = QueryKind::kHistogram;
-  req.epsilon = eps;
-  return req;
+  return MakeQueryRequest("histogram", eps).value();
 }
 
 TEST(EngineHostTest, ServesARegisteredTenant) {
@@ -137,12 +135,8 @@ TEST(EngineHostTest, BatchOutputBitIdenticalForAnyPoolSize) {
 
   std::vector<QueryRequest> batch;
   for (int i = 0; i < 12; ++i) batch.push_back(HistogramRequest(0.2));
-  QueryRequest range;
-  range.kind = QueryKind::kRange;
-  range.epsilon = 0.1;
-  range.range_lo = 5;
-  range.range_hi = 50;
-  batch.push_back(range);
+  batch.push_back(
+      MakeQueryRequest("range", 0.1, {{"lo", "5"}, {"hi", "50"}}).value());
 
   std::vector<std::vector<QueryResponse>> runs;
   for (size_t pool_size : {size_t{0}, size_t{1}, size_t{8}}) {

@@ -10,8 +10,8 @@
 #include "engine/batch_request.h"
 #include "mech/laplace.h"
 #include "mech/ordered.h"
-#include "server/thread_pool.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace blowfish {
 namespace {
@@ -38,11 +38,16 @@ Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
   return Dataset::Create(domain, std::move(tuples)).value();
 }
 
+QueryRequest Request(
+    const std::string& kind, double eps,
+    const std::vector<std::pair<std::string, std::string>>& kv = {}) {
+  auto request = MakeQueryRequest(kind, eps, kv);
+  EXPECT_TRUE(request.ok()) << request.status().ToString();
+  return std::move(*request);
+}
+
 QueryRequest HistogramRequest(double eps) {
-  QueryRequest req;
-  req.kind = QueryKind::kHistogram;
-  req.epsilon = eps;
-  return req;
+  return Request("histogram", eps);
 }
 
 std::unique_ptr<ReleaseEngine> MakeEngine(const Policy& policy,
@@ -84,11 +89,7 @@ TEST(ReleaseEngineTest, OrderedFamilyMatchesDirectMechanism) {
   ReleaseEngineOptions options;
   options.root_seed = kSeed;
   auto engine = MakeEngine(policy, data, options);
-  QueryRequest range;
-  range.kind = QueryKind::kRange;
-  range.epsilon = 0.4;
-  range.range_lo = 10;
-  range.range_hi = 40;
+  QueryRequest range = Request("range", 0.4, {{"lo", "10"}, {"hi", "40"}});
   auto responses = engine->ServeBatch({range});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
 
@@ -107,27 +108,10 @@ TEST(ReleaseEngineTest, BatchIsDeterministicAcrossThreadCounts) {
 
   std::vector<QueryRequest> batch;
   batch.push_back(HistogramRequest(0.3));
-  QueryRequest range;
-  range.kind = QueryKind::kRange;
-  range.epsilon = 0.2;
-  range.range_lo = 5;
-  range.range_hi = 50;
-  batch.push_back(range);
-  QueryRequest quantiles;
-  quantiles.kind = QueryKind::kQuantiles;
-  quantiles.epsilon = 0.2;
-  quantiles.quantiles = {0.25, 0.5, 0.75};
-  batch.push_back(quantiles);
-  QueryRequest cdf;
-  cdf.kind = QueryKind::kCdf;
-  cdf.epsilon = 0.1;
-  batch.push_back(cdf);
-  QueryRequest kmeans;
-  kmeans.kind = QueryKind::kKMeans;
-  kmeans.epsilon = 0.5;
-  kmeans.kmeans.k = 2;
-  kmeans.kmeans.iterations = 2;
-  batch.push_back(kmeans);
+  batch.push_back(Request("range", 0.2, {{"lo", "5"}, {"hi", "50"}}));
+  batch.push_back(Request("quantiles", 0.2, {{"qs", "0.25,0.5,0.75"}}));
+  batch.push_back(Request("cdf", 0.1));
+  batch.push_back(Request("kmeans", 0.5, {{"k", "2"}, {"iters", "2"}}));
 
   std::vector<std::vector<QueryResponse>> runs;
   for (size_t threads : {size_t{1}, size_t{4}}) {
@@ -237,8 +221,7 @@ TEST(ReleaseEngineTest, NamedSessionsHaveIndependentBudgets) {
   auto engine = MakeEngine(policy, data, options);
   ASSERT_TRUE(engine->accountant().OpenSession("alice", 2.0).ok());
 
-  QueryRequest alice = HistogramRequest(1.5);
-  alice.session = "alice";
+  QueryRequest alice = Request("histogram", 1.5, {{"session", "alice"}});
   QueryRequest anon = HistogramRequest(1.5);
   auto responses = engine->ServeBatch({alice, anon});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
@@ -257,16 +240,10 @@ TEST(ReleaseEngineTest, ParallelGroupChargedMaxNotSum) {
   options.default_session_budget = 1.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest a;
-  a.kind = QueryKind::kCellHistogram;
-  a.epsilon = 0.3;
-  a.cells = {0};
-  a.parallel_group = "g";
-  QueryRequest b;
-  b.kind = QueryKind::kCellHistogram;
-  b.epsilon = 0.5;
-  b.cells = {3};
-  b.parallel_group = "g";
+  QueryRequest a =
+      Request("cell_histogram", 0.3, {{"cells", "0"}, {"group", "g"}});
+  QueryRequest b =
+      Request("cell_histogram", 0.5, {{"cells", "3"}, {"group", "g"}});
   auto responses = engine->ServeBatch({a, b});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
   ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
@@ -293,14 +270,11 @@ TEST(ReleaseEngineTest, ParallelGroupWithOverlappingCellsRefused) {
   options.default_session_budget = 10.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest a;
-  a.kind = QueryKind::kCellHistogram;
-  a.epsilon = 0.3;
-  a.cells = {0, 1};
-  a.parallel_group = "g";
-  QueryRequest b = a;
-  b.cells = {1, 2};  // overlaps on cell 1
-  auto responses = engine->ServeBatch({a, b});
+  QueryRequest a =
+      Request("cell_histogram", 0.3, {{"cells", "0,1"}, {"group", "g"}});
+  QueryRequest b =
+      Request("cell_histogram", 0.3, {{"cells", "1,2"}, {"group", "g"}});
+  auto responses = engine->ServeBatch({a, b});  // overlap on cell 1
   EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(responses[1].status.code(), StatusCode::kFailedPrecondition);
   EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
@@ -315,13 +289,9 @@ TEST(ReleaseEngineTest, ParallelGroupWithNonCellQueryRefused) {
   options.default_session_budget = 10.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest a;
-  a.kind = QueryKind::kCellHistogram;
-  a.epsilon = 0.3;
-  a.cells = {0};
-  a.parallel_group = "g";
-  QueryRequest b = HistogramRequest(0.3);
-  b.parallel_group = "g";
+  QueryRequest a =
+      Request("cell_histogram", 0.3, {{"cells", "0"}, {"group", "g"}});
+  QueryRequest b = Request("histogram", 0.3, {{"group", "g"}});
   auto responses = engine->ServeBatch({a, b});
   EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(responses[1].status.code(), StatusCode::kFailedPrecondition);
@@ -338,10 +308,7 @@ TEST(ReleaseEngineTest, EdgelessPolicyReleasesExactlyForFree) {
   options.root_seed = kSeed;
   options.default_session_budget = 0.0;  // no budget at all
   auto engine = MakeEngine(policy, data, options);
-  QueryRequest free;
-  free.kind = QueryKind::kHistogram;
-  free.epsilon = 0.0;
-  auto responses = engine->ServeBatch({free});
+  auto responses = engine->ServeBatch({HistogramRequest(0.0)});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
   EXPECT_DOUBLE_EQ(responses[0].sensitivity, 0.0);
   EXPECT_DOUBLE_EQ(responses[0].receipt.charged, 0.0);
@@ -360,11 +327,8 @@ TEST(ReleaseEngineTest, ParallelGroupChargedAtFirstMemberPosition) {
   options.default_session_budget = 0.5;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest a;
-  a.kind = QueryKind::kCellHistogram;
-  a.epsilon = 0.4;
-  a.cells = {0};
-  a.parallel_group = "g";
+  QueryRequest a =
+      Request("cell_histogram", 0.4, {{"cells", "0"}, {"group", "g"}});
   QueryRequest b = HistogramRequest(0.4);
   auto responses = engine->ServeBatch({a, b});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
@@ -378,10 +342,7 @@ TEST(ReleaseEngineTest, UnknownPartitionCellRefused) {
   Dataset data = MakeData(domain, 300);
   ReleaseEngineOptions options;
   auto engine = MakeEngine(policy, data, options);
-  QueryRequest ghost;
-  ghost.kind = QueryKind::kCellHistogram;
-  ghost.epsilon = 0.3;
-  ghost.cells = {0, 99};
+  QueryRequest ghost = Request("cell_histogram", 0.3, {{"cells", "0,99"}});
   auto responses = engine->ServeBatch({ghost});
   EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
 }
@@ -397,14 +358,8 @@ TEST(ReleaseEngineTest, EdgelessOrderedFamilyReleasedExactlyForFree) {
   ReleaseEngineOptions options;
   options.default_session_budget = 0.0;
   auto engine = MakeEngine(policy, data, options);
-  QueryRequest range;
-  range.kind = QueryKind::kRange;
-  range.epsilon = 0.0;
-  range.range_lo = 4;
-  range.range_hi = 20;
-  QueryRequest cdf;
-  cdf.kind = QueryKind::kCdf;
-  cdf.epsilon = 0.0;
+  QueryRequest range = Request("range", 0.0, {{"lo", "4"}, {"hi", "20"}});
+  QueryRequest cdf = Request("cdf", 0.0);
   auto responses = engine->ServeBatch({range, cdf});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
   ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
@@ -437,6 +392,21 @@ TEST(ReleaseEngineTest, PositiveSensitivityRequiresPositiveEpsilon) {
   EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ReleaseEngineTest, RequestWithoutOpRefused) {
+  // A default-constructed request has no op; the registry-driven engine
+  // refuses it instead of guessing a kind, and QueryKindName reports the
+  // sentinel instead of falling through to some default.
+  auto domain = LineDomain(16);
+  Policy policy = Policy::FullDomain(domain).value();
+  Dataset data = MakeData(domain, 100);
+  auto engine = MakeEngine(policy, data, {});
+  QueryRequest empty;
+  EXPECT_EQ(QueryKindName(empty), "unknown");
+  auto responses = engine->ServeBatch({empty, HistogramRequest(0.5)});
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
+}
+
 TEST(ReleaseEngineTest, FailedQueryDoesNotSinkTheBatch) {
   auto domain = GridDomain(4, 2);  // 2-D: cumulative queries must fail
   Policy policy = Policy::FullDomain(domain).value();
@@ -444,9 +414,7 @@ TEST(ReleaseEngineTest, FailedQueryDoesNotSinkTheBatch) {
   ReleaseEngineOptions options;
   options.default_session_budget = 10.0;
   auto engine = MakeEngine(policy, data, options);
-  QueryRequest bad;
-  bad.kind = QueryKind::kCdf;
-  bad.epsilon = 0.5;
+  QueryRequest bad = Request("cdf", 0.5);
   auto responses = engine->ServeBatch({bad, HistogramRequest(0.5)});
   EXPECT_FALSE(responses[0].status.ok());
   ASSERT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
@@ -467,11 +435,8 @@ TEST(ReleaseEngineTest, FailedQueryAfterAdmissionIsRefunded) {
   options.default_session_budget = 1.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest bad;
-  bad.kind = QueryKind::kRange;
-  bad.epsilon = 0.3;
-  bad.range_lo = 5;
-  bad.range_hi = 1000;  // beyond the domain
+  QueryRequest bad =
+      Request("range", 0.3, {{"lo", "5"}, {"hi", "1000"}});  // beyond domain
   auto responses = engine->ServeBatch({bad});
   ASSERT_FALSE(responses[0].status.ok());
   EXPECT_TRUE(responses[0].receipt.refunded);
@@ -515,10 +480,7 @@ TEST(ReleaseEngineTest, FailedQueryCarriesNoPartialPayload) {
   options.default_session_budget = 1.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest bad;
-  bad.kind = QueryKind::kQuantiles;
-  bad.epsilon = 0.3;
-  bad.quantiles = {0.5, 2.0};
+  QueryRequest bad = Request("quantiles", 0.3, {{"qs", "0.5,2.0"}});
   auto responses = engine->ServeBatch({bad});
   ASSERT_FALSE(responses[0].status.ok());
   EXPECT_TRUE(responses[0].values.empty());
@@ -535,14 +497,8 @@ TEST(ReleaseEngineTest, MixedBatchRefundsOnlyTheFailedQuery) {
   options.default_session_budget = 10.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest good;
-  good.kind = QueryKind::kRange;
-  good.epsilon = 0.2;
-  good.range_lo = 2;
-  good.range_hi = 20;
-  QueryRequest bad = good;
-  bad.epsilon = 0.3;
-  bad.range_hi = 1000;
+  QueryRequest good = Request("range", 0.2, {{"lo", "2"}, {"hi", "20"}});
+  QueryRequest bad = Request("range", 0.3, {{"lo", "2"}, {"hi", "1000"}});
   auto responses = engine->ServeBatch({good, bad, HistogramRequest(0.1)});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
   ASSERT_FALSE(responses[1].status.ok());
@@ -596,23 +552,24 @@ TEST(BatchRequestTest, ParsesAllKindsAndKeys) {
       "quantiles eps=0.1 qs=0.1,0.9\n"
       "quantiles eps=0.1   # default quantiles\n"
       "cdf eps=0.1\n"
-      "kmeans eps=0.5 k=3 iters=7\n";
+      "kmeans eps=0.5 k=3 iters=7\n"
+      "mean eps=0.2\n"
+      "wavelet_range eps=0.3 lo=2 hi=9\n";
   auto requests = ParseBatchRequests(text);
   ASSERT_TRUE(requests.ok()) << requests.status().ToString();
-  ASSERT_EQ(requests->size(), 7u);
-  EXPECT_EQ((*requests)[0].kind, QueryKind::kHistogram);
+  ASSERT_EQ(requests->size(), 9u);
+  EXPECT_EQ(QueryKindName((*requests)[0]), "histogram");
   EXPECT_DOUBLE_EQ((*requests)[0].epsilon, 0.5);
   EXPECT_EQ((*requests)[0].label, "h1");
   EXPECT_EQ((*requests)[0].session, "alice");
-  EXPECT_EQ((*requests)[1].cells, (std::vector<uint64_t>{0, 3}));
+  EXPECT_EQ(QueryKindName((*requests)[1]), "cell_histogram");
   EXPECT_EQ((*requests)[1].parallel_group, "g1");
-  EXPECT_EQ((*requests)[2].range_lo, 5u);
-  EXPECT_EQ((*requests)[2].range_hi, 40u);
-  EXPECT_EQ((*requests)[3].quantiles, (std::vector<double>{0.1, 0.9}));
-  EXPECT_EQ((*requests)[4].quantiles,
-            (std::vector<double>{0.25, 0.5, 0.75}));
-  EXPECT_EQ((*requests)[6].kmeans.k, 3u);
-  EXPECT_EQ((*requests)[6].kmeans.iterations, 7u);
+  EXPECT_EQ(QueryKindName((*requests)[2]), "range");
+  EXPECT_EQ(QueryKindName((*requests)[3]), "quantiles");
+  EXPECT_EQ(QueryKindName((*requests)[5]), "cdf");
+  EXPECT_EQ(QueryKindName((*requests)[6]), "kmeans");
+  EXPECT_EQ(QueryKindName((*requests)[7]), "mean");
+  EXPECT_EQ(QueryKindName((*requests)[8]), "wavelet_range");
 }
 
 TEST(BatchRequestTest, RejectsMalformedInput) {
@@ -625,6 +582,9 @@ TEST(BatchRequestTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseBatchRequests("kmeans eps=0.5 k=-1\n").ok());
   EXPECT_FALSE(ParseBatchRequests("range eps=0.1 lo=-1 hi=2\n").ok());
   EXPECT_FALSE(ParseBatchRequests("cell_histogram eps=0.1 cells=-3\n").ok());
+  // One kind's keys are not another's: each op owns its key set.
+  EXPECT_FALSE(ParseBatchRequests("histogram eps=0.5 cells=0\n").ok());
+  EXPECT_FALSE(ParseBatchRequests("mean eps=0.5 lo=0 hi=3\n").ok());
 }
 
 TEST(BatchRequestTest, HashInsideValueIsNotAComment) {

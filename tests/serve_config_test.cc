@@ -21,6 +21,7 @@ TEST(ServeConfigTest, ParsesHostAndTenantBlocks) {
       "budget = 4.5\n"
       "seed = 7\n"
       "requests = census_reqs.txt\n"
+      "ledger = census.ledger\n"
       "session = alice : 2.5\n"
       "session = bob : 1.0\n"
       "\n"
@@ -47,6 +48,7 @@ TEST(ServeConfigTest, ParsesHostAndTenantBlocks) {
   ASSERT_TRUE(census.seed.has_value());
   EXPECT_EQ(*census.seed, 7u);
   EXPECT_EQ(census.requests_file, "census_reqs.txt");
+  EXPECT_EQ(census.ledger_file, "census.ledger");
   ASSERT_EQ(census.sessions.size(), 2u);
   EXPECT_EQ(census.sessions[0].first, "alice");
   EXPECT_DOUBLE_EQ(census.sessions[0].second, 2.5);
@@ -61,6 +63,7 @@ TEST(ServeConfigTest, ParsesHostAndTenantBlocks) {
   EXPECT_DOUBLE_EQ(salaries.budget, 10.0);
   EXPECT_FALSE(salaries.seed.has_value());
   EXPECT_TRUE(salaries.requests_file.empty());
+  EXPECT_TRUE(salaries.ledger_file.empty());
 }
 
 TEST(ServeConfigTest, RejectsMalformedInput) {

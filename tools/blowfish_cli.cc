@@ -15,9 +15,11 @@
 //   blowfish_cli batch     --policy p.txt --csv data.csv
 //                          --requests reqs.txt [--threads 4] [--seed 7]
 //                          [--budget 10] [--cache_file warm.cache]
+//                          [--ledger_file spend.ledger] [--stream]
 //   blowfish_cli serve     --config host.cfg [--threads 4]
-//                          [--cache_file warm.cache]
+//                          [--cache_file warm.cache] [--stream]
 //   blowfish_cli sessions  --config host.cfg [--tenant name]
+//                          [--ledger_file spend.ledger]
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
@@ -31,7 +33,13 @@
 // they interleave on one shared worker pool and one shared sensitivity
 // cache. The `sessions` command lists each tenant's open budget sessions
 // and remaining epsilon. `--cache_file` warm-starts the sensitivity
-// cache from a previous run and saves it back on exit.
+// cache from a previous run and saves it back on exit; `--ledger_file`
+// (or a tenant's `ledger =` config key) does the same for budget spend,
+// so `sessions` reports epsilon spent across processes. `--stream`
+// prints each query's response the moment it completes instead of
+// waiting for its whole batch. The query kinds `batch`/`serve` accept
+// are whatever the QueryOpRegistry holds (see src/engine/ops/) — this
+// file names none of them.
 
 #include <cstdio>
 #include <cstring>
@@ -70,6 +78,14 @@ struct Args {
   const char* Get(const std::string& key, const char* fallback = nullptr) {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second.c_str();
+  }
+
+  /// Boolean flags (`--stream`) are stored as "1" by the arg parser;
+  /// an explicit `--stream 0` / `--stream false` turns them back off.
+  bool GetBool(const std::string& key) {
+    const char* value = Get(key);
+    if (value == nullptr) return false;
+    return std::strcmp(value, "0") != 0 && std::strcmp(value, "false") != 0;
   }
 };
 
@@ -140,7 +156,7 @@ void PrintResponses(const std::vector<QueryRequest>& requests,
     const QueryRequest& req = requests[i];
     const QueryResponse& resp = responses[i];
     std::printf("## query %zu kind=%s label=%s status=%s\n", i,
-                QueryKindName(req.kind), resp.label.c_str(),
+                QueryKindName(req).c_str(), resp.label.c_str(),
                 resp.status.ok() ? "OK" : resp.status.ToString().c_str());
     if (!resp.status.ok()) {
       if (resp.receipt.refunded) {
@@ -165,6 +181,30 @@ void PrintResponses(const std::vector<QueryRequest>& requests,
     }
     if (!resp.values.empty()) std::printf("\n");
   }
+}
+
+/// A per-query streaming callback printing one self-contained line as
+/// each query completes. Lines from one batch are serialized by the
+/// engine; `tenant` disambiguates interleaved tenants under `serve`.
+/// The whole record goes through one fputs so concurrent *batches*
+/// cannot shear a line.
+QueryCompletionCallback StreamPrinter(const std::string& tenant) {
+  return [tenant](size_t index, const QueryResponse& resp) {
+    std::ostringstream out;
+    out << "## stream";
+    if (!tenant.empty()) out << " tenant=" << tenant;
+    out << " query=" << index << " label=" << resp.label << " status="
+        << (resp.status.ok() ? "OK" : resp.status.ToString());
+    if (resp.status.ok()) {
+      out << " sensitivity=" << resp.sensitivity << " values=";
+      for (size_t v = 0; v < resp.values.size(); ++v) {
+        out << (v == 0 ? "" : ",") << resp.values[v];
+      }
+    }
+    out << "\n";
+    std::fputs(out.str().c_str(), stdout);
+    std::fflush(stdout);
+  };
 }
 
 void PrintCacheStats(const SensitivityCache& cache) {
@@ -225,14 +265,24 @@ StatusOr<std::unique_ptr<EngineHost>> BuildHost(const ServeConfig& config) {
         host->AddTenant(tenant.policy_file, tenant.name,
                         std::move(loaded.first), std::move(loaded.second),
                         tenant_options));
-    if (!tenant.sessions.empty()) {
-      // Opening sessions needs the accountant, which forces the engine.
+    if (!tenant.sessions.empty() || !tenant.ledger_file.empty()) {
+      // Opening sessions / loading the ledger needs the accountant,
+      // which forces the engine.
       BLOWFISH_ASSIGN_OR_RETURN(
           ReleaseEngine * engine,
           host->engine(tenant.policy_file, tenant.name));
       for (const auto& [name, budget] : tenant.sessions) {
         BLOWFISH_RETURN_IF_ERROR(
             engine->accountant().OpenSession(name, budget));
+      }
+      if (!tenant.ledger_file.empty()) {
+        // The ledger carries spend from earlier processes and overrides
+        // the opening balances above. A missing file is a cold start.
+        Status loaded =
+            engine->accountant().LoadFromFile(tenant.ledger_file);
+        if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+          return loaded;
+        }
       }
     }
   }
@@ -260,9 +310,29 @@ StatusOr<ServeConfig> LoadServeConfig(Args& args) {
   return config;
 }
 
+/// Applies the --ledger_file override to `config`. Ledgers are per
+/// tenant (one accountant each), so the override only makes sense once
+/// the tenant set is down to one — which is why it runs *after*
+/// `sessions --tenant` narrows the config, not inside LoadServeConfig.
+Status ApplyLedgerOverride(Args& args, ServeConfig* config) {
+  const char* f = args.Get("ledger_file");
+  if (f == nullptr) return Status::OK();
+  if (config->tenants.size() != 1) {
+    return Status::InvalidArgument(
+        "--ledger_file overrides a single tenant's ledger; " +
+        std::to_string(config->tenants.size()) +
+        " tenants are selected — use per-tenant 'ledger =' keys (or "
+        "--tenant <name>) instead");
+  }
+  config->tenants[0].ledger_file = f;
+  return Status::OK();
+}
+
 int RunServe(Args& args) {
   auto config = LoadServeConfig(args);
   if (!config.ok()) return Fail(config.status().ToString());
+  Status ledger = ApplyLedgerOverride(args, &*config);
+  if (!ledger.ok()) return Fail(ledger.ToString());
   auto host = BuildHost(*config);
   if (!host.ok()) return Fail(host.status().ToString());
   std::printf("# serving %zu tenants on %zu pool threads\n",
@@ -275,6 +345,7 @@ int RunServe(Args& args) {
     std::vector<QueryRequest> requests;
     std::future<StatusOr<std::vector<QueryResponse>>> result;
   };
+  const bool stream = args.GetBool("stream");
   std::vector<PendingBatch> pending;
   for (const TenantConfig& tenant : config->tenants) {
     if (tenant.requests_file.empty()) continue;
@@ -288,8 +359,9 @@ int RunServe(Args& args) {
     PendingBatch batch;
     batch.tenant = &tenant;
     batch.requests = *requests;  // kept for printing alongside responses
-    batch.result = (*host)->SubmitBatch(tenant.policy_file, tenant.name,
-                                        std::move(*requests));
+    batch.result = (*host)->SubmitBatch(
+        tenant.policy_file, tenant.name, std::move(*requests),
+        stream ? StreamPrinter(tenant.name) : QueryCompletionCallback());
     pending.push_back(std::move(batch));
   }
   // One tenant failing (e.g. a lazy engine-construction error) must not
@@ -298,15 +370,19 @@ int RunServe(Args& args) {
   // saved. The exit code reports the failure.
   bool any_tenant_failed = false;
   for (PendingBatch& batch : pending) {
-    std::printf("### tenant %s\n", batch.tenant->name.c_str());
     auto responses = batch.result.get();
     if (!responses.ok()) {
-      std::printf("# tenant failed: %s\n",
+      std::printf("### tenant %s\n# tenant failed: %s\n",
+                  batch.tenant->name.c_str(),
                   responses.status().ToString().c_str());
       any_tenant_failed = true;
       continue;
     }
-    PrintResponses(batch.requests, *responses);
+    if (!stream) {
+      // Streaming already printed each query as it completed.
+      std::printf("### tenant %s\n", batch.tenant->name.c_str());
+      PrintResponses(batch.requests, *responses);
+    }
   }
   PrintCacheStats((*host)->cache());
   for (const TenantConfig& tenant : config->tenants) {
@@ -321,6 +397,15 @@ int RunServe(Args& args) {
     if (!saved.ok()) return Fail(saved.ToString());
     std::printf("# sensitivity cache saved to %s (%zu entries)\n",
                 config->cache_file.c_str(), (*host)->cache().size());
+  }
+  for (const TenantConfig& tenant : config->tenants) {
+    if (tenant.ledger_file.empty()) continue;
+    auto engine = (*host)->engine(tenant.policy_file, tenant.name);
+    if (!engine.ok()) continue;  // construction failure already reported
+    Status saved = (*engine)->accountant().SaveToFile(tenant.ledger_file);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::printf("# tenant %s budget ledger saved to %s\n",
+                tenant.name.c_str(), tenant.ledger_file.c_str());
   }
   return any_tenant_failed ? 1 : 0;
 }
@@ -342,33 +427,53 @@ int RunSessions(Args& args) {
     }
     config->tenants = std::move(kept);
   }
-  // Budget ledgers live in the serving process, so a fresh CLI
-  // invocation can only ever see the configured opening balances — which
-  // are fully determined by the config. Answer from the config directly
-  // rather than ingesting every tenant's CSV and materializing engines
-  // just to read back these constants.
-  std::printf("# budgets are per-process: spent reflects this process "
-              "only\n");
+  // After the --tenant narrowing, so `sessions --tenant x --ledger_file f`
+  // works against a multi-tenant config.
+  Status ledger = ApplyLedgerOverride(args, &*config);
+  if (!ledger.ok()) return Fail(ledger.ToString());
+  // Without a ledger file, budgets are per-process: a fresh CLI
+  // invocation can only ever see the configured opening balances, which
+  // are fully determined by the config — no need to ingest any tenant's
+  // CSV or materialize engines to read those constants back. A tenant
+  // with a `ledger =` file (or the --ledger_file override) instead
+  // reports the persisted cross-process spend: opening balances merged
+  // with whatever earlier serve/batch processes charged and saved.
   std::printf("tenant,session,budget,spent,remaining\n");
   for (const TenantConfig& tenant : config->tenants) {
     std::set<std::string> seen;
+    BudgetAccountant accountant(tenant.budget);
     for (const auto& [name, budget] : tenant.sessions) {
       // The same checks OpenSession would apply at serve time.
       if (!seen.insert(name).second) {
         return Fail("tenant '" + tenant.name + "': session '" + name +
                     "' declared twice");
       }
-      if (budget < 0.0) {
-        return Fail("tenant '" + tenant.name + "': session '" + name +
-                    "' budget must be >= 0");
+      Status opened = accountant.OpenSession(name, budget);
+      if (!opened.ok()) {
+        return Fail("tenant '" + tenant.name + "': " + opened.ToString());
       }
-      std::printf("%s,%s,%g,0,%g\n", tenant.name.c_str(), name.c_str(),
-                  budget, budget);
+    }
+    if (!tenant.ledger_file.empty()) {
+      Status loaded = accountant.LoadFromFile(tenant.ledger_file);
+      // A missing ledger means nothing was persisted yet — report the
+      // opening balances.
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        return Fail("tenant '" + tenant.name + "': " + loaded.ToString());
+      }
+    }
+    bool default_listed = false;
+    for (const auto& session : accountant.ListSessions()) {
+      default_listed = default_listed || session.name.empty();
+      std::printf("%s,%s,%g,%g,%g\n", tenant.name.c_str(),
+                  session.name.empty() ? "(default)" : session.name.c_str(),
+                  session.budget, session.spent, session.remaining);
     }
     // The default session materializes at first charge; until then it
     // has the tenant's default budget and nothing spent.
-    std::printf("%s,(default),%g,0,%g\n", tenant.name.c_str(),
-                tenant.budget, tenant.budget);
+    if (!default_listed) {
+      std::printf("%s,(default),%g,0,%g\n", tenant.name.c_str(),
+                  tenant.budget, tenant.budget);
+    }
   }
   return 0;
 }
@@ -465,9 +570,19 @@ int RunCli(Args args) {
         return Fail(loaded.ToString());
       }
     }
+    const char* ledger_file = args.Get("ledger_file");
+    if (ledger_file != nullptr) {
+      Status loaded = (*engine)->accountant().LoadFromFile(ledger_file);
+      // A missing ledger means no prior spend, not an error.
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        return Fail(loaded.ToString());
+      }
+    }
 
-    auto responses = (*engine)->ServeBatch(*requests);
-    PrintResponses(*requests, responses);
+    QueryCompletionCallback on_complete;
+    if (args.GetBool("stream")) on_complete = StreamPrinter("");
+    auto responses = (*engine)->ServeBatch(*requests, on_complete);
+    if (!on_complete) PrintResponses(*requests, responses);
     PrintCacheStats((*engine)->cache());
     std::printf("%s", (*engine)->accountant().ToString().c_str());
     if (cache_file != nullptr) {
@@ -475,6 +590,11 @@ int RunCli(Args args) {
       if (!saved.ok()) return Fail(saved.ToString());
       std::printf("# sensitivity cache saved to %s (%zu entries)\n",
                   cache_file, (*engine)->cache().size());
+    }
+    if (ledger_file != nullptr) {
+      Status saved = (*engine)->accountant().SaveToFile(ledger_file);
+      if (!saved.ok()) return Fail(saved.ToString());
+      std::printf("# budget ledger saved to %s\n", ledger_file);
     }
     return 0;
   }
@@ -573,21 +693,38 @@ int main(int argc, char** argv) {
                  "usage: blowfish_cli "
                  "<histogram|cdf|range|quantiles|kmeans|advise|batch> "
                  "--policy <file> [--csv <file>] [--eps <v>] ...\n"
+                 "       blowfish_cli batch    --policy <file> --csv <file> "
+                 "--requests <file>\n"
+                 "                             [--threads <n>] [--stream] "
+                 "[--cache_file <file>] [--ledger_file <file>]\n"
                  "       blowfish_cli serve    --config <file> "
-                 "[--threads <n>] [--cache_file <file>]\n"
+                 "[--threads <n>] [--stream]\n"
+                 "                             [--cache_file <file>] "
+                 "[--ledger_file <file>]\n"
                  "       blowfish_cli sessions --config <file> "
-                 "[--tenant <name>]\n");
+                 "[--tenant <name>] [--ledger_file <file>]\n"
+                 "batch request kinds: %s\n",
+                 blowfish::QueryOpRegistry::Global().KnownKindsString()
+                     .c_str());
     return 1;
   }
   blowfish::Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const char* flag = argv[i];
     if (std::strncmp(flag, "--", 2) != 0) {
-      std::fprintf(stderr, "error: expected --flag value pairs\n");
+      std::fprintf(stderr, "error: expected --flag [value] arguments\n");
       return 1;
     }
-    args.flags[flag + 2] = argv[i + 1];
+    // A flag followed by another --flag (or by nothing) is boolean, e.g.
+    // `serve --stream --config host.cfg`. Values may start with a single
+    // '-' (negative numbers) but not with '--'.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[flag + 2] = argv[i + 1];
+      ++i;
+    } else {
+      args.flags[flag + 2] = "1";
+    }
   }
   // Flag values go through util/parse.h, which returns errors instead of
   // throwing; this catch is a last-resort backstop (e.g. std::length_error
