@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <set>
 
 namespace blowfish {
 
@@ -198,6 +200,28 @@ std::vector<size_t> ConstraintSet::Lowered(ValueIndex x, ValueIndex y) const {
   return out;
 }
 
+std::vector<size_t> ConstraintSet::LiftedPinned(ValueIndex x,
+                                                ValueIndex y) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (answers_[i].has_value() && queries_[i].LiftedBy(x, y)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ConstraintSet::LoweredPinned(ValueIndex x,
+                                                 ValueIndex y) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (answers_[i].has_value() && queries_[i].LoweredBy(x, y)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
 StatusOr<bool> ConstraintSet::IsSparse(const SecretGraph& graph,
                                        uint64_t max_edges) const {
   bool sparse = true;
@@ -230,6 +254,91 @@ StatusOr<bool> ConstraintSet::HasCriticalPair(size_t query_index,
       max_edges);
   BLOWFISH_RETURN_IF_ERROR(status);
   return critical;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell critical sets
+
+std::optional<size_t> CellCriticalSets::ComponentOfCell(uint64_t cell) const {
+  for (size_t k = 0; k < component_cells.size(); ++k) {
+    if (std::binary_search(component_cells[k].begin(),
+                           component_cells[k].end(), cell)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+StatusOr<CellCriticalSets> ComputeCellCriticalSets(
+    const ConstraintSet& constraints, const PartitionGraph& graph,
+    uint64_t max_edges) {
+  std::vector<std::set<uint64_t>> crit(constraints.size());
+  Status st = graph.ForEachEdge(
+      [&](ValueIndex x, ValueIndex y) {
+        // Every G^P edge lives inside one cell. Unpinned queries do not
+        // restrict I_Q, so they can neither force a compensation nor
+        // couple cells — their critical sets stay empty and they join
+        // no component (an all-unpinned set yields no components at
+        // all, matching the unconstrained neighbour semantics).
+        const uint64_t cell = graph.CellOf(x);
+        for (size_t i = 0; i < constraints.size(); ++i) {
+          if (!constraints.pinned(i)) continue;
+          if (constraints.query(i).CriticalPair(x, y)) crit[i].insert(cell);
+        }
+      },
+      max_edges);
+  BLOWFISH_RETURN_IF_ERROR(st);
+
+  CellCriticalSets out;
+  out.critical_cells.reserve(crit.size());
+  for (const std::set<uint64_t>& cells : crit) {
+    out.critical_cells.emplace_back(cells.begin(), cells.end());
+  }
+
+  // Union-find over cells: a constraint couples all of its critical
+  // cells together.
+  std::map<uint64_t, uint64_t> parent;
+  std::function<uint64_t(uint64_t)> find = [&](uint64_t c) {
+    while (parent[c] != c) {
+      parent[c] = parent[parent[c]];
+      c = parent[c];
+    }
+    return c;
+  };
+  for (const std::vector<uint64_t>& cells : out.critical_cells) {
+    for (uint64_t c : cells) {
+      if (parent.find(c) == parent.end()) parent[c] = c;
+    }
+    for (size_t j = 1; j < cells.size(); ++j) {
+      parent[find(cells[j])] = find(cells[0]);
+    }
+  }
+  // Components in deterministic order: by smallest member cell (the
+  // std::map iterates cells in increasing order).
+  std::map<uint64_t, size_t> component_of_root;
+  for (const auto& [cell, unused] : parent) {
+    (void)unused;
+    const uint64_t root = find(cell);
+    auto [it, inserted] =
+        component_of_root.emplace(root, out.component_cells.size());
+    if (inserted) {
+      out.component_cells.emplace_back();
+      out.component_queries.emplace_back();
+    }
+    out.component_cells[it->second].push_back(cell);
+  }
+  for (size_t i = 0; i < out.critical_cells.size(); ++i) {
+    if (out.critical_cells[i].empty()) continue;
+    const size_t k = component_of_root.at(find(out.critical_cells[i][0]));
+    out.component_queries[k].push_back(i);
+  }
+  for (std::vector<uint64_t>& cells : out.component_cells) {
+    std::sort(cells.begin(), cells.end());
+  }
+  for (std::vector<size_t>& queries : out.component_queries) {
+    std::sort(queries.begin(), queries.end());
+  }
+  return out;
 }
 
 }  // namespace blowfish

@@ -123,6 +123,23 @@ class ConstraintSet {
   const CountQuery& query(size_t i) const { return queries_[i]; }
   const std::vector<Rectangle>& rectangles() const { return rectangles_; }
 
+  /// True iff query i has a publicly known answer. Only pinned queries
+  /// restrict I_Q (SatisfiedBy ignores the rest), so only they can force
+  /// compensating moves in a neighbour step — the weighted policy-graph
+  /// analysis classifies moves against pinned queries alone.
+  bool pinned(size_t i) const { return answers_[i].has_value(); }
+
+  /// True iff any query is pinned — i.e. the set actually restricts I_Q.
+  /// A set of only unpinned queries is semantically unconstrained: the
+  /// engine's constrained machinery (union-scale parallel groups, the
+  /// critical-set predicate) keys off this, not off size().
+  bool AnyPinned() const {
+    for (const auto& a : answers_) {
+      if (a.has_value()) return true;
+    }
+    return false;
+  }
+
   /// True iff D |= Q: every pinned answer matches. Queries without answers
   /// are vacuously satisfied (they constrain nothing until pinned).
   bool SatisfiedBy(const Dataset& dataset) const;
@@ -130,6 +147,10 @@ class ConstraintSet {
   /// Indices of queries lifted / lowered by the ordered change x -> y.
   std::vector<size_t> Lifted(ValueIndex x, ValueIndex y) const;
   std::vector<size_t> Lowered(ValueIndex x, ValueIndex y) const;
+
+  /// The same classification restricted to pinned queries.
+  std::vector<size_t> LiftedPinned(ValueIndex x, ValueIndex y) const;
+  std::vector<size_t> LoweredPinned(ValueIndex x, ValueIndex y) const;
 
   /// Def 8.2 sparsity w.r.t. a secret graph: every edge (in either
   /// orientation) lifts at most one query and lowers at most one query.
@@ -149,6 +170,44 @@ class ConstraintSet {
   std::vector<std::optional<uint64_t>> answers_;
   std::vector<Rectangle> rectangles_;
 };
+
+/// Per-cell critical sets under a partition secret graph G^P (Sec 4.1
+/// refined). Under G^P every edge lives inside one partition cell, so a
+/// constraint's critical set projects to a set of *cells*: cell c is
+/// critical for q iff some edge inside c flips q's predicate. Two cells
+/// are *coupled* when a constraint is critical on both (a move in one
+/// can force a compensating move in the other to stay inside I_Q);
+/// coupled components are the transitive closure. A minimal
+/// (G, Q)-neighbour step is confined to a single coupled component:
+/// restricting its moves to one component yields a database that still
+/// satisfies every constraint (each constraint's critical cells lie in
+/// one component), contradicting minimality (Def 4.1, condition 3) if a
+/// second component were touched. This is what makes parallel
+/// composition over cell-disjoint queries provable on constrained
+/// policies (core/privacy_loss.h, ConstrainedParallelCellsValid).
+struct CellCriticalSets {
+  /// critical_cells[i]: sorted cells on which constraint i has a
+  /// critical edge (empty iff crit(q_i) is empty under G^P; always
+  /// empty for unpinned queries, which restrict nothing).
+  std::vector<std::vector<uint64_t>> critical_cells;
+  /// Coupled components, each a sorted cell list; deterministic order
+  /// (by smallest cell).
+  std::vector<std::vector<uint64_t>> component_cells;
+  /// component_queries[k]: sorted constraint indices whose critical
+  /// cells lie in component k. Constraints with empty critical sets
+  /// appear in no component (they never move under any neighbour step).
+  std::vector<std::vector<size_t>> component_queries;
+
+  /// Index of the coupled component containing `cell`, or nullopt for a
+  /// free cell (critical for no constraint).
+  std::optional<size_t> ComponentOfCell(uint64_t cell) const;
+};
+
+/// Computes the per-cell critical sets of `constraints` w.r.t. a
+/// partition secret graph. Enumerates at most `max_edges` edges.
+StatusOr<CellCriticalSets> ComputeCellCriticalSets(
+    const ConstraintSet& constraints, const PartitionGraph& graph,
+    uint64_t max_edges);
 
 }  // namespace blowfish
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <map>
 #include <set>
 
 namespace blowfish {
@@ -153,6 +155,184 @@ StatusOr<double> PolicyGraph::HistogramSensitivityBound(
   BLOWFISH_ASSIGN_OR_RETURN(uint64_t xi,
                             LongestSourceSinkPath(max_vertices));
   return 2.0 * static_cast<double>(std::max(alpha, xi));
+}
+
+StatusOr<WeightedPolicyGraph> WeightedPolicyGraph::Build(
+    const ConstraintSet& constraints, const SecretGraph& graph,
+    uint64_t domain_size, const EdgeWeight& weight, uint64_t max_pairs) {
+  const size_t p = constraints.size();
+  const size_t v_plus = p;
+  const size_t v_minus = p + 1;
+  if (domain_size > 1 &&
+      static_cast<double>(domain_size) *
+              static_cast<double>(domain_size - 1) >
+          static_cast<double>(max_pairs)) {
+    return Status::ResourceExhausted(
+        "|T| (|T| - 1) ordered pairs exceed the move enumeration budget");
+  }
+  // (from, to) -> heaviest realization over (all pairs, G-edge pairs).
+  std::vector<std::map<size_t, std::pair<double, double>>> adj(p + 2);
+  auto relax = [&adj](size_t from, size_t to, double w, bool is_edge) {
+    auto [it, inserted] = adj[from].emplace(to, std::make_pair(w, -1.0));
+    if (!inserted && w > it->second.first) it->second.first = w;
+    if (is_edge && w > it->second.second) it->second.second = w;
+  };
+
+  // Every ordered pair of distinct values is a potential chain move: the
+  // compensations forced by pinned constraints are not confined to E(G)
+  // (see the class comment). Classification ignores unpinned queries.
+  for (ValueIndex x = 0; x < domain_size; ++x) {
+    for (ValueIndex y = 0; y < domain_size; ++y) {
+      if (x == y) continue;
+      std::vector<size_t> lifted = constraints.LiftedPinned(x, y);
+      std::vector<size_t> lowered = constraints.LoweredPinned(x, y);
+      if (lifted.size() > 1 || lowered.size() > 1) {
+        return Status::FailedPrecondition(
+            "constraints are not sparse over value pairs (all-pairs "
+            "Def 8.2): changing " + std::to_string(x) + " -> " +
+            std::to_string(y) + " moves two pinned queries at once");
+      }
+      const bool is_edge = graph.Adjacent(x, y);
+      const double w = weight(x, y);
+      if (lifted.size() == 1 && lowered.size() == 1) {
+        relax(lowered[0], lifted[0], w, is_edge);
+      } else if (lifted.size() == 1) {
+        relax(v_plus, lifted[0], w, is_edge);
+      } else if (lowered.size() == 1) {
+        relax(lowered[0], v_minus, w, is_edge);
+      } else if (is_edge) {
+        // A free single move. It must be discriminative (condition 2),
+        // so only G-edges qualify; a free non-edge change never survives
+        // Delta-minimality. Unlike Def 8.3 (iv), the (v+, v-) edge
+        // exists only when such a move does.
+        relax(v_plus, v_minus, w, /*is_edge=*/true);
+      }
+    }
+  }
+  std::vector<std::vector<Transition>> adj_vec(p + 2);
+  for (size_t v = 0; v < adj.size(); ++v) {
+    adj_vec[v].reserve(adj[v].size());
+    for (const auto& [to, weights] : adj[v]) {
+      adj_vec[v].push_back(Transition{to, weights.first, weights.second});
+    }
+  }
+  return WeightedPolicyGraph(p, std::move(adj_vec));
+}
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Exact heaviest simple path/cycle search, the weighted twin of
+/// LongestPathSearch, under the "at least one G-edge move" side
+/// condition. For a fixed simple path the best valid assignment takes
+/// every transition at its all-pairs weight except one, designated as
+/// the mandatory discriminative move at its (never larger) G-edge
+/// weight — so the value is sum(any) minus the smallest per-transition
+/// penalty any - edge (infinite when no G-edge realizes a transition;
+/// a path all of whose transitions are edge-free is invalid).
+/// Exponential worst case — callers bound size.
+class HeaviestPathSearch {
+ public:
+  explicit HeaviestPathSearch(
+      const std::vector<std::vector<WeightedPolicyGraph::Transition>>& adj)
+      : adj_(adj), on_path_(adj.size(), false) {}
+
+  double HeaviestCycle() {
+    double best = 0.0;
+    for (size_t start = 0; start < adj_.size(); ++start) {
+      min_vertex_ = start;
+      on_path_[start] = true;
+      DfsCycle(start, start, 0, 0.0, kInfinity, best);
+      on_path_[start] = false;
+    }
+    return best;
+  }
+
+  double HeaviestPath(size_t source, size_t sink) {
+    double best = 0.0;
+    min_vertex_ = 0;
+    on_path_[source] = true;
+    DfsPath(source, sink, 0.0, kInfinity, best);
+    on_path_[source] = false;
+    return best;
+  }
+
+ private:
+  static double Penalty(const WeightedPolicyGraph::Transition& t) {
+    return t.edge_weight < 0.0 ? kInfinity : t.any_weight - t.edge_weight;
+  }
+
+  static void Close(double total, double penalty, double& best) {
+    if (penalty == kInfinity) return;  // no discriminative move possible
+    best = std::max(best, total - penalty);
+  }
+
+  void DfsCycle(size_t start, size_t u, uint64_t depth, double total,
+                double penalty, double& best) {
+    for (const WeightedPolicyGraph::Transition& t : adj_[u]) {
+      const double next_penalty = std::min(penalty, Penalty(t));
+      if (t.to == start && depth + 1 >= 2) {
+        Close(total + t.any_weight, next_penalty, best);
+        continue;
+      }
+      if (t.to < min_vertex_ || on_path_[t.to]) continue;
+      on_path_[t.to] = true;
+      DfsCycle(start, t.to, depth + 1, total + t.any_weight, next_penalty,
+               best);
+      on_path_[t.to] = false;
+    }
+  }
+
+  void DfsPath(size_t u, size_t sink, double total, double penalty,
+               double& best) {
+    if (u == sink) {
+      Close(total, penalty, best);
+      return;
+    }
+    for (const WeightedPolicyGraph::Transition& t : adj_[u]) {
+      if (on_path_[t.to]) continue;
+      on_path_[t.to] = true;
+      DfsPath(t.to, sink, total + t.any_weight,
+              std::min(penalty, Penalty(t)), best);
+      on_path_[t.to] = false;
+    }
+  }
+
+  const std::vector<std::vector<WeightedPolicyGraph::Transition>>& adj_;
+  std::vector<bool> on_path_;
+  size_t min_vertex_ = 0;
+};
+
+}  // namespace
+
+StatusOr<double> WeightedPolicyGraph::HeaviestSimpleCycle(
+    size_t max_vertices) const {
+  if (num_vertices() > max_vertices) {
+    return Status::ResourceExhausted(
+        "policy graph too large for the exact weighted cycle search "
+        "(NP-hard; use the Sec 8.2 closed forms)");
+  }
+  HeaviestPathSearch search(adj_);
+  return search.HeaviestCycle();
+}
+
+StatusOr<double> WeightedPolicyGraph::HeaviestSourceSinkPath(
+    size_t max_vertices) const {
+  if (num_vertices() > max_vertices) {
+    return Status::ResourceExhausted(
+        "policy graph too large for the exact weighted path search "
+        "(NP-hard; use the Sec 8.2 closed forms)");
+  }
+  HeaviestPathSearch search(adj_);
+  return search.HeaviestPath(v_plus(), v_minus());
+}
+
+StatusOr<double> WeightedPolicyGraph::NeighborStepBound(
+    size_t max_vertices) const {
+  BLOWFISH_ASSIGN_OR_RETURN(double alpha, HeaviestSimpleCycle(max_vertices));
+  BLOWFISH_ASSIGN_OR_RETURN(double xi, HeaviestSourceSinkPath(max_vertices));
+  return std::max(alpha, xi);
 }
 
 double HistogramSensitivityCorollaryBound(size_t num_queries) {

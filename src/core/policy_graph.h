@@ -17,7 +17,9 @@
 #define BLOWFISH_CORE_POLICY_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/constraints.h"
@@ -64,6 +66,97 @@ class PolicyGraph {
 
   size_t num_queries_;
   std::vector<std::vector<size_t>> adj_;  // sorted out-neighbour lists
+};
+
+/// The Thm 8.2 analysis generalized to weighted moves, for queries other
+/// than the complete histogram, and made sound against the brute-force
+/// Def 4.1 oracle (core/neighbors.h). A minimal (G, Q)-neighbour step is
+/// ONE chain of tuple moves: at least one move is a secret-graph edge
+/// (condition 2 — the discriminative set is non-empty), but the
+/// *compensating* moves the pinned constraints force may change a tuple
+/// between ANY two domain values — condition 3(b) only minimizes the
+/// symmetric difference set-wise, so a cross-graph compensation (e.g. a
+/// cross-cell move under G^P) survives minimality whenever dropping it
+/// would leave I_Q violated. Moves are therefore classified over all
+/// ordered value pairs, not just E(G); each policy-graph edge carries
+/// two weights — the heaviest realization over all pairs and over
+/// G-edge pairs — and the searches require at least one G-edge move per
+/// chain.
+///
+/// For any query f linear in the complete histogram, the L1 change of
+/// one step is at most the sum over its moves of ||M (e_x - e_y)||_1,
+/// so S(f, P) is bounded by the heaviest valid simple cycle / simple
+/// v+ -> v- path. A cell-restricted histogram pays only for move
+/// endpoints inside its cells (the per-cell critical-set analysis of
+/// the constrained parallel-composition path); a value-weighted sum
+/// pays |v(x) - v(y)| per move.
+///
+/// Two further differences from PolicyGraph (which keeps the paper's
+/// literal Def 8.3 over E(G), validated on the Sec 8 examples):
+///  * only PINNED queries classify moves — an unpinned query does not
+///    restrict I_Q, so it can neither force a compensation nor absorb
+///    one (a policy whose queries are all unpinned degenerates to the
+///    unconstrained single-move analysis);
+///  * the (v+, v-) edge is added only for a genuinely free single move,
+///    and only over G-edges (a free non-edge change never survives the
+///    Delta-minimality of condition 3(b), and a single-move step must
+///    be discriminative) — Def 8.3 (iv) adds it unconditionally, which
+///    is sound for the histogram bound but needlessly loose here.
+class WeightedPolicyGraph {
+ public:
+  /// Per-move norm ||M (e_x - e_y)||_1; must be symmetric in (x, y).
+  using EdgeWeight = std::function<double(ValueIndex, ValueIndex)>;
+
+  /// Builds the weighted graph by classifying every ordered pair of
+  /// distinct domain values against the pinned constraints, keeping per
+  /// directed policy-graph edge the max weight over all realizing pairs
+  /// and over G-edge realizing pairs. Enumerates |T| (|T| - 1) pairs —
+  /// fails with ResourceExhausted when that exceeds `max_pairs`, and
+  /// with FailedPrecondition if some pair lifts (or lowers) two pinned
+  /// queries at once (the all-pairs strengthening of Def 8.2 sparsity;
+  /// without it one compensating move could serve two constraints and
+  /// the chain decomposition breaks).
+  static StatusOr<WeightedPolicyGraph> Build(const ConstraintSet& constraints,
+                                             const SecretGraph& graph,
+                                             uint64_t domain_size,
+                                             const EdgeWeight& weight,
+                                             uint64_t max_pairs);
+
+  size_t num_queries() const { return num_queries_; }
+  size_t v_plus() const { return num_queries_; }
+  size_t v_minus() const { return num_queries_ + 1; }
+  size_t num_vertices() const { return num_queries_ + 2; }
+
+  /// Heaviest simple directed cycle whose moves include at least one
+  /// G-edge realization; 0 if none. Exact DFS — ResourceExhausted
+  /// beyond `max_vertices` (NP-hard).
+  StatusOr<double> HeaviestSimpleCycle(size_t max_vertices = 24) const;
+
+  /// Heaviest simple v+ -> v- path with at least one G-edge move; 0 if
+  /// none.
+  StatusOr<double> HeaviestSourceSinkPath(size_t max_vertices = 24) const;
+
+  /// The generalized Thm 8.2 bound: max of the two searches, i.e. the
+  /// largest possible summed per-move norm of one neighbour step.
+  StatusOr<double> NeighborStepBound(size_t max_vertices = 24) const;
+
+  /// One directed policy-graph edge: the heaviest realization over all
+  /// ordered value pairs, and over pairs that are also G-edges
+  /// (edge_weight < 0 means no G-edge realizes this transition).
+  struct Transition {
+    size_t to = 0;
+    double any_weight = 0.0;
+    double edge_weight = -1.0;
+  };
+
+ private:
+  WeightedPolicyGraph(size_t num_queries,
+                      std::vector<std::vector<Transition>> adj)
+      : num_queries_(num_queries), adj_(std::move(adj)) {}
+
+  size_t num_queries_;
+  /// adj_[u]: out-transitions sorted by `to`, one entry per edge.
+  std::vector<std::vector<Transition>> adj_;
 };
 
 /// Corollary 8.3: for sparse Q, S(h, P) <= 2 max{|Q|, 1} without building

@@ -65,6 +65,32 @@ class PrivacyAccountant {
 StatusOr<bool> ParallelCompositionValid(const Policy& policy,
                                         uint64_t max_edges);
 
+/// Refined Thm 4.3 for *cell-restricted* queries under a partition secret
+/// graph G^P. Each member of a parallel group reads only the histogram of
+/// its own cell set; a minimal (G, Q)-neighbour step is confined to one
+/// coupled component of the per-cell critical-set analysis
+/// (core/constraints.h, CellCriticalSets), so the joint release costs
+/// max(eps) iff no coupled component intersects two different members'
+/// cell sets — even when constraints have non-empty critical sets, which
+/// the uniform-secrets check above would refuse outright. Members' cell
+/// sets must be pairwise disjoint (the caller's Thm 4.2 obligation; not
+/// re-checked here). Unconstrained policies are trivially valid. A
+/// constrained policy over a non-partition graph falls back to the
+/// all-critical-sets-empty check.
+StatusOr<bool> ConstrainedParallelCellsValid(
+    const Policy& policy,
+    const std::vector<std::vector<uint64_t>>& member_cells,
+    uint64_t max_edges);
+
+/// The component-disjointness half of the check against precomputed
+/// critical sets (core/constraints.h, ComputeCellCriticalSets): true
+/// iff no coupled component intersects two members' cell sets. The
+/// engine memoizes the critical sets per policy and calls this per
+/// group instead of re-enumerating the secret graph every batch.
+bool CellGroupsSeparateComponents(
+    const CellCriticalSets& critical_sets,
+    const std::vector<std::vector<uint64_t>>& member_cells);
+
 }  // namespace blowfish
 
 #endif  // BLOWFISH_CORE_PRIVACY_LOSS_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "core/policy_graph.h"
+
 namespace blowfish {
 
 double LinearQuery::EdgeNorm(ValueIndex x, ValueIndex y) const {
@@ -132,6 +134,79 @@ StatusOr<double> QSumSensitivity(const Policy& policy) {
 
 double QSizeSensitivity(const SecretGraph& graph) {
   return HasAnyEdge(graph) ? 2.0 : 0.0;
+}
+
+CellRestrictedHistogramQuery::CellRestrictedHistogramQuery(
+    const PartitionGraph& partition, const Domain& domain,
+    const std::set<uint64_t>& cells) {
+  for (ValueIndex x = 0; x < domain.size(); ++x) {
+    if (cells.count(partition.CellOf(x)) > 0) {
+      row_of_[x] = included_.size();
+      included_.push_back(x);
+    }
+  }
+}
+
+std::vector<double> CellRestrictedHistogramQuery::Evaluate(
+    const Histogram& h) const {
+  std::vector<double> out;
+  out.reserve(included_.size());
+  for (ValueIndex x : included_) out.push_back(h[x]);
+  return out;
+}
+
+StatusOr<double> ConstrainedLinearQuerySensitivity(
+    const LinearQuery& query, const Policy& policy, uint64_t max_edges,
+    size_t max_policy_graph_vertices) {
+  // Unpinned-only sets restrict nothing — same neighbours, same value
+  // as the unconstrained edge maximum, without the O(|T|^2) pair
+  // enumeration (or its ResourceExhausted guard on large domains).
+  if (!policy.has_constraints() || !policy.constraints().AnyPinned()) {
+    return UnconstrainedSensitivity(query, policy.graph(), max_edges);
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(
+      WeightedPolicyGraph wpg,
+      WeightedPolicyGraph::Build(
+          policy.constraints(), policy.graph(), policy.domain().size(),
+          [&query](ValueIndex x, ValueIndex y) {
+            return query.EdgeNorm(x, y);
+          },
+          max_edges));
+  return wpg.NeighborStepBound(max_policy_graph_vertices);
+}
+
+StatusOr<double> ConstrainedCellHistogramSensitivity(
+    const Policy& policy, const std::vector<uint64_t>& cells,
+    uint64_t max_edges, size_t max_policy_graph_vertices) {
+  const auto* partition =
+      dynamic_cast<const PartitionGraph*>(&policy.graph());
+  if (partition == nullptr) {
+    return Status::FailedPrecondition(
+        "per-cell sensitivity requires a partition (G^P) secret graph");
+  }
+  const std::set<uint64_t> cell_set(cells.begin(), cells.end());
+  CellRestrictedHistogramQuery query(*partition, policy.domain(), cell_set);
+  return ConstrainedLinearQuerySensitivity(query, policy, max_edges,
+                                           max_policy_graph_vertices);
+}
+
+std::vector<uint64_t> SortedUnionCells(
+    const std::vector<std::vector<uint64_t>>& member_cells) {
+  std::vector<uint64_t> union_cells;
+  for (const std::vector<uint64_t>& cells : member_cells) {
+    union_cells.insert(union_cells.end(), cells.begin(), cells.end());
+  }
+  std::sort(union_cells.begin(), union_cells.end());
+  return union_cells;
+}
+
+StatusOr<double> ConstrainedUnionCellsSensitivity(
+    const Policy& policy,
+    const std::vector<std::vector<uint64_t>>& member_cells,
+    uint64_t max_edges, size_t max_policy_graph_vertices) {
+  return ConstrainedCellHistogramSensitivity(
+      policy, SortedUnionCells(member_cells), max_edges,
+      max_policy_graph_vertices);
 }
 
 }  // namespace blowfish

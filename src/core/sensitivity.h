@@ -20,7 +20,9 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/policy.h"
@@ -143,6 +145,42 @@ class ValueWeightedSumQuery final : public LinearQuery {
   std::function<double(ValueIndex)> value_;
 };
 
+/// The complete histogram restricted to a set of G^P partition cells:
+/// one output row per domain value whose cell is in the set, in domain
+/// order. Moving a tuple across an edge of G^P changes two rows if the
+/// edge's (shared) cell is included, none otherwise — the weight that
+/// drives the per-cell critical-set sensitivity below. Shared by the
+/// `cell_histogram` QueryOp and mech/parallel_release.h.
+class CellRestrictedHistogramQuery final : public LinearQuery {
+ public:
+  CellRestrictedHistogramQuery(const PartitionGraph& partition,
+                               const Domain& domain,
+                               const std::set<uint64_t>& cells);
+
+  size_t output_dim() const override { return included_.size(); }
+  void ForEachColumnEntry(
+      ValueIndex x,
+      const std::function<void(size_t, double)>& fn) const override {
+    auto it = row_of_.find(x);
+    if (it != row_of_.end()) fn(it->second, 1.0);
+  }
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    if (x == y) return 0.0;
+    return (row_of_.count(x) > 0 ? 1.0 : 0.0) +
+           (row_of_.count(y) > 0 ? 1.0 : 0.0);
+  }
+  std::vector<double> Evaluate(const Histogram& h) const override;
+  std::string name() const override { return "h_cells"; }
+
+  /// Domain values whose cell is included, in domain order (the payload
+  /// row layout).
+  const std::vector<ValueIndex>& included() const { return included_; }
+
+ private:
+  std::vector<ValueIndex> included_;
+  std::unordered_map<ValueIndex, size_t> row_of_;
+};
+
 /// Generic unconstrained policy-specific sensitivity:
 /// max over edges of G of query.EdgeNorm. Enumerates at most `max_edges`
 /// edges; prefer the closed forms below for the huge structured graphs.
@@ -169,6 +207,51 @@ StatusOr<double> QSumSensitivity(const Policy& policy);
 /// S(q_size, P) = 2 for every graph with an edge (q_size is a partitioned
 /// histogram over the data-dependent clustering; the bound of Sec 6).
 double QSizeSensitivity(const SecretGraph& graph);
+
+/// S(f, P) for any histogram-linear query under a *constrained* policy:
+/// the weighted Thm 8.2 bound (core/policy_graph.h, WeightedPolicyGraph)
+/// with per-move norm query.EdgeNorm, sound against the Def 4.1 oracle
+/// — chain moves range over all value pairs, since constraint-forced
+/// compensations are not confined to E(G). Unconstrained policies fall
+/// back to the generic edge maximum, so this is safe to call for every
+/// policy. Fails with FailedPrecondition when the pinned constraints
+/// are not sparse over value pairs (the all-pairs strengthening of
+/// Def 8.2) and ResourceExhausted past the pair or vertex budgets (the
+/// constrained problem is NP-hard, Thm 8.1).
+StatusOr<double> ConstrainedLinearQuerySensitivity(
+    const LinearQuery& query, const Policy& policy, uint64_t max_edges,
+    size_t max_policy_graph_vertices);
+
+/// Per-cell critical-set sensitivity of the histogram restricted to
+/// `cells` under a partition secret graph: each move of a neighbour step
+/// pays 2 iff its cell is in the set, so S is the heaviest chain of
+/// in-set moves (0 when every included cell is a singleton). Requires
+/// the policy's graph to be a PartitionGraph; handles both constrained
+/// and unconstrained policies.
+StatusOr<double> ConstrainedCellHistogramSensitivity(
+    const Policy& policy, const std::vector<uint64_t>& cells,
+    uint64_t max_edges, size_t max_policy_graph_vertices);
+
+/// Sorted concatenation of several (disjoint) cell lists — the cell set
+/// of a whole parallel group, in the canonical order shared by noise
+/// calibration and cache keys.
+std::vector<uint64_t> SortedUnionCells(
+    const std::vector<std::vector<uint64_t>>& member_cells);
+
+/// The noise scale for every member of a *constrained* parallel group:
+/// ConstrainedCellHistogramSensitivity of the union of all members'
+/// cells. Per-member scales would be unsound — a neighbour step's
+/// compensating moves may land in ANY cell, so several members'
+/// histograms can change in one step; since the members' disjoint row
+/// sets concatenate to the union-restricted histogram,
+///   sum_m eps_m L1_m / S_union <= max_m eps_m,
+/// which is exactly the single max-epsilon parallel charge. One
+/// definition shared by mech/parallel_release.cc and the engine so the
+/// two layers cannot diverge on calibration.
+StatusOr<double> ConstrainedUnionCellsSensitivity(
+    const Policy& policy,
+    const std::vector<std::vector<uint64_t>>& member_cells,
+    uint64_t max_edges, size_t max_policy_graph_vertices);
 
 }  // namespace blowfish
 

@@ -6,13 +6,18 @@
 // Under a partition secret graph an individual's cell is public, so
 // queries over pairwise-disjoint cell sets touch disjoint individuals —
 // this is the op that makes parallel composition (Thm 4.2) provable,
-// via ParallelCells().
+// via ParallelCells(). Constrained policies are served too: each move
+// of a (G, Q)-neighbour step pays 2 iff its cell is in the set, so the
+// sensitivity is the weighted Thm 8.2 bound of
+// ConstrainedCellHistogramSensitivity (the per-cell critical-set
+// analysis), and the engine proves a parallel group disjoint with
+// ConstrainedParallelCellsValid instead of demanding empty critical
+// sets.
 
 #include <memory>
 #include <set>
 #include <sstream>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -23,51 +28,6 @@
 
 namespace blowfish {
 namespace {
-
-/// The complete histogram restricted to a set of G^P partition cells:
-/// one output row per domain value whose cell is in the set, in domain
-/// order. Moving a tuple across an edge of G^P changes two rows if the
-/// edge's (shared) cell is included, none otherwise.
-class CellHistogramQuery final : public LinearQuery {
- public:
-  CellHistogramQuery(const PartitionGraph& partition, const Domain& domain,
-                     const std::set<uint64_t>& cells) {
-    for (ValueIndex x = 0; x < domain.size(); ++x) {
-      if (cells.count(partition.CellOf(x)) > 0) {
-        row_of_[x] = included_.size();
-        included_.push_back(x);
-      }
-    }
-  }
-
-  size_t output_dim() const override { return included_.size(); }
-
-  void ForEachColumnEntry(
-      ValueIndex x,
-      const std::function<void(size_t, double)>& fn) const override {
-    auto it = row_of_.find(x);
-    if (it != row_of_.end()) fn(it->second, 1.0);
-  }
-
-  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
-    if (x == y) return 0.0;
-    return (row_of_.count(x) > 0 ? 1.0 : 0.0) +
-           (row_of_.count(y) > 0 ? 1.0 : 0.0);
-  }
-
-  std::vector<double> Evaluate(const Histogram& h) const override {
-    std::vector<double> out;
-    out.reserve(included_.size());
-    for (ValueIndex x : included_) out.push_back(h[x]);
-    return out;
-  }
-
-  std::string name() const override { return "h_cells"; }
-
- private:
-  std::vector<ValueIndex> included_;
-  std::unordered_map<ValueIndex, size_t> row_of_;
-};
 
 class CellHistogramOp final : public QueryOp {
  public:
@@ -84,10 +44,6 @@ class CellHistogramOp final : public QueryOp {
   }
 
   Status Validate(const Policy& policy) const override {
-    if (policy.has_constraints()) {
-      return Status::Unimplemented(
-          "cell_histogram is not supported on constrained policies");
-    }
     const auto* partition =
         dynamic_cast<const PartitionGraph*>(&policy.graph());
     if (partition == nullptr) {
@@ -118,15 +74,10 @@ class CellHistogramOp final : public QueryOp {
 
   StatusOr<double> ComputeSensitivity(
       const Policy& policy, const SensitivityEnv& env) const override {
-    const auto* partition =
-        dynamic_cast<const PartitionGraph*>(&policy.graph());
-    if (partition == nullptr) {
-      return Status::FailedPrecondition(
-          "cell_histogram requires a partition (G^P) secret graph");
-    }
-    std::set<uint64_t> cells(cells_.begin(), cells_.end());
-    CellHistogramQuery query(*partition, policy.domain(), cells);
-    return UnconstrainedSensitivity(query, policy.graph(), env.max_edges);
+    // Handles constrained and unconstrained policies alike; for the
+    // latter it reduces to the generic edge maximum.
+    return ConstrainedCellHistogramSensitivity(
+        policy, cells_, env.max_edges, env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<uint64_t>> ParallelCells() const override {
@@ -142,7 +93,8 @@ class CellHistogramOp final : public QueryOp {
           "cell_histogram requires a partition (G^P) secret graph");
     }
     std::set<uint64_t> cells(cells_.begin(), cells_.end());
-    CellHistogramQuery query(*partition, ctx.policy.domain(), cells);
+    CellRestrictedHistogramQuery query(*partition, ctx.policy.domain(),
+                                       cells);
     std::vector<double> truth = query.Evaluate(ctx.hist);
     if (ctx.sensitivity == 0.0) return truth;
     return LaplaceRelease(truth, ctx.sensitivity, ctx.epsilon, rng);

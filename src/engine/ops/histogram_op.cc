@@ -3,16 +3,20 @@
 //   histogram eps=0.5 [label=] [session=]
 //
 // Unconstrained policies use the closed form S(h, P) = 2 (0 for an
-// edgeless graph); constrained policies pay the Thm 8.2 policy-graph
-// alpha/xi bound — the NP-hard computation the SensitivityCache exists
-// for.
+// edgeless graph); pinned-constrained policies pay the weighted
+// all-pairs Thm 8.2 chain bound (core/sensitivity.h,
+// ConstrainedLinearQuerySensitivity) — the NP-hard computation the
+// SensitivityCache exists for. The paper-literal E(G)-only PolicyGraph
+// bound is NOT used here: it misses compensating moves along non-edges
+// (e.g. two pinned threshold constraints whose q1 -> q2 transition is
+// realized only by non-edge pairs), under-calibrating the noise
+// against the Def 4.1 oracle.
 
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "core/policy_graph.h"
 #include "core/sensitivity.h"
 #include "engine/ops/query_op.h"
 #include "mech/laplace.h"
@@ -35,14 +39,17 @@ class HistogramOp final : public QueryOp {
 
   StatusOr<double> ComputeSensitivity(
       const Policy& policy, const SensitivityEnv& env) const override {
-    if (!policy.has_constraints()) {
+    // An unpinned-only constraint set restricts nothing (SatisfiedBy
+    // ignores queries without answers), so it pays the unconstrained
+    // closed form, not the chain bound.
+    if (!policy.has_constraints() || !policy.constraints().AnyPinned()) {
       return HistogramSensitivity(policy.graph());
     }
-    // Thm 8.2: the NP-hard alpha/xi bound — the cache's raison d'etre.
-    BLOWFISH_ASSIGN_OR_RETURN(
-        PolicyGraph pg, PolicyGraph::Build(policy.constraints(),
-                                           policy.graph(), env.max_edges));
-    return pg.HistogramSensitivityBound(env.max_policy_graph_vertices);
+    // The oracle-sound weighted chain bound (norm 2 per move, moves
+    // over all value pairs) — the cache's raison d'etre.
+    CompleteHistogramQuery query(policy.domain().size());
+    return ConstrainedLinearQuerySensitivity(
+        query, policy, env.max_edges, env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,

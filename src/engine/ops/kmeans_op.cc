@@ -31,6 +31,16 @@ class KMeansOp final : public QueryOp {
     return Status::OK();
   }
 
+  Status Validate(const Policy& policy) const override {
+    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
+      // QSum/QSize are unconstrained closed forms (Lemma 6.1); under
+      // pinned constraints they would under-calibrate the per-iteration
+      // noise. Unpinned-only sets restrict nothing and serve normally.
+      return ConstrainedPolicyUnsupported(*this, policy);
+    }
+    return Status::OK();
+  }
+
   StatusOr<std::string> SensitivityShape() const override {
     return std::string("kmeans");
   }

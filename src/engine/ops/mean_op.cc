@@ -4,11 +4,14 @@
 //
 // f(D) = (sum_x v(x) c(x)) / n with v(x) = x * scale and n = |D|. Under
 // Blowfish, neighbours *move* one tuple (n is public), so only the
-// value-weighted sum needs noise: S(sum, P) is the generic
-// unconstrained sensitivity max_{(x,y) in E(G)} |v(x) - v(y)| — e.g.
-// theta under a distance-threshold policy G^{d,theta}, against
-// (|T|-1) * scale under full-domain secrets. The released payload is
-// { noisy_sum / n }.
+// value-weighted sum needs noise. Unconstrained policies pay the
+// generic sensitivity max_{(x,y) in E(G)} |v(x) - v(y)| — e.g. theta
+// under a distance-threshold policy G^{d,theta}, against (|T|-1) * scale
+// under full-domain secrets. Constrained neighbours may chain several
+// compensating moves (Thm 8.2); the weighted policy-graph bound
+// (ConstrainedLinearQuerySensitivity) charges each move of the chain
+// its own |v(x) - v(y)|, so constrained policies are served too. The
+// released payload is { noisy_sum / n }.
 //
 // This op (and ops/wavelet_range_op.cc) was added after the registry
 // refactor without touching the engine — it is the extensibility proof.
@@ -38,13 +41,6 @@ class MeanOp final : public QueryOp {
       return Status::InvalidArgument(
           "mean requires a 1-D ordered domain");
     }
-    if (policy.has_constraints()) {
-      // Constrained neighbours can differ by more than one move
-      // (Thm 8.2's alpha/xi bound); the simple value-weighted-sum
-      // calibration below does not cover that.
-      return Status::Unimplemented(
-          "mean is not supported on constrained policies");
-    }
     return Status::OK();
   }
 
@@ -57,7 +53,10 @@ class MeanOp final : public QueryOp {
     const double scale = policy.domain().attribute(0).scale;
     ValueWeightedSumQuery query(
         [scale](ValueIndex x) { return static_cast<double>(x) * scale; });
-    return UnconstrainedSensitivity(query, policy.graph(), env.max_edges);
+    // Unconstrained policies reduce to the generic edge maximum;
+    // constrained ones pay the weighted Thm 8.2 chain bound.
+    return ConstrainedLinearQuerySensitivity(
+        query, policy, env.max_edges, env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,

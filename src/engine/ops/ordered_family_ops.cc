@@ -26,6 +26,17 @@ namespace {
 /// Shared S_T release; subclasses post-process the cumulative counts.
 class OrderedFamilyOp : public QueryOp {
  public:
+  Status Validate(const Policy& policy) const override {
+    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
+      // CumulativeHistogramSensitivity is an unconstrained closed form;
+      // serving it under pinned constraints would under-calibrate the
+      // noise (constrained neighbours chain several moves, Thm 8.2).
+      // Unpinned-only sets restrict nothing and serve normally.
+      return ConstrainedPolicyUnsupported(*this, policy);
+    }
+    return Status::OK();
+  }
+
   StatusOr<std::string> SensitivityShape() const override {
     return std::string("S_T");
   }

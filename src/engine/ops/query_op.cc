@@ -94,6 +94,15 @@ StatusOr<std::vector<uint64_t>> QueryOp::ParallelCells() const {
       "histograms under a partition secret graph qualify)");
 }
 
+Status ConstrainedPolicyUnsupported(const QueryOp& op, const Policy& policy) {
+  return Status::Unimplemented(
+      "op '" + op.KindName() +
+      "' does not support constrained policies: refusing policy with " +
+      std::to_string(policy.constraints().size()) +
+      " count constraint(s) on secret graph '" + policy.graph().name() +
+      "'");
+}
+
 QueryOpRegistry& QueryOpRegistry::Global() {
   static QueryOpRegistry* registry = new QueryOpRegistry();
   return *registry;

@@ -153,6 +153,14 @@ class QueryOp {
                                                Random rng) const = 0;
 };
 
+/// Uniform structured refusal for ops without constrained-policy
+/// support: an Unimplemented status that names the refusing op and the
+/// policy it refused (graph kind and constraint count), so a batch with
+/// mixed kinds reports *which* op cannot serve *what* instead of a
+/// generic "unsupported" string. Ops that serve constrained policies
+/// never call this; docs/engine.md holds the support matrix.
+Status ConstrainedPolicyUnsupported(const QueryOp& op, const Policy& policy);
+
 /// Process-wide kind-name -> op factory map. Ops self-register via
 /// QueryOpRegistrar at static initialization; lookups are lock-guarded
 /// and cheap.

@@ -12,10 +12,15 @@
 // Ordered Mechanism's O(1/eps^2); serving both behind one request
 // format is what makes the comparison one batch file.
 //
-// Constrained policies are refused: constrained neighbours may differ
-// by more than one replacement (Thm 8.2), which plain eps-DP does not
-// cover. An edgeless graph releases the exact range for free, matching
-// the engine's zero-sensitivity convention.
+// Constrained policies are served by *group privacy*: a constrained
+// neighbour step is a chain of at most S(h, P) / 2 moves (the Thm 8.2
+// bound), each of which is one replacement, and an eps'-DP mechanism is
+// (k eps')-indistinguishable across k replacements. Running the wavelet
+// mechanism at eps' = eps * 2 / S(h, P) therefore yields (eps, P)-
+// Blowfish privacy. Unconstrained policies have S(h, P) = 2, so the
+// scale factor is exactly 1 and their releases are bit-identical to the
+// pre-constraint behaviour. An edgeless graph releases the exact range
+// for free, matching the engine's zero-sensitivity convention.
 //
 // Before the QueryOp registry this mechanism existed in mech/ but was
 // unreachable from the serving path; the op is one file, with zero
@@ -48,10 +53,6 @@ class WaveletRangeOp final : public QueryOp {
       return Status::InvalidArgument(
           "wavelet_range requires a 1-D ordered domain");
     }
-    if (policy.has_constraints()) {
-      return Status::Unimplemented(
-          "wavelet_range is not supported on constrained policies");
-    }
     return Status::OK();
   }
 
@@ -61,11 +62,18 @@ class WaveletRangeOp final : public QueryOp {
 
   StatusOr<double> ComputeSensitivity(
       const Policy& policy, const SensitivityEnv& env) const override {
-    (void)env;
-    // The mechanism calibrates internally per coefficient; the engine
-    // only needs the free-release signal (edgeless graph -> 0) and a
-    // reported figure, for which the histogram sensitivity serves.
-    return HistogramSensitivity(policy.graph());
+    if (!policy.has_constraints() || !policy.constraints().AnyPinned()) {
+      // The mechanism calibrates internally per coefficient; the engine
+      // only needs the free-release signal (edgeless graph -> 0) and a
+      // reported figure, for which the histogram sensitivity serves.
+      return HistogramSensitivity(policy.graph());
+    }
+    // Constrained: the Thm 8.2 histogram bound 2 * max{alpha, xi}; half
+    // of it is the move count the group-privacy scaling in Execute
+    // divides epsilon by.
+    CompleteHistogramQuery h(policy.domain().size());
+    return ConstrainedLinearQuerySensitivity(
+        h, policy, env.max_edges, env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,
@@ -75,9 +83,16 @@ class WaveletRangeOp final : public QueryOp {
                                 ctx.hist.RangeSum(lo_, hi_));
       return std::vector<double>{exact};
     }
+    // Group privacy: a neighbour step is at most sensitivity / 2
+    // replacements, so scale the internal eps-DP budget down by that
+    // move count. Unconstrained policies (sensitivity 2) scale by 1 —
+    // their output stays bit-identical.
+    const double epsilon = ctx.sensitivity > 2.0
+                               ? ctx.epsilon * (2.0 / ctx.sensitivity)
+                               : ctx.epsilon;
     BLOWFISH_ASSIGN_OR_RETURN(
         WaveletMechanism released,
-        WaveletMechanism::Release(ctx.hist, ctx.epsilon, rng));
+        WaveletMechanism::Release(ctx.hist, epsilon, rng));
     BLOWFISH_ASSIGN_OR_RETURN(double answer, released.RangeQuery(lo_, hi_));
     return std::vector<double>{answer};
   }

@@ -1,5 +1,6 @@
 #include "engine/release_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -9,6 +10,7 @@
 
 #include "core/privacy_loss.h"
 #include "core/secret_graph.h"
+#include "core/sensitivity.h"
 #include "util/thread_pool.h"
 
 namespace blowfish {
@@ -105,6 +107,11 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
   std::vector<QueryResponse> responses(requests.size());
 
+  // Whether the policy carries constraints that actually restrict I_Q;
+  // unpinned-only sets are semantically unconstrained.
+  const bool pinned_constraints =
+      policy_.has_constraints() && policy_.constraints().AnyPinned();
+
   // --- Admission pass 1 (sequential): validate, resolve sensitivities. ---
   for (size_t i = 0; i < requests.size(); ++i) {
     responses[i].label = requests[i].label;
@@ -117,6 +124,15 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     Status valid = requests[i].op->Validate(policy_);
     if (!valid.ok()) {
       responses[i].status = valid;
+      continue;
+    }
+    if (pinned_constraints && !requests[i].parallel_group.empty()) {
+      // A constrained group member's own chain-bound sensitivity is
+      // never used: if the group is admitted, every member is noised at
+      // the shared union-cells sensitivity computed in pass 2 (which
+      // also re-checks the epsilon rule at that scale), and if the
+      // group is refused, the member never executes. Skipping here
+      // avoids one NP-hard per-member search per distinct cell shape.
       continue;
     }
     bool cache_hit = false;
@@ -176,6 +192,8 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     // cells it touches, and the cell sets must be pairwise disjoint
     // (see header comment).
     std::set<uint64_t> seen_cells;
+    std::vector<std::vector<uint64_t>> member_cells;
+    member_cells.reserve(group.members.size());
     for (size_t m : group.members) {
       auto cells = requests[m].op->ParallelCells();
       if (!cells.ok()) {
@@ -192,20 +210,78 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
         }
       }
       if (!valid.ok()) break;
+      member_cells.push_back(std::move(*cells));
     }
     if (valid.ok() &&
         dynamic_cast<const PartitionGraph*>(&policy_.graph()) == nullptr) {
       valid = Status::FailedPrecondition(
           "parallel composition requires a partition (G^P) secret graph");
     }
-    if (valid.ok()) {
-      auto safe = ParallelCompositionValid(policy_, options_.max_edges);
-      if (!safe.ok()) {
-        valid = safe.status();
-      } else if (!*safe) {
+    if (valid.ok() && pinned_constraints) {
+      // Refined Thm 4.3 (per-cell critical sets): a coupled component of
+      // the constraint analysis may intersect at most one member's cell
+      // set, since a minimal neighbour step's discriminative moves are
+      // confined to one component. The critical sets depend only on the
+      // immutable policy, so the secret-graph enumeration is memoized
+      // per engine. Unpinned-only constraint sets restrict nothing and
+      // skip the whole constrained path.
+      if (!cell_critical_sets_.has_value()) {
+        const auto* partition =
+            dynamic_cast<const PartitionGraph*>(&policy_.graph());
+        // Non-null: the partition requirement was checked above.
+        cell_critical_sets_ = ComputeCellCriticalSets(
+            policy_.constraints(), *partition, options_.max_edges);
+      }
+      if (!cell_critical_sets_->ok()) {
+        valid = cell_critical_sets_->status();
+      } else if (!CellGroupsSeparateComponents(cell_critical_sets_->value(),
+                                               member_cells)) {
         valid = Status::FailedPrecondition(
-            "policy constraints couple individuals across groups "
-            "(Thm 4.3); parallel composition refused");
+            "parallel group '" + key.second +
+            "': policy constraints couple cells across members (per-cell "
+            "critical sets, Thm 4.3); parallel composition refused");
+      }
+    }
+    if (valid.ok() && pinned_constraints) {
+      // A constrained neighbour step's COMPENSATING moves can land in
+      // any cell, so several members' histograms may change in one
+      // step; every member is therefore noised at the shared
+      // union-cells sensitivity (core/sensitivity.h,
+      // ConstrainedUnionCellsSensitivity — one definition shared with
+      // mech/parallel_release.cc), cached under the sorted union shape.
+      // Unconstrained groups keep their per-member scales (a neighbour
+      // is one in-cell move; Thm 4.2).
+      std::string shape = "h_cells[union";
+      for (uint64_t c : SortedUnionCells(member_cells)) {
+        shape += "," + std::to_string(c);
+      }
+      shape += "]";
+      auto union_sensitivity = cache_->GetOrCompute(
+          policy_fp_, shape, [this, &member_cells]() -> StatusOr<double> {
+            return ConstrainedUnionCellsSensitivity(
+                policy_, member_cells, options_.max_edges,
+                options_.max_policy_graph_vertices);
+          });
+      if (!union_sensitivity.ok()) {
+        valid = union_sensitivity.status();
+      } else {
+        for (size_t m : group.members) {
+          responses[m].sensitivity = *union_sensitivity;
+          // Re-check the free-release epsilon rule from admission pass 1
+          // under the new scale: a member whose OWN sensitivity was 0
+          // could legally carry eps = 0 (an exact release), but at the
+          // union scale it draws noise and a zero epsilon would only be
+          // caught inside Execute, after the group charge.
+          if (*union_sensitivity > 0.0 &&
+              !(requests[m].epsilon > 0.0)) {
+            valid = Status::InvalidArgument(
+                "parallel group '" + key.second +
+                "': epsilon must be positive for every member — the "
+                "group is noised at the shared union-cells sensitivity "
+                "on a constrained policy, so no member is a free exact "
+                "release");
+          }
+        }
       }
     }
     if (!valid.ok()) {

@@ -38,8 +38,18 @@
 // partition cells (QueryOp::ParallelCells — today only cell-restricted
 // histograms do), the cell sets must be pairwise disjoint under a
 // partition secret graph (an individual's cell is public under G^P, so
-// disjoint cell sets touch disjoint individuals, Thm 4.2), and the
-// policy's constraints must pass ParallelCompositionValid (Thm 4.3).
+// disjoint cell sets touch disjoint individuals, Thm 4.2), and on a
+// constrained policy the group must pass the refined Thm 4.3 check
+// (core/privacy_loss.h, ConstrainedParallelCellsValid): no coupled
+// component of the per-cell critical-set analysis may intersect two
+// members' cell sets. Constraints with non-empty critical sets are fine
+// as long as each one's critical cells stay within a single member (or
+// outside the group entirely). Admitted constrained groups are noised
+// at the shared union-cells sensitivity rather than per member: a
+// neighbour step's compensating moves can land in any cell, so several
+// members' histograms may change in one step, and the union scale is
+// what makes the single max-epsilon charge sound
+// (sum_m eps_m L1_m / S_union <= max_m eps_m).
 
 #ifndef BLOWFISH_ENGINE_RELEASE_ENGINE_H_
 #define BLOWFISH_ENGINE_RELEASE_ENGINE_H_
@@ -48,9 +58,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/constraints.h"
 #include "core/dataset.h"
 #include "core/policy.h"
 #include "engine/budget_accountant.h"
@@ -201,6 +213,11 @@ class ReleaseEngine {
   uint64_t root_seed_;
   /// Next RNG stream id; monotone across batches. Guarded by serve_mu_.
   uint64_t next_stream_ = 0;
+  /// Lazily computed per-cell critical sets of the policy's pinned
+  /// constraints (a pure function of the immutable policy) — the
+  /// secret-graph enumeration behind the parallel-group predicate runs
+  /// once per engine, not once per batch. Guarded by serve_mu_.
+  std::optional<StatusOr<CellCriticalSets>> cell_critical_sets_;
   std::mutex serve_mu_;
 };
 

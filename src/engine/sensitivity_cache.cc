@@ -190,6 +190,30 @@ std::string SensitivityCache::PolicyFingerprint(const Policy& policy,
     out << "]";
   }
   out << "}";
+  if (!policy.constraints().empty()) {
+    // Constraint signature: FNV-1a over the count-query names and their
+    // pinned-ness, so two constraint sets of equal size (e.g. the [A]
+    // vs [B] marginals of the same domain) occupy distinct cache
+    // entries. Marginal and rectangle constraints get structured names
+    // from their builders. Answer VALUES are excluded because S(f, P)
+    // never depends on them (Sec 8.1), but answer PRESENCE is folded in:
+    // the weighted policy-graph analysis classifies moves against
+    // pinned queries only, so the pinned and unpinned variants of one
+    // constraint set have different sensitivities and must not share an
+    // entry. Hashed rather than inlined to keep keys serializable (Save
+    // rejects tabs/newlines) and bounded in length.
+    uint64_t h = 14695981039346656037ull;
+    for (size_t i = 0; i < policy.constraints().size(); ++i) {
+      for (char c : policy.constraints().query(i).name()) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      }
+      h = (h ^ (policy.constraints().pinned(i) ? uint64_t{0x70}
+                                               : uint64_t{0x75})) *
+          1099511628211ull;  // pinned marker
+      h = (h ^ uint64_t{0x1f}) * 1099511628211ull;  // name separator
+    }
+    out << "C{" << std::hex << h << "}";
+  }
   if (!tag.empty()) out << "#" << tag;
   return out.str();
 }

@@ -83,9 +83,15 @@ class SensitivityCache {
 
   /// A stable fingerprint of the policy for use as a cache key: domain
   /// attributes (name/cardinality/scale), secret-graph name, and the
-  /// constraint shape (count + rectangle coordinates). Policies whose
-  /// constraints differ only in opaque predicates hash alike — pass a
-  /// distinguishing `tag` in that case.
+  /// constraint signature (count, rectangle coordinates, and a hash of
+  /// the count-query names and per-query pinned-ness — marginals and
+  /// rectangles get structured names from their ConstraintSet builders,
+  /// so constrained and unconstrained variants of one query shape,
+  /// distinct marginals of equal size, and pinned vs unpinned variants
+  /// of one constraint set all occupy distinct entries). Policies whose
+  /// constraints differ only in opaque predicates behind *identical
+  /// names* still hash alike — pass a distinguishing `tag` in that
+  /// case.
   static std::string PolicyFingerprint(const Policy& policy,
                                        const std::string& tag = "");
 

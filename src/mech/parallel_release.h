@@ -7,6 +7,23 @@
 // when every constraint has an empty critical set (Thm 4.3 under uniform
 // secrets; see core/privacy_loss.h). This module packages the check, the
 // per-group releases, and the accounting into one call.
+//
+// Two grouping modes with different soundness conditions:
+//  * id groups (ParallelHistogramRelease): groups are arbitrary sets of
+//    individuals. Any individual can hold any tuple in *some* database
+//    of I_Q, so a multi-move neighbour chain can always be arranged to
+//    straddle two id groups — only constraints with empty critical sets
+//    are safe (the strict Thm 4.3 check).
+//  * cell groups (ParallelCellHistogramRelease): each group reads only
+//    the histogram of its own G^P cell set. A minimal neighbour chain's
+//    DISCRIMINATIVE moves are confined to one coupled component of the
+//    per-cell critical-set analysis (core/constraints.h), so
+//    constraints with non-empty critical sets are servable as long as
+//    no component straddles two groups' cell sets — the refined check.
+//    The chain's compensating moves are NOT so confined (they may land
+//    in any cell), so on constrained policies every group's noise is
+//    calibrated to the shared union-cells sensitivity, which provably
+//    covers the summed loss across groups at the max-epsilon charge.
 
 #ifndef BLOWFISH_MECH_PARALLEL_RELEASE_H_
 #define BLOWFISH_MECH_PARALLEL_RELEASE_H_
@@ -41,6 +58,44 @@ StatusOr<ParallelHistogramResult> ParallelHistogramRelease(
     const std::vector<double>& epsilon_per_group, Random& rng,
     PrivacyAccountant* accountant = nullptr,
     uint64_t max_edges = uint64_t{1} << 24);
+
+struct ParallelCellHistogramResult {
+  /// One noisy cell-restricted histogram per group, in input order; row
+  /// layout is the group's included domain values in domain order
+  /// (core/sensitivity.h, CellRestrictedHistogramQuery::included).
+  std::vector<std::vector<double>> group_histograms;
+  /// The sensitivity each group's noise was calibrated to (0 = exact
+  /// free release): the group's own per-cell critical-set sensitivity
+  /// on unconstrained policies, the shared union-cells sensitivity on
+  /// constrained ones (compensating moves can straddle groups, so the
+  /// union scale is what makes the max-epsilon charge sound).
+  std::vector<double> group_sensitivities;
+  /// The joint privacy cost: max over groups (Thm 4.2/4.3 refined), or
+  /// 0 when every group's scale is 0 — an all-exact release draws no
+  /// noise and charges nothing, matching the engine's free-release
+  /// convention.
+  double total_epsilon = 0.0;
+};
+
+/// Releases, for each group, the histogram of the whole dataset
+/// restricted to that group's G^P partition cells, with Laplace noise
+/// calibrated to the group's per-cell critical-set sensitivity.
+/// Fails with:
+///  * InvalidArgument if the cell sets overlap, are empty, or name
+///    cells with no domain values,
+///  * FailedPrecondition if the secret graph is not a partition graph,
+///    or a coupled component of the policy's constraints intersects two
+///    groups' cell sets (ConstrainedParallelCellsValid — the refined
+///    Thm 4.3), or the constraints are not sparse w.r.t. G (Def 8.2).
+/// On success, the joint release is (max_g eps_g, P)-Blowfish private —
+/// including on constrained policies whose critical sets are non-empty.
+StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
+    const Dataset& data, const Policy& policy,
+    const std::vector<std::vector<uint64_t>>& cell_groups,
+    const std::vector<double>& epsilon_per_group, Random& rng,
+    PrivacyAccountant* accountant = nullptr,
+    uint64_t max_edges = uint64_t{1} << 24,
+    size_t max_policy_graph_vertices = 24);
 
 }  // namespace blowfish
 

@@ -171,18 +171,37 @@ TEST(MeanOpTest, BatchFileErrorPaths) {
   EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
 }
 
-TEST(MeanOpTest, ConstrainedPolicyRefused) {
+TEST(MeanOpTest, ConstrainedPolicyServedWithChainBound) {
+  // Partition Line(8) into cells {0..3} / {4..7}; one pinned count
+  // query q = #(x < 2). A constrained neighbour step is a lift + a
+  // compensating lower, at least one of which is a G^P edge while the
+  // other may change a tuple between ANY two values (compensations are
+  // not confined to E(G)); the weighted policy-graph bound charges each
+  // move its own |v(x) - v(y)|. Heaviest chain: in-cell lift 3 -> 0
+  // (weight 3) plus the cross-cell compensating lower 0 -> 7 (weight 7)
+  // = 10, against an unconstrained max-edge value of 3. For this scalar
+  // query the bound is sound but not exact — a lift's signed delta
+  // (toward {0, 1}) partly cancels a lower's (away from it), so Def 4.1
+  // neighbours net less (e.g. {2, 0} vs {1, 7} nets 6); the randomized
+  // ValueWeightedChainBoundDominatesOracle seeds certify the dominance
+  // direction.
   auto domain = LineDomain(8);
+  auto part = PartitionGraph::UniformGrid(domain, {2}).value();
   ConstraintSet constraints;
-  ASSERT_TRUE(constraints.AddMarginal(domain, Marginal{{0}}).ok());
-  auto graph = std::make_shared<const FullGraph>(domain->size());
+  constraints.AddWithAnswer(
+      CountQuery("low", [](ValueIndex x) { return x < 2; }), 1);
   Policy policy =
-      Policy::Create(domain, graph, std::move(constraints)).value();
+      Policy::Create(domain,
+                     std::shared_ptr<const SecretGraph>(part.release()),
+                     std::move(constraints))
+          .value();
   Dataset data = MakeData(domain, 100);
   auto engine = MakeEngine(policy, data);
   auto responses =
       engine->ServeBatch({MakeQueryRequest("mean", 0.5).value()});
-  EXPECT_EQ(responses[0].status.code(), StatusCode::kUnimplemented);
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 10.0);
+  EXPECT_EQ(responses[0].values.size(), 1u);
 }
 
 TEST(WaveletRangeOpTest, MatchesDirectMechanism) {

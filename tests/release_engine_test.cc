@@ -156,12 +156,14 @@ TEST(ReleaseEngineTest, CachedAndUncachedAnswersAgree) {
       Domain::Create({Attribute{"A1", 2, 1.0}, Attribute{"A2", 2, 1.0},
                       Attribute{"A3", 3, 1.0}})
           .value());
+  Dataset data = MakeData(domain, 200);
   ConstraintSet constraints;
-  ASSERT_TRUE(constraints.AddMarginal(domain, Marginal{{0, 1}}).ok());
+  // Pinned from the data: only pinned constraints restrict I_Q and pay
+  // the chain bound — an unpinned marginal is semantically inert.
+  ASSERT_TRUE(constraints.AddMarginal(domain, Marginal{{0, 1}}, &data).ok());
   auto graph = std::make_shared<const FullGraph>(domain->size());
   Policy policy =
       Policy::Create(domain, graph, std::move(constraints)).value();
-  Dataset data = MakeData(domain, 200);
 
   std::vector<QueryRequest> batch(4, HistogramRequest(0.3));
   std::vector<std::vector<QueryResponse>> runs;

@@ -241,5 +241,76 @@ TEST(SensitivityCacheTest, PolicyFingerprintSeparatesPolicies) {
   EXPECT_NE(fp_full, SensitivityCache::PolicyFingerprint(full, "tag"));
 }
 
+TEST(SensitivityCacheTest, ConstrainedAndUnconstrainedVariantsAreDistinct) {
+  // The same query shape against the constrained and unconstrained
+  // variants of one policy must occupy distinct entries — a shared
+  // entry would serve the (larger) constrained bound's slot with the
+  // unconstrained value, under-calibrating the noise.
+  auto domain = std::make_shared<const Domain>(Domain::Line(8).value());
+  auto make_policy = [&domain](ConstraintSet cs) {
+    auto part = PartitionGraph::UniformGrid(domain, {2}).value();
+    return Policy::Create(domain,
+                          std::shared_ptr<const SecretGraph>(part.release()),
+                          std::move(cs))
+        .value();
+  };
+  Policy unconstrained = make_policy(ConstraintSet{});
+  ConstraintSet one;
+  one.AddWithAnswer(CountQuery("low", [](ValueIndex x) { return x < 2; }),
+                    1);
+  Policy constrained = make_policy(std::move(one));
+  // Two different constraint sets of the same size hash apart too (the
+  // fingerprint covers the query names, not just the count).
+  ConstraintSet other;
+  other.AddWithAnswer(CountQuery("high", [](ValueIndex x) { return x >= 6; }),
+                      1);
+  Policy constrained_other = make_policy(std::move(other));
+
+  const std::string fp_plain =
+      SensitivityCache::PolicyFingerprint(unconstrained);
+  const std::string fp_low = SensitivityCache::PolicyFingerprint(constrained);
+  const std::string fp_high =
+      SensitivityCache::PolicyFingerprint(constrained_other);
+  EXPECT_NE(fp_plain, fp_low);
+  EXPECT_NE(fp_plain, fp_high);
+  EXPECT_NE(fp_low, fp_high);
+
+  // Pinned-ness is part of the signature: the same query under the same
+  // name, pinned vs unpinned, has different sensitivities (only pinned
+  // queries restrict I_Q and force compensating moves), so the variants
+  // must not share an entry.
+  ConstraintSet unpinned_low;
+  unpinned_low.Add(CountQuery("low", [](ValueIndex x) { return x < 2; }));
+  Policy unpinned = make_policy(std::move(unpinned_low));
+  EXPECT_NE(SensitivityCache::PolicyFingerprint(unpinned), fp_low);
+  EXPECT_NE(SensitivityCache::PolicyFingerprint(unpinned), fp_plain);
+
+  // Both variants of one shape live side by side and survive a
+  // Save/Load round-trip as separate entries with their own values.
+  SensitivityCache cache(8);
+  ASSERT_TRUE(cache
+                  .GetOrCompute(fp_plain, "h_cells[0]",
+                                []() -> StatusOr<double> { return 2.0; })
+                  .ok());
+  ASSERT_TRUE(cache
+                  .GetOrCompute(fp_low, "h_cells[0]",
+                                []() -> StatusOr<double> { return 4.0; })
+                  .ok());
+  EXPECT_EQ(cache.size(), 2u);
+  std::stringstream stream;
+  ASSERT_TRUE(cache.Save(stream).ok());
+  SensitivityCache restored(8);
+  ASSERT_TRUE(restored.Load(stream).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      *restored.GetOrCompute(fp_plain, "h_cells[0]",
+                             []() -> StatusOr<double> { return -1.0; }),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      *restored.GetOrCompute(fp_low, "h_cells[0]",
+                             []() -> StatusOr<double> { return -1.0; }),
+      4.0);
+}
+
 }  // namespace
 }  // namespace blowfish
