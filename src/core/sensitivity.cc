@@ -157,7 +157,7 @@ std::vector<double> CellRestrictedHistogramQuery::Evaluate(
 
 StatusOr<double> ConstrainedLinearQuerySensitivity(
     const LinearQuery& query, const Policy& policy, uint64_t max_edges,
-    size_t max_policy_graph_vertices) {
+    uint64_t max_pairs, size_t max_policy_graph_vertices) {
   // Unpinned-only sets restrict nothing — same neighbours, same value
   // as the unconstrained edge maximum, without the O(|T|^2) pair
   // enumeration (or its ResourceExhausted guard on large domains).
@@ -171,13 +171,14 @@ StatusOr<double> ConstrainedLinearQuerySensitivity(
           [&query](ValueIndex x, ValueIndex y) {
             return query.EdgeNorm(x, y);
           },
-          max_edges));
+          max_pairs));
   return wpg.NeighborStepBound(max_policy_graph_vertices);
 }
 
 StatusOr<double> ConstrainedCellHistogramSensitivity(
     const Policy& policy, const std::vector<uint64_t>& cells,
-    uint64_t max_edges, size_t max_policy_graph_vertices) {
+    uint64_t max_edges, uint64_t max_pairs,
+    size_t max_policy_graph_vertices) {
   const auto* partition =
       dynamic_cast<const PartitionGraph*>(&policy.graph());
   if (partition == nullptr) {
@@ -187,6 +188,7 @@ StatusOr<double> ConstrainedCellHistogramSensitivity(
   const std::set<uint64_t> cell_set(cells.begin(), cells.end());
   CellRestrictedHistogramQuery query(*partition, policy.domain(), cell_set);
   return ConstrainedLinearQuerySensitivity(query, policy, max_edges,
+                                           max_pairs,
                                            max_policy_graph_vertices);
 }
 
@@ -203,9 +205,10 @@ std::vector<uint64_t> SortedUnionCells(
 StatusOr<double> ConstrainedUnionCellsSensitivity(
     const Policy& policy,
     const std::vector<std::vector<uint64_t>>& member_cells,
-    uint64_t max_edges, size_t max_policy_graph_vertices) {
+    uint64_t max_edges, uint64_t max_pairs,
+    size_t max_policy_graph_vertices) {
   return ConstrainedCellHistogramSensitivity(
-      policy, SortedUnionCells(member_cells), max_edges,
+      policy, SortedUnionCells(member_cells), max_edges, max_pairs,
       max_policy_graph_vertices);
 }
 

@@ -218,9 +218,17 @@ double QSizeSensitivity(const SecretGraph& graph);
 /// are not sparse over value pairs (the all-pairs strengthening of
 /// Def 8.2) and ResourceExhausted past the pair or vertex budgets (the
 /// constrained problem is NP-hard, Thm 8.1).
+///
+/// `max_edges` budgets secret-graph *edge* enumerations (the
+/// unconstrained fallback); `max_pairs` budgets the |T| (|T| - 1)
+/// all-pairs move classification of the constrained path. They are
+/// separate knobs on purpose: pair counts grow quadratically in the
+/// domain while edge counts are often linear (G^P, line graphs), so a
+/// shared budget sized for edges fails pinned-constrained domains
+/// closed past ~4096 values.
 StatusOr<double> ConstrainedLinearQuerySensitivity(
     const LinearQuery& query, const Policy& policy, uint64_t max_edges,
-    size_t max_policy_graph_vertices);
+    uint64_t max_pairs, size_t max_policy_graph_vertices);
 
 /// Per-cell critical-set sensitivity of the histogram restricted to
 /// `cells` under a partition secret graph: each move of a neighbour step
@@ -230,7 +238,8 @@ StatusOr<double> ConstrainedLinearQuerySensitivity(
 /// and unconstrained policies.
 StatusOr<double> ConstrainedCellHistogramSensitivity(
     const Policy& policy, const std::vector<uint64_t>& cells,
-    uint64_t max_edges, size_t max_policy_graph_vertices);
+    uint64_t max_edges, uint64_t max_pairs,
+    size_t max_policy_graph_vertices);
 
 /// Sorted concatenation of several (disjoint) cell lists — the cell set
 /// of a whole parallel group, in the canonical order shared by noise
@@ -251,7 +260,8 @@ std::vector<uint64_t> SortedUnionCells(
 StatusOr<double> ConstrainedUnionCellsSensitivity(
     const Policy& policy,
     const std::vector<std::vector<uint64_t>>& member_cells,
-    uint64_t max_edges, size_t max_policy_graph_vertices);
+    uint64_t max_edges, uint64_t max_pairs,
+    size_t max_policy_graph_vertices);
 
 }  // namespace blowfish
 

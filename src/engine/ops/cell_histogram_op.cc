@@ -77,7 +77,8 @@ class CellHistogramOp final : public QueryOp {
     // Handles constrained and unconstrained policies alike; for the
     // latter it reduces to the generic edge maximum.
     return ConstrainedCellHistogramSensitivity(
-        policy, cells_, env.max_edges, env.max_policy_graph_vertices);
+        policy, cells_, env.max_edges, env.max_pairs,
+        env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<uint64_t>> ParallelCells() const override {

@@ -49,7 +49,8 @@ class HistogramOp final : public QueryOp {
     // over all value pairs) — the cache's raison d'etre.
     CompleteHistogramQuery query(policy.domain().size());
     return ConstrainedLinearQuerySensitivity(
-        query, policy, env.max_edges, env.max_policy_graph_vertices);
+        query, policy, env.max_edges, env.max_pairs,
+        env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,

@@ -56,7 +56,8 @@ class MeanOp final : public QueryOp {
     // Unconstrained policies reduce to the generic edge maximum;
     // constrained ones pay the weighted Thm 8.2 chain bound.
     return ConstrainedLinearQuerySensitivity(
-        query, policy, env.max_edges, env.max_policy_graph_vertices);
+        query, policy, env.max_edges, env.max_pairs,
+        env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,

@@ -88,6 +88,11 @@ class KeyValueBag {
 struct SensitivityEnv {
   /// Edge budget for sensitivity computations on explicit graphs.
   uint64_t max_edges = uint64_t{1} << 24;
+  /// Ordered-pair budget for the all-pairs constrained move
+  /// enumeration (WeightedPolicyGraph). Quadratic in the domain, so it
+  /// has its own knob: sharing max_edges failed pinned-constrained
+  /// domains closed past ~4096 values.
+  uint64_t max_pairs = uint64_t{1} << 28;
   /// Vertex bound for the exact policy-graph alpha/xi DFS (Thm 8.1).
   size_t max_policy_graph_vertices = 24;
 };

@@ -73,7 +73,8 @@ class WaveletRangeOp final : public QueryOp {
     // divides epsilon by.
     CompleteHistogramQuery h(policy.domain().size());
     return ConstrainedLinearQuerySensitivity(
-        h, policy, env.max_edges, env.max_policy_graph_vertices);
+        h, policy, env.max_edges, env.max_pairs,
+        env.max_policy_graph_vertices);
   }
 
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,

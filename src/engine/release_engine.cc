@@ -70,7 +70,7 @@ StatusOr<double> ReleaseEngine::ResolveSensitivity(
     const QueryRequest& request, bool* cache_hit) {
   BLOWFISH_ASSIGN_OR_RETURN(std::string shape,
                             request.op->SensitivityShape());
-  const SensitivityEnv env{options_.max_edges,
+  const SensitivityEnv env{options_.max_edges, options_.max_pairs,
                            options_.max_policy_graph_vertices};
   // The hit flag is reported by GetOrCompute under the cache's own lock;
   // a separate Contains() probe would race other engines sharing the
@@ -260,7 +260,7 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
           policy_fp_, shape, [this, &member_cells]() -> StatusOr<double> {
             return ConstrainedUnionCellsSensitivity(
                 policy_, member_cells, options_.max_edges,
-                options_.max_policy_graph_vertices);
+                options_.max_pairs, options_.max_policy_graph_vertices);
           });
       if (!union_sensitivity.ok()) {
         valid = union_sensitivity.status();

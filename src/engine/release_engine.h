@@ -148,6 +148,9 @@ struct ReleaseEngineOptions {
   double default_session_budget = 10.0;
   /// Edge budget for sensitivity computations on explicit graphs.
   uint64_t max_edges = uint64_t{1} << 24;
+  /// Ordered-pair budget for the all-pairs constrained move enumeration
+  /// (quadratic in the domain — its own knob, not max_edges).
+  uint64_t max_pairs = uint64_t{1} << 28;
   /// Vertex bound for the exact policy-graph alpha/xi DFS (Thm 8.1).
   size_t max_policy_graph_vertices = 24;
 };

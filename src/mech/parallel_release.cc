@@ -74,7 +74,7 @@ StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
     const std::vector<std::vector<uint64_t>>& cell_groups,
     const std::vector<double>& epsilon_per_group, Random& rng,
     PrivacyAccountant* accountant, uint64_t max_edges,
-    size_t max_policy_graph_vertices) {
+    size_t max_policy_graph_vertices, uint64_t max_pairs) {
   if (cell_groups.empty() ||
       cell_groups.size() != epsilon_per_group.size()) {
     return Status::InvalidArgument(
@@ -147,6 +147,7 @@ StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
     BLOWFISH_ASSIGN_OR_RETURN(
         union_sensitivity,
         ConstrainedUnionCellsSensitivity(policy, cell_groups, max_edges,
+                                         max_pairs,
                                          max_policy_graph_vertices));
   }
 
@@ -160,7 +161,7 @@ StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
       BLOWFISH_ASSIGN_OR_RETURN(
           sensitivity,
           ConstrainedCellHistogramSensitivity(policy, cell_groups[g],
-                                              max_edges,
+                                              max_edges, max_pairs,
                                               max_policy_graph_vertices));
     }
     const std::set<uint64_t> cells(cell_groups[g].begin(),

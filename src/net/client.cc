@@ -1,0 +1,172 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/protocol.h"
+
+namespace blowfish {
+
+StatusOr<std::unique_ptr<BlowfishClient>> BlowfishClient::Connect(
+    const std::string& address, uint16_t port,
+    const std::string& policy_id, const std::string& dataset_id) {
+  BLOWFISH_ASSIGN_OR_RETURN(Socket sock,
+                            Socket::ConnectTcp(address, port));
+  std::unique_ptr<BlowfishClient> client(
+      new BlowfishClient(std::move(sock)));
+  BLOWFISH_RETURN_IF_ERROR(
+      client->WritePayload(EncodeHelloPayload(policy_id, dataset_id)));
+  BLOWFISH_ASSIGN_OR_RETURN(std::string payload, client->ReadPayload());
+  BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
+  if (msg.verb == kVerbErr) {
+    Status refused;
+    BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &refused));
+    return refused.ok() ? Status::Internal("ERR frame with code=OK")
+                        : refused;
+  }
+  if (msg.verb != kVerbOk) {
+    return Status::Internal("expected OK after HELLO, got " + msg.verb);
+  }
+  return client;
+}
+
+Status BlowfishClient::WritePayload(const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  return sock_.SendAll(frame.data(), frame.size());
+}
+
+StatusOr<std::string> BlowfishClient::ReadPayload() {
+  std::string payload;
+  char buf[4096];
+  while (true) {
+    switch (decoder_.Next(&payload)) {
+      case FrameDecoder::Result::kFrame:
+        return payload;
+      case FrameDecoder::Result::kError:
+        return decoder_.error();
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    BLOWFISH_ASSIGN_OR_RETURN(size_t n, sock_.Recv(buf, sizeof(buf)));
+    if (n == 0) {
+      return Status::Internal("connection closed by server mid-exchange");
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
+    const std::string& text, const ResultCallback& on_result) {
+  // Ship the batch file line by line, exactly as written — the server
+  // reassembles and parses with the same grammar `batch` uses, so the
+  // two paths cannot drift.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(pos, nl - pos));
+    if (nl == text.size()) break;
+    pos = nl + 1;
+  }
+  // A trailing newline produces a final empty line; drop it so
+  // `text` and `text + "\n"` ship identically.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  for (const std::string& line : lines) {
+    // Fail fast on what the server would refuse anyway.
+    if (line.size() > kMaxRequestLine) {
+      return Status::InvalidArgument(
+          "request line exceeds the " +
+          std::to_string(kMaxRequestLine) + "-byte wire cap");
+    }
+  }
+
+  BLOWFISH_RETURN_IF_ERROR(
+      WritePayload(EncodeSubmitPayload(lines.size())));
+  for (const std::string& line : lines) {
+    BLOWFISH_RETURN_IF_ERROR(WritePayload(EncodeReqPayload(line)));
+  }
+
+  std::vector<QueryResponse> responses;
+  std::vector<bool> seen;
+  while (true) {
+    BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
+    BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
+    if (msg.verb == kVerbResult) {
+      BLOWFISH_ASSIGN_OR_RETURN(auto result, ParseResultPayload(msg));
+      const size_t index = result.first;
+      // One response per request line at most: an index past what we
+      // submitted is a server bug (or the wrong service), not a resize
+      // request — unchecked, a hostile 'i=4e9' would be a huge
+      // allocation.
+      if (index >= lines.size()) {
+        return Status::Internal("RESULT index " + std::to_string(index) +
+                                " out of range for a batch of " +
+                                std::to_string(lines.size()) + " lines");
+      }
+      if (index >= responses.size()) {
+        responses.resize(index + 1);
+        seen.resize(index + 1, false);
+      }
+      if (seen[index]) {
+        return Status::Internal("duplicate RESULT for query " +
+                                std::to_string(index));
+      }
+      seen[index] = true;
+      responses[index] = std::move(result.second);
+      if (on_result) on_result(index, responses[index]);
+      continue;
+    }
+    if (msg.verb == kVerbReceipt) {
+      size_t index = 0;
+      BudgetReceipt receipt;
+      BLOWFISH_RETURN_IF_ERROR(ParseReceiptPayload(msg, &index, &receipt));
+      if (index >= responses.size() || !seen[index]) {
+        return Status::Internal("RECEIPT for unknown query " +
+                                std::to_string(index));
+      }
+      responses[index].receipt = std::move(receipt);
+      continue;
+    }
+    if (msg.verb == kVerbDone) {
+      BLOWFISH_ASSIGN_OR_RETURN(uint64_t n, GetUintField(msg, "n"));
+      if (n != responses.size()) {
+        return Status::Internal(
+            "DONE count " + std::to_string(n) + " does not match " +
+            std::to_string(responses.size()) + " streamed results");
+      }
+      for (size_t i = 0; i < seen.size(); ++i) {
+        if (!seen[i]) {
+          return Status::Internal("no RESULT for query " +
+                                  std::to_string(i));
+        }
+      }
+      return responses;
+    }
+    if (msg.verb == kVerbErr) {
+      Status error;
+      BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &error));
+      return error.ok() ? Status::Internal("ERR frame with code=OK")
+                        : error;
+    }
+    return Status::Internal("unexpected " + msg.verb +
+                            " frame mid-batch");
+  }
+}
+
+Status BlowfishClient::Bye() {
+  BLOWFISH_RETURN_IF_ERROR(WritePayload(kVerbBye));
+  BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
+  BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
+  if (msg.verb != kVerbOk) {
+    return Status::Internal("expected OK after BYE, got " + msg.verb);
+  }
+  sock_.Close();
+  return Status::OK();
+}
+
+void BlowfishClient::Abort() {
+  sock_.ShutdownBoth();
+  sock_.Close();
+}
+
+}  // namespace blowfish

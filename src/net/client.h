@@ -1,0 +1,81 @@
+// Client library for the blowfish wire protocol.
+//
+// BlowfishClient speaks net/protocol.h to a blowfish_serverd (or an
+// in-process BlowfishServer): Connect() performs the HELLO handshake
+// for one tenant, SubmitBatchText() ships a batch in the exact
+// batch-file text format of engine/batch_request.h and assembles the
+// streamed RESULT / RECEIPT frames back into the same
+// std::vector<QueryResponse> an in-process EngineHost::SubmitBatch
+// future would deliver — field for field, bit for bit (doubles cross
+// the wire as %.17g). tests/net_e2e_test.cc holds the equivalence
+// proof.
+//
+// The client is blocking and single-threaded by design: one client per
+// connection per thread. Concurrency comes from running many clients
+// (the soak test drives eight at once), not from sharing one.
+
+#ifndef BLOWFISH_NET_CLIENT_H_
+#define BLOWFISH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "server/engine_host.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+class BlowfishClient {
+ public:
+  /// Streamed per-query delivery, invoked in wire arrival order — the
+  /// server's completion order. The response carries the final payload
+  /// but a pre-settlement receipt; the returned vector has the final
+  /// receipts.
+  using ResultCallback =
+      std::function<void(size_t index, const QueryResponse& response)>;
+
+  /// Connects to `address`:`port` and completes the HELLO handshake
+  /// for the tenant (policy_id, dataset_id). A server-side refusal
+  /// (unknown tenant, version mismatch) comes back as the server's
+  /// structured Status.
+  static StatusOr<std::unique_ptr<BlowfishClient>> Connect(
+      const std::string& address, uint16_t port,
+      const std::string& policy_id, const std::string& dataset_id);
+
+  /// Submits one batch in the batch-file text format and blocks until
+  /// DONE. Returns the batch's responses indexed by request position —
+  /// the same vector the in-process future would carry. A batch-level
+  /// failure (parse error, tenant construction error) is the returned
+  /// Status; per-query failures ride inside their QueryResponse like
+  /// everywhere else.
+  StatusOr<std::vector<QueryResponse>> SubmitBatchText(
+      const std::string& text, const ResultCallback& on_result = nullptr);
+
+  /// Clean shutdown: BYE, wait for the server's OK. Further submits
+  /// fail.
+  Status Bye();
+
+  /// Hard-drops the connection without BYE — the "client died
+  /// mid-batch" path the failure-injection tests drive.
+  void Abort();
+
+ private:
+  explicit BlowfishClient(Socket sock) : sock_(std::move(sock)) {}
+
+  Status WritePayload(const std::string& payload);
+  /// Reads the next frame payload; EOF and decode errors are errors
+  /// here (the protocol always tells the client what comes next).
+  StatusOr<std::string> ReadPayload();
+
+  Socket sock_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_NET_CLIENT_H_

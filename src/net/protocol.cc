@@ -1,0 +1,362 @@
+#include "net/protocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/frame.h"
+
+namespace blowfish {
+
+namespace {
+
+bool NeedsEscape(unsigned char c) {
+  return c <= 0x20 || c >= 0x7f || c == '%';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Full-consumption strtod: the wire carries exactly what %.17g
+/// produced, so trailing junk is a protocol error. (util/parse.h's
+/// ParseFiniteDouble is for human input and rejects inf — the wire
+/// must round-trip whatever a mechanism produced.)
+StatusOr<double> ParseWireDouble(const std::string& text,
+                                 const std::string& context) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty number for " + context);
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("malformed number '" + text + "' for " +
+                                   context);
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseWireUint(const std::string& text,
+                                 const std::string& context) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    return Status::InvalidArgument("malformed integer '" + text +
+                                   "' for " + context);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("malformed integer '" + text +
+                                   "' for " + context);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+/// The receipt sub-record shared by RESULT and RECEIPT frames.
+void AddReceiptFields(WireMessageBuilder& b, const BudgetReceipt& r) {
+  b.Add("session", r.session)
+      .Add("rlabel", r.label)
+      .AddUint("charge_id", r.charge_id)
+      .AddDouble("charged", r.charged)
+      .AddDouble("eps", r.epsilon)
+      .AddDouble("remaining", r.remaining)
+      .AddBool("parallel", r.parallel)
+      .AddBool("refunded", r.refunded);
+}
+
+Status ParseReceiptFields(const WireMessage& msg, BudgetReceipt* r) {
+  BLOWFISH_ASSIGN_OR_RETURN(r->session, GetField(msg, "session"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->label, GetField(msg, "rlabel"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->charge_id, GetUintField(msg, "charge_id"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->charged, GetDoubleField(msg, "charged"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->epsilon, GetDoubleField(msg, "eps"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->remaining, GetDoubleField(msg, "remaining"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->parallel, GetBoolField(msg, "parallel"));
+  BLOWFISH_ASSIGN_OR_RETURN(r->refunded, GetBoolField(msg, "refunded"));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EscapeWireField(const std::string& raw) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (NeedsEscape(c)) {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeWireField(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Status::InvalidArgument("truncated %XX escape");
+    }
+    const int hi = HexDigit(escaped[i + 1]);
+    const int lo = HexDigit(escaped[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed %XX escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+const std::string* WireMessage::Find(const std::string& key) const {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : args) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+StatusOr<WireMessage> ParseWireMessage(const std::string& payload) {
+  WireMessage msg;
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= payload.size()) {
+    size_t space = payload.find(' ', pos);
+    if (space == std::string::npos) space = payload.size();
+    const std::string token = payload.substr(pos, space - pos);
+    if (token.empty()) {
+      return Status::InvalidArgument(
+          "empty token in wire message (doubled or trailing space)");
+    }
+    if (first) {
+      msg.verb = token;
+      first = false;
+    } else {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("expected key=value, got '" + token +
+                                       "' in wire message");
+      }
+      BLOWFISH_ASSIGN_OR_RETURN(std::string value,
+                                UnescapeWireField(token.substr(eq + 1)));
+      msg.args.emplace_back(token.substr(0, eq), std::move(value));
+    }
+    if (space == payload.size()) break;
+    pos = space + 1;
+    if (pos == payload.size()) {
+      return Status::InvalidArgument(
+          "empty token in wire message (doubled or trailing space)");
+    }
+  }
+  if (msg.verb.empty()) {
+    return Status::InvalidArgument("empty wire message");
+  }
+  return msg;
+}
+
+WireMessageBuilder& WireMessageBuilder::Add(const std::string& key,
+                                            const std::string& value) {
+  payload_.push_back(' ');
+  payload_.append(key);
+  payload_.push_back('=');
+  payload_.append(EscapeWireField(value));
+  return *this;
+}
+
+WireMessageBuilder& WireMessageBuilder::AddUint(const std::string& key,
+                                                uint64_t value) {
+  return Add(key, std::to_string(value));
+}
+
+WireMessageBuilder& WireMessageBuilder::AddDouble(const std::string& key,
+                                                  double value) {
+  return Add(key, FormatDouble(value));
+}
+
+WireMessageBuilder& WireMessageBuilder::AddBool(const std::string& key,
+                                                bool value) {
+  return Add(key, value ? "1" : "0");
+}
+
+StatusOr<std::string> GetField(const WireMessage& msg,
+                               const std::string& key) {
+  const std::string* value = msg.Find(key);
+  if (value == nullptr) {
+    return Status::InvalidArgument("missing key '" + key + "' in " +
+                                   msg.verb + " message");
+  }
+  return *value;
+}
+
+StatusOr<uint64_t> GetUintField(const WireMessage& msg,
+                                const std::string& key) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string value, GetField(msg, key));
+  return ParseWireUint(value, "'" + key + "' in " + msg.verb);
+}
+
+StatusOr<double> GetDoubleField(const WireMessage& msg,
+                                const std::string& key) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string value, GetField(msg, key));
+  return ParseWireDouble(value, "'" + key + "' in " + msg.verb);
+}
+
+StatusOr<bool> GetBoolField(const WireMessage& msg,
+                            const std::string& key) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string value, GetField(msg, key));
+  if (value == "1") return true;
+  if (value == "0") return false;
+  return Status::InvalidArgument("malformed flag '" + value + "' for '" +
+                                 key + "' in " + msg.verb);
+}
+
+std::string EncodeHelloPayload(const std::string& policy_id,
+                               const std::string& dataset_id) {
+  WireMessageBuilder b(kVerbHello);
+  b.AddUint("v", kProtocolVersion)
+      .Add("policy", policy_id)
+      .Add("dataset", dataset_id);
+  return b.payload();
+}
+
+std::string EncodeOkPayload() {
+  WireMessageBuilder b(kVerbOk);
+  b.AddUint("proto", kProtocolVersion);
+  return b.payload();
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  WireMessageBuilder b(kVerbErr);
+  b.Add("code", StatusCodeToString(status.code()))
+      .Add("msg", status.message());
+  return b.payload();
+}
+
+Status ParseStatusFields(const WireMessage& msg, Status* out) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string name, GetField(msg, "code"));
+  StatusCode code;
+  if (!StatusCodeFromString(name, &code)) {
+    return Status::InvalidArgument("unknown status code '" + name +
+                                   "' in " + msg.verb + " message");
+  }
+  if (code == StatusCode::kOk) {
+    *out = Status::OK();
+    return Status::OK();
+  }
+  BLOWFISH_ASSIGN_OR_RETURN(std::string message, GetField(msg, "msg"));
+  *out = Status(code, std::move(message));
+  return Status::OK();
+}
+
+std::string EncodeSubmitPayload(size_t num_lines) {
+  WireMessageBuilder b(kVerbSubmit);
+  b.AddUint("n", num_lines);
+  return b.payload();
+}
+
+std::string EncodeReqPayload(const std::string& line) {
+  WireMessageBuilder b(kVerbReq);
+  b.Add("line", line);
+  return b.payload();
+}
+
+std::string EncodeDonePayload(size_t num_responses) {
+  WireMessageBuilder b(kVerbDone);
+  b.AddUint("n", num_responses);
+  return b.payload();
+}
+
+std::string EncodeResultPayload(size_t index,
+                                const QueryResponse& response) {
+  WireMessageBuilder b(kVerbResult);
+  b.AddUint("i", index)
+      .Add("code", StatusCodeToString(response.status.code()))
+      .Add("msg", response.status.message())
+      .Add("label", response.label)
+      .AddDouble("sens", response.sensitivity)
+      .AddBool("hit", response.cache_hit);
+  std::string values;
+  for (size_t v = 0; v < response.values.size(); ++v) {
+    if (v > 0) values.push_back(',');
+    values.append(FormatDouble(response.values[v]));
+  }
+  b.Add("values", values);
+  AddReceiptFields(b, response.receipt);
+  return b.payload();
+}
+
+std::string EncodeBoundedResultPayload(size_t index,
+                                       const QueryResponse& response) {
+  std::string payload = EncodeResultPayload(index, response);
+  if (payload.size() <= kMaxFramePayload) return payload;
+  QueryResponse bounded;
+  bounded.status = Status::ResourceExhausted(
+      "response payload (" + std::to_string(payload.size()) +
+      " bytes) exceeds the " + std::to_string(kMaxFramePayload) +
+      "-byte frame cap; serve this query in-process or narrow it");
+  bounded.label = response.label;
+  bounded.sensitivity = response.sensitivity;
+  bounded.cache_hit = response.cache_hit;
+  // The receipt is bounded (its strings echo request text, capped at
+  // kMaxRequestLine) and must survive: the budget WAS charged.
+  bounded.receipt = response.receipt;
+  return EncodeResultPayload(index, bounded);
+}
+
+std::string EncodeReceiptPayload(size_t index,
+                                 const QueryResponse& response) {
+  WireMessageBuilder b(kVerbReceipt);
+  b.AddUint("i", index);
+  AddReceiptFields(b, response.receipt);
+  return b.payload();
+}
+
+StatusOr<std::pair<size_t, QueryResponse>> ParseResultPayload(
+    const WireMessage& msg) {
+  QueryResponse response;
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t index, GetUintField(msg, "i"));
+  BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &response.status));
+  BLOWFISH_ASSIGN_OR_RETURN(response.label, GetField(msg, "label"));
+  BLOWFISH_ASSIGN_OR_RETURN(response.sensitivity,
+                            GetDoubleField(msg, "sens"));
+  BLOWFISH_ASSIGN_OR_RETURN(response.cache_hit, GetBoolField(msg, "hit"));
+  BLOWFISH_ASSIGN_OR_RETURN(std::string values, GetField(msg, "values"));
+  size_t pos = 0;
+  while (pos <= values.size() && !values.empty()) {
+    size_t comma = values.find(',', pos);
+    if (comma == std::string::npos) comma = values.size();
+    BLOWFISH_ASSIGN_OR_RETURN(
+        double value, ParseWireDouble(values.substr(pos, comma - pos),
+                                      "'values' in RESULT"));
+    response.values.push_back(value);
+    if (comma == values.size()) break;
+    pos = comma + 1;
+  }
+  BLOWFISH_RETURN_IF_ERROR(ParseReceiptFields(msg, &response.receipt));
+  return std::make_pair(static_cast<size_t>(index), std::move(response));
+}
+
+Status ParseReceiptPayload(const WireMessage& msg, size_t* index,
+                           BudgetReceipt* receipt) {
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t i, GetUintField(msg, "i"));
+  *index = static_cast<size_t>(i);
+  return ParseReceiptFields(msg, receipt);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,294 @@
+#include "net/server.h"
+
+#include <future>
+#include <utility>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace blowfish {
+
+namespace {
+
+/// Requests per SUBMIT are capped so a malicious header cannot pin a
+/// connection thread collecting REQ frames forever.
+constexpr uint64_t kMaxBatchLines = 65536;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BlowfishServer>> BlowfishServer::Start(
+    EngineHost* host, ServerOptions options) {
+  BLOWFISH_ASSIGN_OR_RETURN(
+      ListenSocket listener,
+      ListenSocket::BindTcp(options.bind_address, options.port,
+                            options.accept_backlog));
+  std::unique_ptr<BlowfishServer> server(
+      new BlowfishServer(host, std::move(listener)));
+  server->accept_thread_ =
+      std::thread([raw = server.get()]() { raw->AcceptLoop(); });
+  return server;
+}
+
+BlowfishServer::BlowfishServer(EngineHost* host, ListenSocket listener)
+    : host_(host), listener_(std::move(listener)) {}
+
+BlowfishServer::~BlowfishServer() { Stop(); }
+
+void BlowfishServer::Stop() {
+  // Serialize whole stops: two concurrent callers (a signal-wakeup
+  // thread racing the destructor, say) must not both join the same
+  // std::thread. The second caller blocks here until the first join
+  // completes, then returns at once.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connections past this point. Half-close every read side:
+  // idle handlers wake with EOF and exit; a handler mid-batch finishes
+  // the batch, flushes its frames, then sees EOF on its next read.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) conn->sock.ShutdownRead();
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  listener_.Close();
+}
+
+BlowfishServer::Stats BlowfishServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BlowfishServer::ReapFinishedLocked() {
+  for (size_t i = connections_.size(); i > 0; --i) {
+    Connection* conn = connections_[i - 1].get();
+    if (!conn->finished.load()) continue;
+    if (conn->thread.joinable()) conn->thread.join();
+    connections_.erase(connections_.begin() + (i - 1));
+  }
+}
+
+void BlowfishServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto sock = listener_.Accept();
+    if (!sock.ok()) break;  // listener shut down (or fatal): exit
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(*sock);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load()) {
+        // Stop() already swapped the list out; do not strand a thread
+        // it will never join.
+        raw->sock.ShutdownBoth();
+        break;
+      }
+      ReapFinishedLocked();
+      connections_.push_back(std::move(conn));
+      ++stats_.connections;
+    }
+    raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
+  }
+}
+
+void BlowfishServer::WriteFrame(Connection* conn,
+                                const std::string& payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead.load()) return;
+  const std::string frame = EncodeFrame(payload);
+  if (!conn->sock.SendAll(frame.data(), frame.size()).ok()) {
+    // The peer is gone. Engine-side work is unaffected; just stop
+    // writing so completion callbacks become no-ops.
+    conn->dead.store(true);
+  }
+}
+
+void BlowfishServer::HandleConnection(Connection* conn) {
+  FrameDecoder decoder;
+  char buf[4096];
+
+  // 1 = frame, 0 = clean EOF / drain, -1 = framing or transport error.
+  auto read_frame = [&](std::string* payload) -> int {
+    while (true) {
+      switch (decoder.Next(payload)) {
+        case FrameDecoder::Result::kFrame:
+          return 1;
+        case FrameDecoder::Result::kError:
+          WriteFrame(conn, EncodeErrorPayload(decoder.error()));
+          return -1;
+        case FrameDecoder::Result::kNeedMore:
+          break;
+      }
+      auto n = conn->sock.Recv(buf, sizeof(buf));
+      if (!n.ok()) return -1;
+      if (*n == 0) return 0;
+      decoder.Feed(buf, *n);
+    }
+  };
+
+  auto protocol_error = [&](const Status& status) {
+    WriteFrame(conn, EncodeErrorPayload(status));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.protocol_errors;
+  };
+
+  std::string policy_id;
+  std::string dataset_id;
+  bool hello_done = false;
+
+  while (true) {
+    std::string payload;
+    const int rc = read_frame(&payload);
+    if (rc == 0) break;
+    if (rc < 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      break;
+    }
+    auto msg = ParseWireMessage(payload);
+    if (!msg.ok()) {
+      protocol_error(msg.status());
+      break;
+    }
+
+    if (!hello_done) {
+      if (msg->verb != kVerbHello) {
+        protocol_error(Status::FailedPrecondition(
+            "expected HELLO, got " + msg->verb));
+        break;
+      }
+      auto version = GetUintField(*msg, "v");
+      auto policy = GetField(*msg, "policy");
+      auto dataset = GetField(*msg, "dataset");
+      if (!version.ok() || !policy.ok() || !dataset.ok()) {
+        protocol_error(Status::InvalidArgument("malformed HELLO"));
+        break;
+      }
+      if (*version != kProtocolVersion) {
+        protocol_error(Status::FailedPrecondition(
+            "protocol version mismatch: client " +
+            std::to_string(*version) + ", server " +
+            std::to_string(kProtocolVersion)));
+        break;
+      }
+      if (!host_->HasTenant(*policy, *dataset)) {
+        protocol_error(Status::NotFound("unknown tenant ('" + *policy +
+                                        "', '" + *dataset + "')"));
+        break;
+      }
+      policy_id = std::move(*policy);
+      dataset_id = std::move(*dataset);
+      hello_done = true;
+      WriteFrame(conn, EncodeOkPayload());
+      continue;
+    }
+
+    if (msg->verb == kVerbBye) {
+      WriteFrame(conn, EncodeOkPayload());
+      break;
+    }
+
+    if (msg->verb != kVerbSubmit) {
+      protocol_error(Status::FailedPrecondition(
+          "expected SUBMIT or BYE, got " + msg->verb));
+      break;
+    }
+    auto num_lines = GetUintField(*msg, "n");
+    if (!num_lines.ok()) {
+      protocol_error(num_lines.status());
+      break;
+    }
+    if (*num_lines > kMaxBatchLines) {
+      protocol_error(Status::ResourceExhausted(
+          "SUBMIT n=" + std::to_string(*num_lines) + " exceeds the " +
+          std::to_string(kMaxBatchLines) + "-line batch cap"));
+      break;
+    }
+
+    // Collect the batch's REQ frames.
+    std::string text;
+    bool broken = false;
+    bool oversized_line = false;
+    for (uint64_t i = 0; i < *num_lines; ++i) {
+      const int req_rc = read_frame(&payload);
+      if (req_rc <= 0) {
+        broken = true;
+        break;
+      }
+      auto req = ParseWireMessage(payload);
+      if (!req.ok() || req->verb != kVerbReq) {
+        protocol_error(req.ok() ? Status::FailedPrecondition(
+                                      "expected REQ, got " + req->verb)
+                                : req.status());
+        broken = true;
+        break;
+      }
+      auto line = GetField(*req, "line");
+      if (!line.ok()) {
+        protocol_error(line.status());
+        broken = true;
+        break;
+      }
+      // The line cap is what keeps response-frame metadata (labels,
+      // session names, error messages — all echoes of request text)
+      // under the frame cap; see net/protocol.h.
+      if (line->size() > kMaxRequestLine) {
+        oversized_line = true;
+        continue;  // keep consuming the batch's remaining REQ frames
+      }
+      text.append(*line);
+      text.push_back('\n');
+    }
+    if (broken) break;
+    if (oversized_line) {
+      WriteFrame(conn, EncodeErrorPayload(Status::ResourceExhausted(
+                           "request line exceeds the " +
+                           std::to_string(kMaxRequestLine) +
+                           "-byte cap")));
+      continue;  // batch refused; the connection stays usable
+    }
+
+    auto requests = EngineHost::ParseBatchText(text);
+    if (!requests.ok()) {
+      // A malformed batch is the client's problem, not the
+      // connection's: report it structurally and stay usable.
+      WriteFrame(conn, EncodeErrorPayload(requests.status()));
+      continue;
+    }
+
+    // Stream per-query completions straight onto the socket. Callbacks
+    // are serialized by the engine and always complete before the
+    // future resolves, so `conn` outlives every use here.
+    auto future = host_->SubmitBatch(
+        policy_id, dataset_id, std::move(*requests),
+        [this, conn](size_t index, const QueryResponse& response) {
+          WriteFrame(conn, EncodeBoundedResultPayload(index, response));
+        });
+    auto responses = future.get();
+    if (!responses.ok()) {
+      WriteFrame(conn, EncodeErrorPayload(responses.status()));
+      continue;
+    }
+    // Final receipt state (refunds applied, charges settled), then the
+    // batch barrier.
+    for (size_t i = 0; i < responses->size(); ++i) {
+      WriteFrame(conn, EncodeReceiptPayload(i, (*responses)[i]));
+    }
+    WriteFrame(conn, EncodeDonePayload(responses->size()));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+    }
+  }
+
+  conn->sock.ShutdownBoth();
+  conn->finished.store(true);
+}
+
+}  // namespace blowfish

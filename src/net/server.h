@@ -1,0 +1,127 @@
+// blowfish TCP serving front end.
+//
+// BlowfishServer puts the wire protocol of net/protocol.h in front of
+// an existing EngineHost: an accept loop hands each connection to its
+// own OS thread, whose framing state machine reads HELLO/SUBMIT/BYE and
+// answers with streamed RESULT frames. Tenant resolution, budget
+// charging and refunds, and sensitivity-cache sharing all flow through
+// EngineHost::SubmitBatch unchanged — this layer only moves bytes.
+//
+// Streaming: each SUBMIT is one EngineHost::SubmitBatch call whose
+// QueryCompletionCallback serializes and writes a RESULT frame the
+// moment a query finishes (callbacks arrive serialized, on engine pool
+// threads; a per-connection write mutex keeps them from interleaving
+// with the connection thread's own frames). Per-query results therefore
+// go out the socket as they complete, not at the batch barrier.
+//
+// Connection death: a client that disappears mid-batch turns the
+// connection's writes into errors, nothing more. The batch keeps
+// executing, its budget charges settle or refund exactly as in a clean
+// run (the engine's receipt protocol never hears about the socket), and
+// the connection thread exits after the batch future resolves —
+// tests/net_e2e_test.cc asserts spend equivalence against a clean run.
+//
+// Drain: Stop() stops accepting, half-closes every connection's read
+// side (idle connections wake and exit; busy ones finish the batch in
+// flight, flush its frames, then exit), and joins all threads.
+// blowfish_serverd wires SIGTERM to exactly this, then flushes budget
+// ledgers before exiting.
+
+#ifndef BLOWFISH_NET_SERVER_H_
+#define BLOWFISH_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/engine_host.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace blowfish {
+
+struct ServerOptions {
+  /// Numeric IPv4 bind address.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the resolved port is available via port().
+  uint16_t port = 0;
+  int accept_backlog = 64;
+};
+
+class BlowfishServer {
+ public:
+  /// Binds, starts the accept loop, and returns a listening server.
+  /// `host` must outlive the server; its tenants are the set a HELLO
+  /// may name.
+  static StatusOr<std::unique_ptr<BlowfishServer>> Start(
+      EngineHost* host, ServerOptions options = {});
+
+  /// Stop() + join.
+  ~BlowfishServer();
+
+  BlowfishServer(const BlowfishServer&) = delete;
+  BlowfishServer& operator=(const BlowfishServer&) = delete;
+
+  /// The bound port (resolved when options.port was 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Graceful drain; see the header comment. Idempotent, callable from
+  /// any thread (blowfish_serverd calls it from its signal-wakeup
+  /// path).
+  void Stop();
+
+  EngineHost& host() { return *host_; }
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t batches = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread thread;
+    std::mutex write_mu;
+    /// Set when a write failed: the peer is gone, stop writing frames
+    /// (the batch in flight still runs to completion engine-side).
+    std::atomic<bool> dead{false};
+    std::atomic<bool> finished{false};
+  };
+
+  BlowfishServer(EngineHost* host, ListenSocket listener);
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+
+  /// Serializes and writes one frame; marks the connection dead on
+  /// failure instead of erroring out, so engine-side completion never
+  /// depends on the socket.
+  void WriteFrame(Connection* conn, const std::string& payload);
+
+  /// Joins and drops connections whose handler has finished (called
+  /// from the accept loop so a long-lived daemon's connection list
+  /// tracks live connections, not lifetime connection count).
+  void ReapFinishedLocked();
+
+  EngineHost* host_;
+  ListenSocket listener_;
+  std::thread accept_thread_;
+  /// Serializes Stop(); `stopped_` (guarded by it) makes later calls
+  /// no-ops without re-joining anything.
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;  // guards connections_ and stats_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  Stats stats_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_NET_SERVER_H_

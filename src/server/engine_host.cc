@@ -1,5 +1,6 @@
 #include "server/engine_host.h"
 
+#include "engine/batch_request.h"
 #include "util/random.h"
 
 namespace blowfish {
@@ -80,6 +81,7 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
   engine_options.default_session_budget =
       tenant->options.default_session_budget;
   engine_options.max_edges = tenant->options.max_edges;
+  engine_options.max_pairs = tenant->options.max_pairs;
   engine_options.max_policy_graph_vertices =
       tenant->options.max_policy_graph_vertices;
 
@@ -127,6 +129,11 @@ StatusOr<std::vector<QueryResponse>> EngineHost::ServeBatch(
   return SubmitBatch(policy_id, dataset_id, std::move(requests),
                      std::move(on_complete))
       .get();
+}
+
+StatusOr<std::vector<QueryRequest>> EngineHost::ParseBatchText(
+    const std::string& text) {
+  return ParseBatchRequests(text);
 }
 
 StatusOr<ReleaseEngine*> EngineHost::engine(const std::string& policy_id,

@@ -66,6 +66,8 @@ struct TenantOptions {
   /// Unset: derived from the host seed and the tenant key.
   std::optional<uint64_t> root_seed;
   uint64_t max_edges = uint64_t{1} << 24;
+  /// Pair budget for the all-pairs constrained move enumeration.
+  uint64_t max_pairs = uint64_t{1} << 28;
   size_t max_policy_graph_vertices = 24;
 };
 
@@ -114,6 +116,14 @@ class EngineHost {
       const std::string& policy_id, const std::string& dataset_id,
       std::vector<QueryRequest> requests,
       QueryCompletionCallback on_complete = nullptr);
+
+  /// Parses `text` with the batch-file grammar (engine/batch_request.h)
+  /// into submittable requests. A static pass-through so the wire layer
+  /// (src/net/) can build batches while reaching the engine only
+  /// through this header — CI greps that src/net/ includes no
+  /// engine/core/mech header directly.
+  static StatusOr<std::vector<QueryRequest>> ParseBatchText(
+      const std::string& text);
 
   /// The tenant's engine, constructing it on the calling thread if this
   /// is its first use (e.g. to open budget sessions before traffic).

@@ -1,0 +1,105 @@
+// Thin RAII wrappers over POSIX TCP sockets (leaf utility — no
+// dependencies above util/).
+//
+// The wire layer (src/net/) does all of its I/O through these two
+// classes so fd lifetime, partial writes, EINTR retries, and SIGPIPE
+// suppression are handled in exactly one place. Everything is blocking:
+// the serving model is one OS thread per connection (src/net/server.h),
+// which keeps the protocol state machine linear; the expensive work —
+// query execution — already runs on the shared engine pool, not on
+// connection threads.
+
+#ifndef BLOWFISH_UTIL_SOCKET_H_
+#define BLOWFISH_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace blowfish {
+
+/// A connected (or accepted) stream socket. Move-only; closes on
+/// destruction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = invalid).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Blocking TCP connect to a dotted-quad IPv4 address (the daemon
+  /// binds numeric addresses; name resolution is out of scope).
+  static StatusOr<Socket> ConnectTcp(const std::string& address,
+                                     uint16_t port);
+
+  /// Writes all of `len` bytes (retrying partial writes and EINTR).
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL) — a dead peer is an error
+  /// return, never a process signal.
+  Status SendAll(const void* data, size_t len);
+
+  /// Reads up to `cap` bytes; returns 0 on clean EOF. Retries EINTR.
+  StatusOr<size_t> Recv(void* buf, size_t cap);
+
+  /// Half-closes the read side: a blocking Recv (here or in the peer
+  /// thread) returns 0, as if the peer had closed. The drain path of
+  /// the server uses this to tell connection threads "finish the batch
+  /// in flight, then stop".
+  void ShutdownRead();
+
+  /// Full shutdown: both directions. Used to simulate/force abrupt
+  /// connection death.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening TCP socket.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens on a numeric IPv4 address. `port` 0 picks an
+  /// ephemeral port; the resolved port is available via port().
+  static StatusOr<ListenSocket> BindTcp(const std::string& address,
+                                        uint16_t port, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Blocking accept. After Shutdown() (possibly from another thread)
+  /// it returns FailedPrecondition instead of blocking forever — the
+  /// accept loop's exit signal.
+  StatusOr<Socket> Accept();
+
+  /// Unblocks a concurrent Accept and poisons the socket. Idempotent.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_UTIL_SOCKET_H_

@@ -29,6 +29,13 @@ enum class StatusCode {
 /// Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
 
+/// Inverse of StatusCodeToString: resolves a stable code name back to
+/// its code ("INVALID_ARGUMENT" -> kInvalidArgument). Returns false for
+/// unknown names, leaving *code untouched. The wire protocol (src/net/)
+/// round-trips structured errors through these names, so both
+/// directions live here, next to each other.
+bool StatusCodeFromString(const std::string& name, StatusCode* code);
+
 /// A success-or-error value. Cheap to copy on the success path.
 class Status {
  public:
@@ -145,6 +152,23 @@ inline const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
+}
+
+inline bool StatusCodeFromString(const std::string& name,
+                                 StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,              StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,        StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+      StatusCode::kUnimplemented,   StatusCode::kInternal,
+  };
+  for (StatusCode c : kAll) {
+    if (name == StatusCodeToString(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 inline std::string Status::ToString() const {

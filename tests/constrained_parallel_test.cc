@@ -137,7 +137,7 @@ TEST_P(ConstrainedParallelTest, PerCellSensitivityDominatesOracle) {
       if (mask & (uint64_t{1} << c)) cells.push_back(c);
     }
     auto analytic = ConstrainedCellHistogramSensitivity(
-        policy, cells, kMaxEdges, kMaxVertices);
+        policy, cells, kMaxEdges, kMaxEdges, kMaxVertices);
     if (!analytic.ok()) {
       // Non-sparse draws are refused, never served unsoundly.
       EXPECT_EQ(analytic.status().code(), StatusCode::kFailedPrecondition);
@@ -165,7 +165,7 @@ TEST_P(ConstrainedParallelTest, ValueWeightedChainBoundDominatesOracle) {
   ValueWeightedSumQuery query(
       [](ValueIndex x) { return static_cast<double>(x); });
   auto analytic = ConstrainedLinearQuerySensitivity(
-      query, policy, kMaxEdges, kMaxVertices);
+      query, policy, kMaxEdges, kMaxEdges, kMaxVertices);
   if (!analytic.ok()) {
     EXPECT_EQ(analytic.status().code(), StatusCode::kFailedPrecondition);
     return;
@@ -261,7 +261,7 @@ TEST_P(ConstrainedParallelTest, UnionSensitivityCoversGroupLoss) {
   }
   std::sort(union_cells.begin(), union_cells.end());
   auto s_union = ConstrainedCellHistogramSensitivity(
-      policy, union_cells, kMaxEdges, kMaxVertices);
+      policy, union_cells, kMaxEdges, kMaxEdges, kMaxVertices);
   if (!s_union.ok()) {
     EXPECT_EQ(s_union.status().code(), StatusCode::kFailedPrecondition);
     return;
@@ -310,7 +310,7 @@ TEST_P(ConstrainedParallelTest, HistogramBoundDominatesMoveCount) {
       Policy::Create(domain, MakePartition(cell_of), std::move(cs)).value();
 
   CompleteHistogramQuery h(n);
-  auto bound = ConstrainedLinearQuerySensitivity(h, policy, kMaxEdges,
+  auto bound = ConstrainedLinearQuerySensitivity(h, policy, kMaxEdges, kMaxEdges,
                                                  kMaxVertices);
   if (!bound.ok()) {
     EXPECT_EQ(bound.status().code(), StatusCode::kFailedPrecondition);
@@ -371,7 +371,7 @@ TEST(ConstrainedCellFixtureTest, AnalyticMatchesOracleExactly) {
   for (const Case& c : {Case{{0}, 4.0, 3.0}, Case{{1}, 2.0, 2.0},
                         Case{{0, 1}, 4.0, 4.0}}) {
     auto analytic = ConstrainedCellHistogramSensitivity(
-        policy, c.cells, kMaxEdges, kMaxVertices);
+        policy, c.cells, kMaxEdges, kMaxEdges, kMaxVertices);
     ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
     EXPECT_DOUBLE_EQ(*analytic, c.analytic);
     const std::set<uint64_t> cell_set(c.cells.begin(), c.cells.end());

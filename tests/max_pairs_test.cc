@@ -1,0 +1,117 @@
+// Regression tests for the independent `max_pairs` knob.
+//
+// The all-pairs constrained move enumeration (WeightedPolicyGraph) is
+// quadratic in the domain while secret-graph edge enumerations are often
+// linear, so the two budgets must be separate knobs. Before the split,
+// ConstrainedLinearQuerySensitivity passed `max_edges` (default 1 << 24)
+// as the pair budget, so any pinned-constrained domain with more than
+// 4096 values — 4097 * 4096 ordered pairs > 2^24 — failed closed with
+// ResourceExhausted unless the shared budget was raised.
+
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/policy.h"
+#include "core/secret_graph.h"
+#include "engine/batch_request.h"
+#include "engine/release_engine.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+// 4097 is the exact old failure threshold: 4096 * 4095 pairs still fit
+// in the shared 1 << 24 budget, 4097 * 4096 do not.
+constexpr uint64_t kOldThreshold = 4097;
+constexpr uint64_t kOldSharedBudget = uint64_t{1} << 24;
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+/// A pinned-constrained full-graph policy over `size` values: one count
+/// query #(x == 0), answer pinned. Pinned constraints are what route
+/// sensitivity through the all-pairs enumeration.
+Policy PinnedPolicy(uint64_t size) {
+  auto domain = LineDomain(size);
+  ConstraintSet cs;
+  CountQuery zero("zero", [](ValueIndex x) { return x == 0; });
+  cs.AddWithAnswer(std::move(zero), 1);
+  return Policy::Create(domain, std::make_shared<const FullGraph>(size),
+                        std::move(cs))
+      .value();
+}
+
+TEST(MaxPairsTest, OldSharedBudgetFailedClosedPastTheThreshold) {
+  // Documents the bug: with the pair budget at the old shared default,
+  // the first domain size past 4096 is refused before any work happens.
+  Policy policy = PinnedPolicy(kOldThreshold);
+  CompleteHistogramQuery h(kOldThreshold);
+  auto refused = ConstrainedLinearQuerySensitivity(
+      h, policy, /*max_edges=*/kOldSharedBudget,
+      /*max_pairs=*/kOldSharedBudget, /*max_policy_graph_vertices=*/24);
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MaxPairsTest, DefaultPairBudgetServesPastTheOldThreshold) {
+  // The fix: the default SensitivityEnv pair budget admits the same
+  // domain and the enumeration completes. The one pinned singleton
+  // query contributes chains of at most two moves (v+ -> q -> v- and
+  // the free single move), each of histogram norm 2, so the weighted
+  // Thm 8.2 bound is 4.
+  Policy policy = PinnedPolicy(kOldThreshold);
+  CompleteHistogramQuery h(kOldThreshold);
+  const SensitivityEnv defaults;
+  auto bound = ConstrainedLinearQuerySensitivity(
+      h, policy, defaults.max_edges, defaults.max_pairs,
+      defaults.max_policy_graph_vertices);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_DOUBLE_EQ(*bound, 4.0);
+}
+
+TEST(MaxPairsTest, PairBudgetIsIndependentOfEdgeBudget) {
+  // The constrained path consumes only the pair budget: an absurdly
+  // small max_edges no longer sinks it (before the split they were one
+  // number). 64 values -> 64 * 63 = 4032 pairs.
+  Policy policy = PinnedPolicy(64);
+  CompleteHistogramQuery h(64);
+  auto bound = ConstrainedLinearQuerySensitivity(
+      h, policy, /*max_edges=*/1, /*max_pairs=*/4032,
+      /*max_policy_graph_vertices=*/24);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_DOUBLE_EQ(*bound, 4.0);
+
+  // ...and the pair budget still guards: one pair short is refused.
+  auto refused = ConstrainedLinearQuerySensitivity(
+      h, policy, /*max_edges=*/kOldSharedBudget, /*max_pairs=*/4031,
+      /*max_policy_graph_vertices=*/24);
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MaxPairsTest, EngineServesAPinnedConstrainedDomainPastTheThreshold) {
+  // End to end through the engine defaults: a `histogram` query against
+  // a pinned-constrained domain one value past the old threshold is
+  // admitted and released (it used to refuse with ResourceExhausted).
+  Policy policy = PinnedPolicy(kOldThreshold);
+  std::vector<ValueIndex> tuples{0, 1, 2, 3, 4};
+  Dataset data =
+      Dataset::Create(policy.domain_ptr(), std::move(tuples)).value();
+  auto engine = ReleaseEngine::Create(policy, std::move(data), {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto request = MakeQueryRequest("histogram", 0.5);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  auto responses = (*engine)->ServeBatch({*request});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 4.0);
+  EXPECT_EQ(responses[0].values.size(), kOldThreshold);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,575 @@
+// End-to-end wire-protocol battery: an in-process blowfish_serverd
+// (net/server.h, the daemon's guts) on an ephemeral port, driven by
+// BlowfishClient (net/client.h), against the same EngineHost
+// configuration served in-process. Asserts:
+//
+//  * bit-identical equivalence: for pool sizes {0, 1, 8}, every field
+//    of every wire response — payload doubles, status, sensitivity,
+//    receipts — equals the in-process SubmitBatch future's, byte for
+//    byte (%.17g round-trips IEEE doubles exactly);
+//  * streamed RESULT frames carry the final payloads and arrive in
+//    completion-callback order (pinned observable on a zero-worker
+//    host, where completion order is request order);
+//  * multi-client soak: 8 concurrent clients x 5 batches across two
+//    tenants, exact budget arithmetic per session afterwards;
+//  * failure-path refunds over the wire: a client killed mid-batch
+//    leaves the tenant's BudgetAccountant at exactly the clean-run
+//    spend (the receipt settle/refund protocol never hears about the
+//    socket), including a query that fails after admission and
+//    refunds;
+//  * protocol errors are structured ERR frames, never crashes.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/policy.h"
+#include "engine/ops/query_op.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "server/engine_host.h"
+#include "util/random.h"
+#include "util/socket.h"
+
+namespace blowfish {
+namespace {
+
+constexpr uint64_t kSeed = 20140612;
+constexpr char kPolicyId[] = "p";
+constexpr char kTenantA[] = "alpha";
+constexpr char kTenantB[] = "beta";
+
+/// A query kind that always fails *after* admission — registered only
+/// in this test binary (one more proof the registry is open): its
+/// charge must be refunded, and the refund must cross the wire in the
+/// RECEIPT frames.
+class AlwaysFailOp final : public QueryOp {
+ public:
+  std::string KindName() const override { return "always_fail"; }
+  Status Parse(KeyValueBag&) override { return Status::OK(); }
+  StatusOr<std::string> SensitivityShape() const override {
+    return std::string("always_fail");
+  }
+  StatusOr<double> ComputeSensitivity(
+      const Policy&, const SensitivityEnv&) const override {
+    return 1.0;
+  }
+  StatusOr<std::vector<double>> Execute(const QueryExecContext&,
+                                        Random) const override {
+    return Status::Internal("injected mid-batch failure");
+  }
+};
+
+const QueryOpRegistrar kFailRegistrar{
+    "always_fail", [] { return std::make_unique<AlwaysFailOp>(); }};
+
+/// A query kind whose Execute blocks on a test-controlled gate. The
+/// client-death test closes the gate, kills the client after the first
+/// streamed RESULT, then opens it — so the connection is provably dead
+/// *before* the batch barrier, deterministically, with no sleeps.
+std::mutex g_gate_mu;
+std::condition_variable g_gate_cv;
+bool g_gate_open = true;
+
+void SetGate(bool open) {
+  {
+    std::lock_guard<std::mutex> lock(g_gate_mu);
+    g_gate_open = open;
+  }
+  g_gate_cv.notify_all();
+}
+
+class SlowGateOp final : public QueryOp {
+ public:
+  std::string KindName() const override { return "slow_gate"; }
+  Status Parse(KeyValueBag&) override { return Status::OK(); }
+  StatusOr<std::string> SensitivityShape() const override {
+    return std::string("slow_gate");
+  }
+  StatusOr<double> ComputeSensitivity(
+      const Policy&, const SensitivityEnv&) const override {
+    return 1.0;
+  }
+  StatusOr<std::vector<double>> Execute(const QueryExecContext&,
+                                        Random) const override {
+    std::unique_lock<std::mutex> lock(g_gate_mu);
+    g_gate_cv.wait(lock, []() { return g_gate_open; });
+    return std::vector<double>{0.0};
+  }
+};
+
+const QueryOpRegistrar kGateRegistrar{
+    "slow_gate", [] { return std::make_unique<SlowGateOp>(); }};
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
+                 uint64_t seed) {
+  Random rng(seed);
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(domain->size()) - 1)));
+  }
+  return Dataset::Create(domain, std::move(tuples)).value();
+}
+
+/// Two tenants sharing one policy shape over different datasets — the
+/// shared-sensitivity-cache configuration of docs/server.md.
+std::unique_ptr<EngineHost> MakeHost(size_t pool_threads) {
+  EngineHostOptions options;
+  options.num_threads = pool_threads;
+  options.root_seed = kSeed;
+  auto domain = LineDomain(32);
+  Policy policy = Policy::FullDomain(domain).value();
+  auto host = std::make_unique<EngineHost>(options);
+  EXPECT_TRUE(
+      host->AddTenant(kPolicyId, kTenantA, policy, MakeData(domain, 300, 3))
+          .ok());
+  EXPECT_TRUE(
+      host->AddTenant(kPolicyId, kTenantB, policy, MakeData(domain, 200, 5))
+          .ok());
+  return host;
+}
+
+constexpr char kBatchText[] =
+    "histogram eps=0.25 label=h\n"
+    "mean eps=0.125 label=m session=s1\n"
+    "range eps=0.25 lo=2 hi=9 label=r\n"
+    "quantiles eps=0.125 qs=0.25,0.5 label=q\n";
+
+void ExpectResponsesEqual(const std::vector<QueryResponse>& wire,
+                          const std::vector<QueryResponse>& local,
+                          const std::string& context) {
+  ASSERT_EQ(wire.size(), local.size()) << context;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    SCOPED_TRACE(context + ", query " + std::to_string(i));
+    EXPECT_EQ(wire[i].status.code(), local[i].status.code());
+    EXPECT_EQ(wire[i].status.message(), local[i].status.message());
+    EXPECT_EQ(wire[i].label, local[i].label);
+    EXPECT_EQ(wire[i].sensitivity, local[i].sensitivity);
+    EXPECT_EQ(wire[i].cache_hit, local[i].cache_hit);
+    ASSERT_EQ(wire[i].values.size(), local[i].values.size());
+    for (size_t v = 0; v < wire[i].values.size(); ++v) {
+      // Exact equality: the wire must not perturb a single bit.
+      EXPECT_EQ(wire[i].values[v], local[i].values[v]) << "value " << v;
+    }
+    EXPECT_EQ(wire[i].receipt.session, local[i].receipt.session);
+    EXPECT_EQ(wire[i].receipt.label, local[i].receipt.label);
+    EXPECT_EQ(wire[i].receipt.charge_id, local[i].receipt.charge_id);
+    EXPECT_EQ(wire[i].receipt.charged, local[i].receipt.charged);
+    EXPECT_EQ(wire[i].receipt.epsilon, local[i].receipt.epsilon);
+    EXPECT_EQ(wire[i].receipt.remaining, local[i].receipt.remaining);
+    EXPECT_EQ(wire[i].receipt.parallel, local[i].receipt.parallel);
+    EXPECT_EQ(wire[i].receipt.refunded, local[i].receipt.refunded);
+  }
+}
+
+TEST(NetE2eTest, WireIsBitIdenticalToInProcessAcrossPoolSizes) {
+  for (size_t pool : {size_t{0}, size_t{1}, size_t{8}}) {
+    // Two hosts built identically: one serves in-process, one over the
+    // wire. Batches run in the same global order on both, so admission
+    // histories — and therefore noise streams, receipts, charge ids,
+    // and cache hit patterns — match exactly.
+    auto local_host = MakeHost(pool);
+    auto wire_host = MakeHost(pool);
+    auto server = BlowfishServer::Start(wire_host.get());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    auto client_a = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                            kPolicyId, kTenantA);
+    ASSERT_TRUE(client_a.ok()) << client_a.status().ToString();
+    auto client_b = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                            kPolicyId, kTenantB);
+    ASSERT_TRUE(client_b.ok()) << client_b.status().ToString();
+
+    for (int round = 0; round < 3; ++round) {
+      for (const char* tenant : {kTenantA, kTenantB}) {
+        const std::string context = "pool " + std::to_string(pool) +
+                                    ", round " + std::to_string(round) +
+                                    ", tenant " + tenant;
+        auto requests = EngineHost::ParseBatchText(kBatchText);
+        ASSERT_TRUE(requests.ok());
+        auto local = local_host
+                         ->SubmitBatch(kPolicyId, tenant,
+                                       std::move(*requests))
+                         .get();
+        ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+        BlowfishClient* client =
+            tenant == std::string(kTenantA) ? client_a->get()
+                                            : client_b->get();
+        auto wire = client->SubmitBatchText(kBatchText);
+        ASSERT_TRUE(wire.ok()) << context << ": "
+                               << wire.status().ToString();
+        ExpectResponsesEqual(*wire, *local, context);
+      }
+    }
+    EXPECT_TRUE((*client_a)->Bye().ok());
+    EXPECT_TRUE((*client_b)->Bye().ok());
+    (*server)->Stop();
+    const BlowfishServer::Stats stats = (*server)->stats();
+    EXPECT_EQ(stats.connections, 2u);
+    EXPECT_EQ(stats.batches, 6u);
+    EXPECT_EQ(stats.protocol_errors, 0u);
+  }
+}
+
+TEST(NetE2eTest, StreamedResultsCarryFinalPayloadsInCompletionOrder) {
+  // Zero pool workers: execution is inline, so completion order is
+  // request order — the one scheduling where "consistent with
+  // completion callbacks" is an exact, assertable sequence.
+  auto host = MakeHost(0);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                        kPolicyId, kTenantA);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<size_t> streamed_order;
+  std::vector<QueryResponse> streamed;
+  auto responses = (*client)->SubmitBatchText(
+      kBatchText, [&](size_t index, const QueryResponse& response) {
+        streamed_order.push_back(index);
+        streamed.push_back(response);
+      });
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(streamed_order.size(), responses->size());
+  for (size_t i = 0; i < streamed_order.size(); ++i) {
+    EXPECT_EQ(streamed_order[i], i);  // request order on 0 workers
+    const QueryResponse& early = streamed[i];
+    const QueryResponse& final_response = (*responses)[streamed_order[i]];
+    // The streamed payload is already final; only receipts may differ
+    // (settlement happens at the batch barrier).
+    EXPECT_EQ(early.status.code(), final_response.status.code());
+    EXPECT_EQ(early.label, final_response.label);
+    ASSERT_EQ(early.values.size(), final_response.values.size());
+    for (size_t v = 0; v < early.values.size(); ++v) {
+      EXPECT_EQ(early.values[v], final_response.values[v]);
+    }
+  }
+  EXPECT_TRUE((*client)->Bye().ok());
+}
+
+TEST(NetE2eTest, MultiClientSoakKeepsBudgetArithmeticExact) {
+  constexpr size_t kClients = 8;
+  constexpr int kBatches = 5;
+  // Per batch: 0.25 + 0.125 + 0.25 + 0.125, charged to the client's own
+  // session (sessions are created on first charge with the tenant's
+  // default budget, 10 — five batches spend 3.75).
+  constexpr double kBatchSpend = 0.75;
+
+  auto host = MakeHost(4);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t k = 0; k < kClients; ++k) {
+    clients.emplace_back([&, k]() {
+      const char* tenant = (k % 2 == 0) ? kTenantA : kTenantB;
+      const std::string session = "c" + std::to_string(k);
+      // The same four kinds, all charged to this client's session.
+      const std::string batch =
+          "histogram eps=0.25 session=" + session + "\n" +
+          "mean eps=0.125 session=" + session + "\n" +
+          "range eps=0.25 lo=2 hi=9 session=" + session + "\n" +
+          "quantiles eps=0.125 qs=0.25,0.5 session=" + session + "\n";
+      auto client =
+          BlowfishClient::Connect("127.0.0.1", port, kPolicyId, tenant);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int b = 0; b < kBatches; ++b) {
+        auto responses = (*client)->SubmitBatchText(batch);
+        if (!responses.ok() || responses->size() != 4) {
+          ++failures;
+          return;
+        }
+        for (const QueryResponse& response : *responses) {
+          if (!response.status.ok()) ++failures;
+        }
+      }
+      if (!(*client)->Bye().ok()) ++failures;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Exact accounting: concurrency must not lose or double a single
+  // charge. Each client's session exists on exactly its own tenant.
+  for (size_t k = 0; k < kClients; ++k) {
+    const char* tenant = (k % 2 == 0) ? kTenantA : kTenantB;
+    const char* other = (k % 2 == 0) ? kTenantB : kTenantA;
+    const std::string session = "c" + std::to_string(k);
+    auto engine = host->engine(kPolicyId, tenant);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ((*engine)->accountant().Spent(session),
+              kBatches * kBatchSpend)
+        << session;
+    auto other_engine = host->engine(kPolicyId, other);
+    ASSERT_TRUE(other_engine.ok());
+    EXPECT_EQ((*other_engine)->accountant().Spent(session), 0.0)
+        << session;
+  }
+  (*server)->Stop();
+  EXPECT_EQ((*server)->stats().batches, kClients * kBatches);
+}
+
+TEST(NetE2eTest, ClientDeathMidBatchSettlesLikeACleanRun) {
+  // The batch charges 0.25 + 0.5 + 0.125; the injected failure refunds
+  // its 0.5 at the batch barrier, so a clean run settles at 0.375. The
+  // gated query holds the batch open in the death run.
+  const std::string batch =
+      "histogram eps=0.25\n"
+      "always_fail eps=0.5\n"
+      "slow_gate eps=0.125\n";
+  constexpr double kSettledSpend = 0.25 + 0.125;
+
+  // Clean run: gate open, read everything, assert the refund crossed
+  // the wire.
+  SetGate(true);
+  auto clean_host = MakeHost(2);
+  auto clean_server = BlowfishServer::Start(clean_host.get());
+  ASSERT_TRUE(clean_server.ok());
+  auto clean_client = BlowfishClient::Connect(
+      "127.0.0.1", (*clean_server)->port(), kPolicyId, kTenantA);
+  ASSERT_TRUE(clean_client.ok());
+  auto clean = (*clean_client)->SubmitBatchText(batch);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->size(), 3u);
+  EXPECT_TRUE((*clean)[0].status.ok());
+  EXPECT_EQ((*clean)[1].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE((*clean)[1].receipt.refunded);  // via the RECEIPT frame
+  EXPECT_EQ((*clean)[1].receipt.charged, 0.5);
+  EXPECT_TRUE((*clean)[2].status.ok());
+  EXPECT_TRUE((*clean_client)->Bye().ok());
+  (*clean_server)->Stop();
+  auto clean_engine = clean_host->engine(kPolicyId, kTenantA);
+  ASSERT_TRUE(clean_engine.ok());
+  EXPECT_EQ((*clean_engine)->accountant().Spent(""), kSettledSpend);
+
+  // Death run: the gate is closed, so the batch cannot reach its
+  // barrier until the test opens it — which happens only *after* the
+  // client hard-drops the connection on its first streamed RESULT. The
+  // connection is therefore provably dead mid-batch, deterministically.
+  // Server::Stop() drains the connection thread (the batch completes
+  // engine-side first), so afterwards the ledger must have settled to
+  // exactly the clean-run figure — charges kept for delivered-or-not
+  // successes, the failed query refunded, nothing leaked.
+  SetGate(false);
+  auto death_host = MakeHost(2);
+  auto death_server = BlowfishServer::Start(death_host.get());
+  ASSERT_TRUE(death_server.ok());
+  auto death_client = BlowfishClient::Connect(
+      "127.0.0.1", (*death_server)->port(), kPolicyId, kTenantA);
+  ASSERT_TRUE(death_client.ok());
+  std::atomic<bool> aborted{false};
+  auto death = (*death_client)
+                   ->SubmitBatchText(
+                       batch, [&](size_t, const QueryResponse&) {
+                         if (aborted.exchange(true)) return;
+                         (*death_client)->Abort();
+                         SetGate(true);
+                       });
+  EXPECT_FALSE(death.ok());  // the connection died under the batch
+  SetGate(true);             // in case no RESULT ever arrived
+  (*death_server)->Stop();   // barrier: connection thread joined
+  EXPECT_TRUE(aborted.load());
+  auto death_engine = death_host->engine(kPolicyId, kTenantA);
+  ASSERT_TRUE(death_engine.ok());
+  EXPECT_EQ((*death_engine)->accountant().Spent(""), kSettledSpend);
+}
+
+TEST(NetE2eTest, ProtocolViolationsGetStructuredErrors) {
+  auto host = MakeHost(1);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  // Unknown tenant: the server's structured NotFound crosses the wire.
+  auto unknown =
+      BlowfishClient::Connect("127.0.0.1", port, kPolicyId, "nope");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // Garbage instead of HELLO: structured ERR frame, then close.
+  {
+    auto sock = Socket::ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(sock.ok());
+    const std::string frame = EncodeFrame("NOTAVERB");
+    ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+    FrameDecoder decoder;
+    char buf[1024];
+    std::string payload;
+    while (decoder.Next(&payload) != FrameDecoder::Result::kFrame) {
+      auto n = sock->Recv(buf, sizeof(buf));
+      ASSERT_TRUE(n.ok());
+      ASSERT_GT(*n, 0u);
+      decoder.Feed(buf, *n);
+    }
+    auto msg = ParseWireMessage(payload);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->verb, std::string(kVerbErr));
+    Status error;
+    ASSERT_TRUE(ParseStatusFields(*msg, &error).ok());
+    EXPECT_EQ(error.code(), StatusCode::kFailedPrecondition);
+  }
+
+  // An oversized length prefix poisons the connection with ERR.
+  {
+    auto sock = Socket::ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(sock.ok());
+    const char huge[4] = {0x7f, 0x7f, 0x7f, 0x7f};
+    ASSERT_TRUE(sock->SendAll(huge, sizeof(huge)).ok());
+    FrameDecoder decoder;
+    char buf[1024];
+    std::string payload;
+    while (decoder.Next(&payload) != FrameDecoder::Result::kFrame) {
+      auto n = sock->Recv(buf, sizeof(buf));
+      ASSERT_TRUE(n.ok());
+      ASSERT_GT(*n, 0u);
+      decoder.Feed(buf, *n);
+    }
+    auto msg = ParseWireMessage(payload);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->verb, std::string(kVerbErr));
+  }
+
+  // A malformed batch is an ERR, and the connection stays usable.
+  {
+    auto client =
+        BlowfishClient::Connect("127.0.0.1", port, kPolicyId, kTenantA);
+    ASSERT_TRUE(client.ok());
+    auto bad = (*client)->SubmitBatchText("no_such_kind eps=0.5\n");
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    auto good = (*client)->SubmitBatchText("histogram eps=0.25\n");
+    ASSERT_TRUE(good.ok()) << good.status().ToString();
+    EXPECT_TRUE((*good)[0].status.ok());
+    EXPECT_TRUE((*client)->Bye().ok());
+  }
+
+  (*server)->Stop();
+  EXPECT_GE((*server)->stats().protocol_errors, 2u);
+}
+
+TEST(NetE2eTest, OversizedResponsePayloadBecomesAStructuredError) {
+  // A histogram over a 60k-value domain serves fine in-process but
+  // cannot fit one RESULT frame (~1.1 MB of %.17g values vs the 1 MiB
+  // cap). The wire must degrade to a structured per-query error with
+  // the receipt intact — never a daemon assert or a poisoned client
+  // connection.
+  EngineHostOptions options;
+  options.num_threads = 1;
+  options.root_seed = kSeed;
+  auto domain = LineDomain(60000);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host(options);
+  ASSERT_TRUE(
+      host.AddTenant(kPolicyId, "big", policy, MakeData(domain, 100, 9))
+          .ok());
+  auto server = BlowfishServer::Start(&host);
+  ASSERT_TRUE(server.ok());
+  auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                        kPolicyId, "big");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto responses = (*client)->SubmitBatchText("histogram eps=0.5\n");
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses->size(), 1u);
+  EXPECT_EQ((*responses)[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE((*responses)[0].status.message().find("frame cap"),
+            std::string::npos);
+  EXPECT_TRUE((*responses)[0].values.empty());
+  // The release happened and the budget WAS charged; the receipt says
+  // so even though the payload could not be delivered.
+  EXPECT_EQ((*responses)[0].receipt.charged, 0.5);
+  auto engine = host.engine(kPolicyId, "big");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->accountant().Spent(""), 0.5);
+
+  // Oversized request lines fail fast client-side...
+  const std::string giant =
+      "histogram eps=0.5 label=" + std::string(kMaxRequestLine, 'x') +
+      "\n";
+  EXPECT_EQ((*client)->SubmitBatchText(giant).status().code(),
+            StatusCode::kInvalidArgument);
+  // ...and are refused server-side for a client that skips the check,
+  // with the connection left usable.
+  {
+    auto sock = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(sock.ok());
+    auto send_payload = [&](const std::string& payload) {
+      const std::string frame = EncodeFrame(payload);
+      ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+    };
+    FrameDecoder decoder;
+    char buf[4096];
+    auto read_payload = [&]() {
+      std::string payload;
+      while (decoder.Next(&payload) != FrameDecoder::Result::kFrame) {
+        auto n = sock->Recv(buf, sizeof(buf));
+        EXPECT_TRUE(n.ok());
+        if (!n.ok() || *n == 0) return std::string();
+        decoder.Feed(buf, *n);
+      }
+      return payload;
+    };
+    send_payload(EncodeHelloPayload(kPolicyId, "big"));
+    EXPECT_NE(read_payload().find(kVerbOk), std::string::npos);
+    send_payload(EncodeSubmitPayload(1));
+    send_payload(EncodeReqPayload("histogram eps=0.5 label=" +
+                                  std::string(kMaxRequestLine + 1, 'x')));
+    const std::string err = read_payload();
+    auto msg = ParseWireMessage(err);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->verb, std::string(kVerbErr));
+    Status refused;
+    ASSERT_TRUE(ParseStatusFields(*msg, &refused).ok());
+    EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE((*client)->Bye().ok());
+}
+
+TEST(NetE2eTest, StopMidBatchStillDeliversTheBatch) {
+  // Drain-on-SIGTERM semantics: Stop() must let a batch in flight
+  // finish and flush — the client still sees RESULTs through DONE.
+  auto host = MakeHost(2);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                        kPolicyId, kTenantA);
+  ASSERT_TRUE(client.ok());
+
+  std::thread stopper;
+  std::atomic<bool> stop_started{false};
+  auto responses = (*client)->SubmitBatchText(
+      kBatchText, [&](size_t, const QueryResponse&) {
+        if (stop_started.exchange(true)) return;
+        stopper = std::thread([&]() { (*server)->Stop(); });
+      });
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  EXPECT_EQ(responses->size(), 4u);
+  for (const QueryResponse& response : *responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  if (stopper.joinable()) stopper.join();
+}
+
+}  // namespace
+}  // namespace blowfish

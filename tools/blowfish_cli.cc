@@ -20,6 +20,9 @@
 //                          [--cache_file warm.cache] [--stream]
 //   blowfish_cli sessions  --config host.cfg [--tenant name]
 //                          [--ledger_file spend.ledger]
+//   blowfish_cli remote    --port 7070 [--host 127.0.0.1]
+//                          --policy <policy_id> --tenant <name>
+//                          --requests reqs.txt [--stream]
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
@@ -39,7 +42,11 @@
 // prints each query's response the moment it completes instead of
 // waiting for its whole batch. The query kinds `batch`/`serve` accept
 // are whatever the QueryOpRegistry holds (see src/engine/ops/) — this
-// file names none of them.
+// file names none of them. The `remote` command ships the same batch
+// file to a running `blowfish_serverd` over the wire protocol
+// (net/client.h) and prints the streamed responses; the tenant key is
+// the (policy id, tenant name) pair the daemon's serve config
+// registered.
 
 #include <cstdio>
 #include <cstring>
@@ -63,7 +70,9 @@
 #include "mech/laplace.h"
 #include "mech/ordered.h"
 #include "mech/ordered_hierarchical.h"
+#include "net/client.h"
 #include "server/engine_host.h"
+#include "server/host_builder.h"
 #include "server/serve_config.h"
 #include "util/parse.h"
 #include "util/random.h"
@@ -92,14 +101,6 @@ struct Args {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
-}
-
-StatusOr<std::string> ReadFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::NotFound("cannot open '" + path + "'");
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  return buffer.str();
 }
 
 StatusOr<std::vector<double>> ParseDoubleList(const std::string& s,
@@ -215,86 +216,12 @@ void PrintCacheStats(const SensitivityCache& cache) {
               static_cast<unsigned long long>(stats.evictions));
 }
 
-/// Loads a tenant's policy spec and CSV according to its config block.
-StatusOr<std::pair<Policy, Dataset>> LoadTenant(const TenantConfig& tenant) {
-  BLOWFISH_ASSIGN_OR_RETURN(std::string spec_text,
-                            ReadFile(tenant.policy_file));
-  BLOWFISH_ASSIGN_OR_RETURN(ParsedPolicy parsed,
-                            ParsePolicySpec(spec_text));
-  const Policy& policy = parsed.policy;
-  if (tenant.columns.size() != policy.domain().num_attributes()) {
-    return Status::InvalidArgument(
-        "tenant '" + tenant.name +
-        "': number of columns must match the policy's attributes");
-  }
-  std::vector<CsvColumnSpec> specs;
-  for (size_t i = 0; i < tenant.columns.size(); ++i) {
-    CsvColumnSpec spec;
-    spec.column = tenant.columns[i];
-    spec.attribute = policy.domain().attribute(i);
-    if (tenant.bin_width.has_value()) spec.bin_width = *tenant.bin_width;
-    specs.push_back(spec);
-  }
-  BLOWFISH_ASSIGN_OR_RETURN(Dataset data,
-                            LoadCsvFile(tenant.csv_file, specs));
-  return std::make_pair(std::move(parsed.policy), std::move(data));
-}
-
-/// Builds the host and registers every tenant from the config; opens the
-/// tenants' declared budget sessions. Tenant keys are (policy file,
-/// tenant name). Shared by `serve` and `sessions`.
-StatusOr<std::unique_ptr<EngineHost>> BuildHost(const ServeConfig& config) {
-  EngineHostOptions host_options;
-  host_options.num_threads = config.threads;
-  host_options.cache_capacity = config.cache_capacity;
-  if (config.seed.has_value()) host_options.root_seed = *config.seed;
-  auto host = std::make_unique<EngineHost>(host_options);
-  if (!config.cache_file.empty()) {
-    Status loaded = host->cache().LoadFromFile(config.cache_file);
-    // A missing file is a cold start, not an error.
-    if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
-      return loaded;
-    }
-  }
-  for (const TenantConfig& tenant : config.tenants) {
-    BLOWFISH_ASSIGN_OR_RETURN(auto loaded, LoadTenant(tenant));
-    TenantOptions tenant_options;
-    tenant_options.default_session_budget = tenant.budget;
-    tenant_options.root_seed = tenant.seed;
-    BLOWFISH_RETURN_IF_ERROR(
-        host->AddTenant(tenant.policy_file, tenant.name,
-                        std::move(loaded.first), std::move(loaded.second),
-                        tenant_options));
-    if (!tenant.sessions.empty() || !tenant.ledger_file.empty()) {
-      // Opening sessions / loading the ledger needs the accountant,
-      // which forces the engine.
-      BLOWFISH_ASSIGN_OR_RETURN(
-          ReleaseEngine * engine,
-          host->engine(tenant.policy_file, tenant.name));
-      for (const auto& [name, budget] : tenant.sessions) {
-        BLOWFISH_RETURN_IF_ERROR(
-            engine->accountant().OpenSession(name, budget));
-      }
-      if (!tenant.ledger_file.empty()) {
-        // The ledger carries spend from earlier processes and overrides
-        // the opening balances above. A missing file is a cold start.
-        Status loaded =
-            engine->accountant().LoadFromFile(tenant.ledger_file);
-        if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
-          return loaded;
-        }
-      }
-    }
-  }
-  return host;
-}
-
 StatusOr<ServeConfig> LoadServeConfig(Args& args) {
   const char* config_path = args.Get("config");
   if (config_path == nullptr) {
     return Status::InvalidArgument("--config <file> is required");
   }
-  BLOWFISH_ASSIGN_OR_RETURN(std::string text, ReadFile(config_path));
+  BLOWFISH_ASSIGN_OR_RETURN(std::string text, ReadTextFile(config_path));
   BLOWFISH_ASSIGN_OR_RETURN(ServeConfig config, ParseServeConfig(text));
   if (const char* t = args.Get("threads")) {
     BLOWFISH_ASSIGN_OR_RETURN(uint64_t threads,
@@ -333,7 +260,7 @@ int RunServe(Args& args) {
   if (!config.ok()) return Fail(config.status().ToString());
   Status ledger = ApplyLedgerOverride(args, &*config);
   if (!ledger.ok()) return Fail(ledger.ToString());
-  auto host = BuildHost(*config);
+  auto host = BuildHostFromConfig(*config);
   if (!host.ok()) return Fail(host.status().ToString());
   std::printf("# serving %zu tenants on %zu pool threads\n",
               config->tenants.size(), (*host)->pool().size());
@@ -349,7 +276,7 @@ int RunServe(Args& args) {
   std::vector<PendingBatch> pending;
   for (const TenantConfig& tenant : config->tenants) {
     if (tenant.requests_file.empty()) continue;
-    auto request_text = ReadFile(tenant.requests_file);
+    auto request_text = ReadTextFile(tenant.requests_file);
     if (!request_text.ok()) return Fail(request_text.status().ToString());
     auto requests = ParseBatchRequests(*request_text);
     if (!requests.ok()) {
@@ -392,18 +319,20 @@ int RunServe(Args& args) {
     std::printf("### tenant %s\n%s", tenant.name.c_str(),
                 (*engine)->accountant().ToString().c_str());
   }
+  // One shared flush path with blowfish_serverd's drain
+  // (server/host_builder.h), so the daemon and the CLI cannot diverge
+  // on what persists.
+  Status saved = SaveHostState(**host, *config);
+  if (!saved.ok()) return Fail(saved.ToString());
   if (!config->cache_file.empty()) {
-    Status saved = (*host)->cache().SaveToFile(config->cache_file);
-    if (!saved.ok()) return Fail(saved.ToString());
     std::printf("# sensitivity cache saved to %s (%zu entries)\n",
                 config->cache_file.c_str(), (*host)->cache().size());
   }
   for (const TenantConfig& tenant : config->tenants) {
     if (tenant.ledger_file.empty()) continue;
-    auto engine = (*host)->engine(tenant.policy_file, tenant.name);
-    if (!engine.ok()) continue;  // construction failure already reported
-    Status saved = (*engine)->accountant().SaveToFile(tenant.ledger_file);
-    if (!saved.ok()) return Fail(saved.ToString());
+    // Construction failures have no accountant to flush (and were
+    // already reported above).
+    if (!(*host)->engine(tenant.policy_file, tenant.name).ok()) continue;
     std::printf("# tenant %s budget ledger saved to %s\n",
                 tenant.name.c_str(), tenant.ledger_file.c_str());
   }
@@ -478,13 +407,82 @@ int RunSessions(Args& args) {
   return 0;
 }
 
+/// Prints wire responses in the `batch` output shape. The kind names
+/// live server-side (the wire carries labels, not ops), so the header
+/// line has no kind= field.
+void PrintWireResponses(const std::vector<QueryResponse>& responses) {
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const QueryResponse& resp = responses[i];
+    std::printf("## query %zu label=%s status=%s\n", i,
+                resp.label.c_str(),
+                resp.status.ok() ? "OK" : resp.status.ToString().c_str());
+    if (!resp.status.ok()) {
+      if (resp.receipt.refunded) {
+        std::printf("# refunded=%g remaining=%g session=%s\n",
+                    resp.receipt.charged, resp.receipt.remaining,
+                    resp.receipt.session.empty()
+                        ? "(default)"
+                        : resp.receipt.session.c_str());
+      }
+      continue;
+    }
+    std::printf(
+        "# sensitivity=%g cache_hit=%d eps=%g charged=%g remaining=%g "
+        "session=%s%s\n",
+        resp.sensitivity, resp.cache_hit ? 1 : 0, resp.receipt.epsilon,
+        resp.receipt.charged, resp.receipt.remaining,
+        resp.receipt.session.empty() ? "(default)"
+                                     : resp.receipt.session.c_str(),
+        resp.receipt.parallel ? " parallel=1" : "");
+    for (size_t v = 0; v < resp.values.size(); ++v) {
+      std::printf("%s%.6f", v == 0 ? "" : ",", resp.values[v]);
+    }
+    if (!resp.values.empty()) std::printf("\n");
+  }
+}
+
+int RunRemote(Args& args) {
+  const char* address = args.Get("host", "127.0.0.1");
+  const char* port_text = args.Get("port");
+  if (port_text == nullptr) return Fail("--port <number> is required");
+  auto port = ParseNonNegativeInt(port_text, "--port");
+  if (!port.ok()) return Fail(port.status().ToString());
+  if (*port == 0 || *port > 65535) return Fail("--port out of range");
+  const char* policy_id = args.Get("policy");
+  const char* tenant = args.Get("tenant");
+  if (policy_id == nullptr || tenant == nullptr) {
+    return Fail(
+        "--policy <id> and --tenant <name> are required (the tenant key "
+        "the daemon's serve config registered)");
+  }
+  const char* requests_path = args.Get("requests");
+  if (requests_path == nullptr) return Fail("--requests <file> required");
+  auto request_text = ReadTextFile(requests_path);
+  if (!request_text.ok()) return Fail(request_text.status().ToString());
+
+  auto client = BlowfishClient::Connect(address,
+                                        static_cast<uint16_t>(*port),
+                                        policy_id, tenant);
+  if (!client.ok()) return Fail(client.status().ToString());
+  const bool stream = args.GetBool("stream");
+  BlowfishClient::ResultCallback on_result;
+  if (stream) on_result = StreamPrinter("");
+  auto responses = (*client)->SubmitBatchText(*request_text, on_result);
+  if (!responses.ok()) return Fail(responses.status().ToString());
+  if (!stream) PrintWireResponses(*responses);
+  Status bye = (*client)->Bye();
+  if (!bye.ok()) return Fail(bye.ToString());
+  return 0;
+}
+
 int RunCli(Args args) {
   if (args.command == "serve") return RunServe(args);
   if (args.command == "sessions") return RunSessions(args);
+  if (args.command == "remote") return RunRemote(args);
 
   const char* policy_path = args.Get("policy");
   if (policy_path == nullptr) return Fail("--policy <file> is required");
-  auto spec_text = ReadFile(policy_path);
+  auto spec_text = ReadTextFile(policy_path);
   if (!spec_text.ok()) return Fail(spec_text.status().ToString());
   auto parsed = ParsePolicySpec(*spec_text);
   if (!parsed.ok()) return Fail(parsed.status().ToString());
@@ -541,7 +539,7 @@ int RunCli(Args args) {
   if (args.command == "batch") {
     const char* requests_path = args.Get("requests");
     if (requests_path == nullptr) return Fail("--requests <file> required");
-    auto request_text = ReadFile(requests_path);
+    auto request_text = ReadTextFile(requests_path);
     if (!request_text.ok()) return Fail(request_text.status().ToString());
     auto requests = ParseBatchRequests(*request_text);
     if (!requests.ok()) return Fail(requests.status().ToString());
@@ -703,6 +701,10 @@ int main(int argc, char** argv) {
                  "[--ledger_file <file>]\n"
                  "       blowfish_cli sessions --config <file> "
                  "[--tenant <name>] [--ledger_file <file>]\n"
+                 "       blowfish_cli remote   --port <p> "
+                 "[--host 127.0.0.1] --policy <id> --tenant <name>\n"
+                 "                             --requests <file> "
+                 "[--stream]\n"
                  "batch request kinds: %s\n",
                  blowfish::QueryOpRegistry::Global().KnownKindsString()
                      .c_str());

@@ -1,0 +1,160 @@
+// blowfish_serverd — the TCP wire-protocol daemon.
+//
+//   blowfish_serverd --config host.cfg [--port 7070] [--bind 127.0.0.1]
+//                    [--threads 4] [--cache_file warm.cache]
+//                    [--print_port]
+//
+// Builds a multi-tenant EngineHost from the same serve config
+// `blowfish_cli serve` uses (server/serve_config.h), then serves the
+// wire protocol of src/net/ until SIGTERM or SIGINT:
+//
+//   * --port 0 (the default) binds an ephemeral port; the bound port is
+//     printed on startup (just the number with --print_port, so
+//     scripts and tests can scrape it).
+//   * On SIGTERM/SIGINT the daemon drains gracefully: it stops
+//     accepting, lets every in-flight batch finish and flush its
+//     frames, joins the connection threads, then writes the budget
+//     ledgers and the sensitivity cache back to the config's files
+//     (server/host_builder.h, SaveHostState) before exiting 0 — a
+//     restarted daemon refuses what this process's clients already
+//     spent.
+//
+// Clients: `blowfish_cli remote` or the BlowfishClient library
+// (net/client.h). docs/server.md documents the frame grammar and shows
+// a raw nc(1) transcript.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "net/server.h"
+#include "server/host_builder.h"
+#include "util/parse.h"
+
+namespace blowfish {
+namespace {
+
+/// Self-pipe: the signal handler writes one byte; main blocks on the
+/// read side. The only async-signal-safe thing the handler does is
+/// write(2).
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int /*signum*/) {
+  const char byte = 1;
+  // Best effort: a full pipe means a wakeup is already pending.
+  [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  std::string config_path;
+  ServerOptions server_options;
+  std::string threads_override;
+  std::string cache_file_override;
+  bool print_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--config") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--config needs a file");
+      config_path = v;
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--port needs a value");
+      auto port = ParseNonNegativeInt(v, "--port");
+      if (!port.ok()) return Fail(port.status().ToString());
+      if (*port > 65535) return Fail("--port out of range");
+      server_options.port = static_cast<uint16_t>(*port);
+    } else if (flag == "--bind") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--bind needs an address");
+      server_options.bind_address = v;
+    } else if (flag == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--threads needs a value");
+      threads_override = v;
+    } else if (flag == "--cache_file") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--cache_file needs a file");
+      cache_file_override = v;
+    } else if (flag == "--print_port") {
+      print_port = true;
+    } else {
+      return Fail("unknown flag '" + flag +
+                  "' (usage: blowfish_serverd --config <file> [--port p] "
+                  "[--bind addr] [--threads n] [--cache_file f] "
+                  "[--print_port])");
+    }
+  }
+  if (config_path.empty()) {
+    return Fail("--config <file> is required");
+  }
+
+  auto config = LoadServeConfigFile(config_path);
+  if (!config.ok()) return Fail(config.status().ToString());
+  if (!threads_override.empty()) {
+    auto threads = ParseNonNegativeInt(threads_override, "--threads");
+    if (!threads.ok()) return Fail(threads.status().ToString());
+    config->threads = static_cast<size_t>(*threads);
+  }
+  if (!cache_file_override.empty()) config->cache_file = cache_file_override;
+
+  auto host = BuildHostFromConfig(*config);
+  if (!host.ok()) return Fail(host.status().ToString());
+
+  if (::pipe(g_signal_pipe) != 0) {
+    return Fail(std::string("pipe: ") + std::strerror(errno));
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // dead peers are error returns, not exits
+
+  auto server = BlowfishServer::Start(host->get(), server_options);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  if (print_port) {
+    std::printf("%u\n", (*server)->port());
+  } else {
+    std::printf("# blowfish_serverd listening on %s:%u (%zu tenants, %zu "
+                "pool threads)\n",
+                server_options.bind_address.c_str(), (*server)->port(),
+                (*host)->Tenants().size(), (*host)->pool().size());
+  }
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("# draining: in-flight batches complete, ledgers flush\n");
+  std::fflush(stdout);
+  (*server)->Stop();
+  const BlowfishServer::Stats stats = (*server)->stats();
+  Status saved = SaveHostState(**host, *config);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::printf("# served %llu batches over %llu connections "
+              "(%llu protocol errors); state flushed\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
+}  // namespace
+}  // namespace blowfish
+
+int main(int argc, char** argv) { return blowfish::Run(argc, argv); }
