@@ -74,7 +74,7 @@ StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
     const std::vector<std::vector<uint64_t>>& cell_groups,
     const std::vector<double>& epsilon_per_group, Random& rng,
     PrivacyAccountant* accountant, uint64_t max_edges,
-    size_t max_policy_graph_vertices, uint64_t max_pairs) {
+    uint64_t max_pairs, size_t max_policy_graph_vertices) {
   if (cell_groups.empty() ||
       cell_groups.size() != epsilon_per_group.size()) {
     return Status::InvalidArgument(

@@ -95,8 +95,8 @@ StatusOr<ParallelCellHistogramResult> ParallelCellHistogramRelease(
     const std::vector<double>& epsilon_per_group, Random& rng,
     PrivacyAccountant* accountant = nullptr,
     uint64_t max_edges = uint64_t{1} << 24,
-    size_t max_policy_graph_vertices = 24,
-    uint64_t max_pairs = uint64_t{1} << 28);
+    uint64_t max_pairs = uint64_t{1} << 28,
+    size_t max_policy_graph_vertices = 24);
 
 }  // namespace blowfish
 

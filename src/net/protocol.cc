@@ -47,7 +47,10 @@ StatusOr<double> ParseWireDouble(const std::string& text,
 
 StatusOr<uint64_t> ParseWireUint(const std::string& text,
                                  const std::string& context) {
-  if (text.empty() || text[0] == '-' || text[0] == '+') {
+  // Require a leading digit: strtoull itself skips leading whitespace
+  // and wraps negatives, so an escaped " -5" would otherwise smuggle
+  // through as a huge uint64 instead of being rejected.
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
     return Status::InvalidArgument("malformed integer '" + text +
                                    "' for " + context);
   }
@@ -243,8 +246,18 @@ std::string EncodeOkPayload() {
 
 std::string EncodeErrorPayload(const Status& status) {
   WireMessageBuilder b(kVerbErr);
-  b.Add("code", StatusCodeToString(status.code()))
-      .Add("msg", status.message());
+  b.Add("code", StatusCodeToString(status.code()));
+  // Error messages echo client-controlled text of up to a full frame,
+  // and escaping expands up to 3x; truncate so the ERR frame itself
+  // can never exceed the frame cap (see kMaxErrorMessageBytes).
+  if (status.message().size() <= kMaxErrorMessageBytes) {
+    b.Add("msg", status.message());
+  } else {
+    std::string truncated = status.message().substr(0, kMaxErrorMessageBytes);
+    truncated += " ...[truncated from " +
+                 std::to_string(status.message().size()) + " bytes]";
+    b.Add("msg", truncated);
+  }
   return b.payload();
 }
 

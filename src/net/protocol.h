@@ -66,6 +66,15 @@ constexpr uint32_t kProtocolVersion = 1;
 /// escaping (worst case 3x).
 constexpr size_t kMaxRequestLine = size_t{64} << 10;  // 64 KiB
 
+/// Cap on the message text of an ERR frame. Error messages echo
+/// client-controlled bytes (bad verbs, tenant ids, malformed tokens)
+/// that are bounded only by the 1 MiB frame cap on the way IN — and
+/// %XX escaping can expand them 3x on the way back OUT, past the frame
+/// cap. EncodeErrorPayload truncates to this cap so an ERR frame
+/// always encodes (a client can never drive the daemon into the
+/// EncodeFrame oversize assert with a giant malformed message).
+constexpr size_t kMaxErrorMessageBytes = 512;
+
 // Verbs (message payloads start with one of these).
 inline constexpr char kVerbHello[] = "HELLO";
 inline constexpr char kVerbOk[] = "OK";
@@ -77,8 +86,10 @@ inline constexpr char kVerbReceipt[] = "RECEIPT";
 inline constexpr char kVerbDone[] = "DONE";
 inline constexpr char kVerbBye[] = "BYE";
 
-/// Percent-escapes a raw field value: '%', space, '=', control bytes,
-/// and non-ASCII become %XX. The result contains only printable ASCII
+/// Percent-escapes a raw field value: '%', space, control bytes, and
+/// non-ASCII become %XX. '=' is allowed unescaped in values: parsers
+/// split each token on its FIRST '=' (keys never contain one), so any
+/// later '=' is value bytes. The result contains only printable ASCII
 /// with no spaces, so messages tokenize on single spaces.
 std::string EscapeWireField(const std::string& raw);
 
@@ -134,7 +145,10 @@ std::string EncodeHelloPayload(const std::string& policy_id,
 /// OK proto=<version>
 std::string EncodeOkPayload();
 
-/// ERR code=<CODE_NAME> msg=<escaped> — a structured Status on the wire.
+/// ERR code=<CODE_NAME> msg=<escaped> — a structured Status on the
+/// wire. Messages past kMaxErrorMessageBytes are truncated (with a
+/// marker naming the original length), so the payload always fits one
+/// frame no matter how much client text the status echoes.
 std::string EncodeErrorPayload(const Status& status);
 
 /// Reconstructs the Status carried by an ERR message (or by the

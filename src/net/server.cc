@@ -1,6 +1,8 @@
 #include "net/server.h"
 
+#include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "net/frame.h"
@@ -14,6 +16,11 @@ namespace {
 /// connection thread collecting REQ frames forever.
 constexpr uint64_t kMaxBatchLines = 65536;
 
+/// The batch's TOTAL text is capped separately: the per-line and
+/// per-batch caps compose to ~4.3 GiB, which one connection could
+/// otherwise make the daemon buffer before any engine-side validation.
+constexpr size_t kMaxBatchBytes = size_t{8} << 20;  // 8 MiB
+
 }  // namespace
 
 StatusOr<std::unique_ptr<BlowfishServer>> BlowfishServer::Start(
@@ -23,14 +30,17 @@ StatusOr<std::unique_ptr<BlowfishServer>> BlowfishServer::Start(
       ListenSocket::BindTcp(options.bind_address, options.port,
                             options.accept_backlog));
   std::unique_ptr<BlowfishServer> server(
-      new BlowfishServer(host, std::move(listener)));
+      new BlowfishServer(host, std::move(listener), options));
   server->accept_thread_ =
       std::thread([raw = server.get()]() { raw->AcceptLoop(); });
   return server;
 }
 
-BlowfishServer::BlowfishServer(EngineHost* host, ListenSocket listener)
-    : host_(host), listener_(std::move(listener)) {}
+BlowfishServer::BlowfishServer(EngineHost* host, ListenSocket listener,
+                               ServerOptions options)
+    : host_(host),
+      listener_(std::move(listener)),
+      options_(std::move(options)) {}
 
 BlowfishServer::~BlowfishServer() { Stop(); }
 
@@ -54,6 +64,24 @@ void BlowfishServer::Stop() {
     connections.swap(connections_);
   }
   for (auto& conn : connections) conn->sock.ShutdownRead();
+  // Grace period for handlers to flush the batch in flight. Past it,
+  // escalate to a full shutdown: SHUT_RD wakes a blocked recv() but
+  // NOT a send() stalled against a client that stopped reading —
+  // SHUT_RDWR does (as does the per-send timeout), so drain cannot
+  // hang on a stalled client. The handler thread itself may still be
+  // waiting on its batch future; the joins below wait for that (budget
+  // settlement must finish before the ledger flush that follows
+  // Stop() in blowfish_serverd).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_grace_ms);
+  for (auto& conn : connections) {
+    while (!conn->finished.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!conn->finished.load()) conn->sock.ShutdownBoth();
+  }
   for (auto& conn : connections) {
     if (conn->thread.joinable()) conn->thread.join();
   }
@@ -80,6 +108,11 @@ void BlowfishServer::AcceptLoop() {
     if (!sock.ok()) break;  // listener shut down (or fatal): exit
     auto conn = std::make_unique<Connection>();
     conn->sock = std::move(*sock);
+    if (options_.send_timeout_ms > 0) {
+      // Best effort: an unbounded writer is a liveness hazard, not a
+      // correctness one, and the escalation in Stop() still covers it.
+      (void)conn->sock.SetSendTimeout(options_.send_timeout_ms);
+    }
     Connection* raw = conn.get();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -102,9 +135,14 @@ void BlowfishServer::WriteFrame(Connection* conn,
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->dead.load()) return;
   const std::string frame = EncodeFrame(payload);
-  if (!conn->sock.SendAll(frame.data(), frame.size()).ok()) {
-    // The peer is gone. Engine-side work is unaffected; just stop
-    // writing so completion callbacks become no-ops.
+  // One deadline per frame, covering all its partial writes: a client
+  // that stops reading (or trickle-reads) costs the writing thread at
+  // most send_timeout_ms before the connection is declared dead.
+  if (!conn->sock
+           .SendAll(frame.data(), frame.size(), options_.send_timeout_ms)
+           .ok()) {
+    // The peer is gone or stalled. Engine-side work is unaffected;
+    // just stop writing so completion callbacks become no-ops.
     conn->dead.store(true);
   }
 }
@@ -215,6 +253,7 @@ void BlowfishServer::HandleConnection(Connection* conn) {
     std::string text;
     bool broken = false;
     bool oversized_line = false;
+    bool oversized_batch = false;
     for (uint64_t i = 0; i < *num_lines; ++i) {
       const int req_rc = read_frame(&payload);
       if (req_rc <= 0) {
@@ -242,6 +281,10 @@ void BlowfishServer::HandleConnection(Connection* conn) {
         oversized_line = true;
         continue;  // keep consuming the batch's remaining REQ frames
       }
+      if (text.size() + line->size() + 1 > kMaxBatchBytes) {
+        oversized_batch = true;
+        continue;  // likewise: drain the frames, buffer nothing more
+      }
       text.append(*line);
       text.push_back('\n');
     }
@@ -250,6 +293,13 @@ void BlowfishServer::HandleConnection(Connection* conn) {
       WriteFrame(conn, EncodeErrorPayload(Status::ResourceExhausted(
                            "request line exceeds the " +
                            std::to_string(kMaxRequestLine) +
+                           "-byte cap")));
+      continue;  // batch refused; the connection stays usable
+    }
+    if (oversized_batch) {
+      WriteFrame(conn, EncodeErrorPayload(Status::ResourceExhausted(
+                           "batch text exceeds the " +
+                           std::to_string(kMaxBatchBytes) +
                            "-byte cap")));
       continue;  // batch refused; the connection stays usable
     }

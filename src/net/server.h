@@ -23,9 +23,13 @@
 //
 // Drain: Stop() stops accepting, half-closes every connection's read
 // side (idle connections wake and exit; busy ones finish the batch in
-// flight, flush its frames, then exit), and joins all threads.
-// blowfish_serverd wires SIGTERM to exactly this, then flushes budget
-// ledgers before exiting.
+// flight, flush its frames, then exit), and joins all threads. A
+// connection still running after ServerOptions::drain_grace_ms gets a
+// full shutdown — that (plus the per-frame write deadline) unblocks a
+// writer stalled on a client that stopped reading, so drain always
+// terminates; the batch still settles engine-side, but frames past
+// the deadline are not delivered. blowfish_serverd wires SIGTERM to
+// exactly this, then flushes budget ledgers before exiting.
 
 #ifndef BLOWFISH_NET_SERVER_H_
 #define BLOWFISH_NET_SERVER_H_
@@ -50,6 +54,25 @@ struct ServerOptions {
   /// 0 = ephemeral; the resolved port is available via port().
   uint16_t port = 0;
   int accept_backlog = 64;
+  /// Per-FRAME write deadline on connection sockets. Completion
+  /// callbacks write RESULT frames from shared engine pool threads, so
+  /// a client that stops reading (full TCP send buffer) — or
+  /// trickle-reads just enough to keep a per-send() bound resetting —
+  /// would otherwise pin a pool thread, stalling serving for every
+  /// tenant. The deadline covers ALL of one frame's partial writes;
+  /// on expiry the connection is marked dead and the batch settles
+  /// engine-side exactly as on connection death. Also installed as
+  /// SO_SNDTIMEO (per-send floor). 0 disables the bound (tests only).
+  int send_timeout_ms = 30000;
+  /// Stop(): how long after the read-side half-close to wait for
+  /// handlers to flush their in-flight batch before escalating to a
+  /// full shutdown (the backstop that bounds SIGTERM drain even with
+  /// send_timeout_ms = 0 — SHUT_RD wakes readers but never a writer
+  /// blocked in send()). The tradeoff is explicit: a batch still
+  /// running at the deadline keeps executing and settles its budget,
+  /// but its remaining frames are not delivered. Size it above the
+  /// slowest batch you intend to drain cleanly.
+  int drain_grace_ms = 30000;
 };
 
 class BlowfishServer {
@@ -94,7 +117,8 @@ class BlowfishServer {
     std::atomic<bool> finished{false};
   };
 
-  BlowfishServer(EngineHost* host, ListenSocket listener);
+  BlowfishServer(EngineHost* host, ListenSocket listener,
+                 ServerOptions options);
 
   void AcceptLoop();
   void HandleConnection(Connection* conn);
@@ -111,6 +135,7 @@ class BlowfishServer {
 
   EngineHost* host_;
   ListenSocket listener_;
+  ServerOptions options_;
   std::thread accept_thread_;
   /// Serializes Stop(); `stopped_` (guarded by it) makes later calls
   /// no-ops without re-joining anything.

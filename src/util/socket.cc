@@ -5,9 +5,12 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
 namespace blowfish {
@@ -62,16 +65,67 @@ StatusOr<Socket> Socket::ConnectTcp(const std::string& address,
   return sock;
 }
 
-Status Socket::SendAll(const void* data, size_t len) {
+Status Socket::SendAll(const void* data, size_t len,
+                       int total_timeout_ms) {
   const char* p = static_cast<const char*>(data);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(total_timeout_ms);
   while (len > 0) {
-    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (total_timeout_ms > 0) {
+      // One deadline across every retry: partial progress must not
+      // restart the clock, or a trickle-reading peer pins the writer
+      // forever.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        return Status::Internal("send timed out (peer not reading)");
+      }
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("poll");
+      }
+      if (rc == 0) {
+        return Status::Internal("send timed out (peer not reading)");
+      }
+    }
+    // Under a deadline the send must not block — a blocking send() of
+    // a large remainder only returns once ALL of it is queued, which
+    // would let a slowly-draining peer stretch one send far past the
+    // deadline. poll() above is the only waiting point.
+    const int flags =
+        MSG_NOSIGNAL | (total_timeout_ms > 0 ? MSG_DONTWAIT : 0);
+    const ssize_t n = ::send(fd_, p, len, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Deadline path: poll() raced the peer; re-poll with whatever
+        // deadline remains.
+        if (total_timeout_ms > 0) continue;
+        // SO_SNDTIMEO expired: the peer stopped reading.
+        return Status::Internal("send timed out (peer not reading)");
+      }
       return ErrnoStatus("send");
     }
     p += n;
     len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetSendTimeout(int millis) {
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_SNDTIMEO)");
   }
   return Status::OK();
 }

@@ -44,8 +44,19 @@ class Socket {
 
   /// Writes all of `len` bytes (retrying partial writes and EINTR).
   /// SIGPIPE is suppressed (MSG_NOSIGNAL) — a dead peer is an error
-  /// return, never a process signal.
-  Status SendAll(const void* data, size_t len);
+  /// return, never a process signal. `total_timeout_ms` > 0 bounds the
+  /// WHOLE call: the deadline covers all retries, so a peer that
+  /// trickle-reads a few bytes per timeout window cannot keep the
+  /// write alive indefinitely the way a per-send() bound would (the
+  /// server passes its per-frame budget here; see
+  /// ServerOptions::send_timeout_ms). 0 = block until done.
+  Status SendAll(const void* data, size_t len, int total_timeout_ms = 0);
+
+  /// Bounds each individual blocking send() (SO_SNDTIMEO) — a
+  /// belt-and-braces floor under SendAll's poll-based deadline for the
+  /// rare send() that blocks after POLLOUT. 0 restores unbounded
+  /// blocking sends.
+  Status SetSendTimeout(int millis);
 
   /// Reads up to `cap` bytes; returns 0 on clean EOF. Retries EINTR.
   StatusOr<size_t> Recv(void* buf, size_t cap);

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -569,6 +570,201 @@ TEST(NetE2eTest, StopMidBatchStillDeliversTheBatch) {
     EXPECT_TRUE(response.status.ok()) << response.status.ToString();
   }
   if (stopper.joinable()) stopper.join();
+}
+
+TEST(NetE2eTest, ErrorFramesStayBoundedForHugeClientTokens) {
+  // EncodeErrorPayload caps echoed client text: a message that would
+  // escape to 3x the frame cap must still produce an encodable frame
+  // (RESULT frames were bounded from day one; ERR frames echo just as
+  // much attacker-controlled text).
+  const std::string giant(2 * kMaxFramePayload, '%');
+  const std::string payload =
+      EncodeErrorPayload(Status::InvalidArgument(giant));
+  EXPECT_LE(payload.size(), kMaxFramePayload);
+  EncodeFrame(payload);  // must not hit the oversize assert
+  auto msg = ParseWireMessage(payload);
+  ASSERT_TRUE(msg.ok());
+  Status decoded;
+  ASSERT_TRUE(ParseStatusFields(*msg, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.message().find("truncated"), std::string::npos);
+
+  // End to end: a ~700 KiB garbage verb of '%' fits the inbound frame
+  // cap, but "expected HELLO, got <verb>" escapes to ~2.1 MiB. The
+  // server must answer with a bounded ERR frame — not abort in
+  // EncodeFrame or emit an oversized frame that poisons the client
+  // decoder.
+  auto host = MakeHost(1);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  auto sock = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(sock.ok());
+  const std::string bad = EncodeFrame(std::string(700 << 10, '%'));
+  ASSERT_TRUE(sock->SendAll(bad.data(), bad.size()).ok());
+  FrameDecoder decoder;
+  char buf[4096];
+  std::string err;
+  while (decoder.Next(&err) != FrameDecoder::Result::kFrame) {
+    ASSERT_TRUE(decoder.error().ok()) << decoder.error().ToString();
+    auto n = sock->Recv(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u);
+    decoder.Feed(buf, *n);
+  }
+  auto wire = ParseWireMessage(err);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->verb, std::string(kVerbErr));
+  Status status;
+  ASSERT_TRUE(ParseStatusFields(*wire, &status).ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("expected HELLO"), std::string::npos);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+}
+
+TEST(NetE2eTest, BatchTotalBytesAreCapped) {
+  // Per-line (64 KiB) and per-batch (65536 lines) caps compose to
+  // ~4.3 GiB; the server must refuse a batch past the cumulative byte
+  // cap instead of buffering it all, and the connection stays usable.
+  auto host = MakeHost(1);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  auto sock = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(sock.ok());
+  auto send_payload = [&](const std::string& payload) {
+    const std::string frame = EncodeFrame(payload);
+    ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+  };
+  FrameDecoder decoder;
+  char buf[4096];
+  auto read_payload = [&]() {
+    std::string payload;
+    while (decoder.Next(&payload) != FrameDecoder::Result::kFrame) {
+      auto n = sock->Recv(buf, sizeof(buf));
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) return std::string();
+      decoder.Feed(buf, *n);
+    }
+    return payload;
+  };
+  send_payload(EncodeHelloPayload(kPolicyId, kTenantA));
+  EXPECT_NE(read_payload().find(kVerbOk), std::string::npos);
+  // 200 lines at exactly the per-line cap (each passes the line
+  // check) total ~12.8 MiB — past the 8 MiB batch cap.
+  send_payload(EncodeSubmitPayload(200));
+  const std::string line(kMaxRequestLine, 'x');
+  for (int i = 0; i < 200; ++i) send_payload(EncodeReqPayload(line));
+  auto msg = ParseWireMessage(read_payload());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->verb, std::string(kVerbErr));
+  Status refused;
+  ASSERT_TRUE(ParseStatusFields(*msg, &refused).ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.message().find("batch text"), std::string::npos);
+  // The connection survives the refusal.
+  send_payload(EncodeSubmitPayload(1));
+  send_payload(EncodeReqPayload("histogram eps=0.25"));
+  bool saw_done = false;
+  for (int i = 0; i < 8 && !saw_done; ++i) {
+    auto reply = ParseWireMessage(read_payload());
+    ASSERT_TRUE(reply.ok());
+    ASSERT_NE(reply->verb, std::string(kVerbErr));
+    saw_done = reply->verb == kVerbDone;
+  }
+  EXPECT_TRUE(saw_done);
+}
+
+TEST(NetE2eTest, SendTimeoutUnblocksAWriterOnAStalledPeer) {
+  auto listener = ListenSocket::BindTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto client = Socket::ConnectTcp("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(accepted->SetSendTimeout(100).ok());
+  // The peer never reads: once its receive window and our send buffer
+  // fill, the write can make no progress and must fail within the
+  // deadline rather than block the writing thread forever.
+  const std::string chunk(1 << 20, 'x');
+  Status status = Status::OK();
+  for (int i = 0; i < 256 && status.ok(); ++i) {
+    status = accepted->SendAll(chunk.data(), chunk.size(), 100);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("timed out"), std::string::npos);
+}
+
+TEST(NetE2eTest, SendDeadlineCoversATrickleReadingPeer) {
+  // The deadline is per SendAll call, NOT per send(): a peer reading a
+  // few bytes per window makes just enough progress to reset a
+  // per-send() bound forever, but cannot outlast one total deadline.
+  auto listener = ListenSocket::BindTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto client = Socket::ConnectTcp("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+  std::atomic<bool> stop_reading{false};
+  std::thread trickler([&]() {
+    char buf[4096];
+    while (!stop_reading.load()) {
+      auto n = client->Recv(buf, sizeof(buf));
+      if (!n.ok() || *n == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  // 64 MiB against a peer draining ~200 KiB/s: progress never stops,
+  // but the 300 ms total deadline must still fire.
+  const std::string huge(size_t{64} << 20, 'x');
+  const Status status = accepted->SendAll(huge.data(), huge.size(), 300);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("timed out"), std::string::npos);
+  stop_reading.store(true);
+  accepted->ShutdownBoth();
+  client->ShutdownBoth();
+  trickler.join();
+}
+
+TEST(NetE2eTest, StopCompletesAgainstAClientThatStoppedReading) {
+  // The reviewer scenario for the drain path: a client pipelines
+  // batches with large responses and never reads a byte. The server's
+  // writes stall on the full TCP buffer; the per-send timeout marks
+  // the connection dead, and Stop()'s ShutdownBoth escalation covers
+  // a writer still blocked (SHUT_RD alone never wakes a send()). The
+  // assertion is simply that Stop() returns.
+  EngineHostOptions options;
+  options.num_threads = 1;
+  options.root_seed = kSeed;
+  auto domain = LineDomain(20000);
+  Policy policy = Policy::FullDomain(domain).value();
+  EngineHost host(options);
+  ASSERT_TRUE(
+      host.AddTenant(kPolicyId, "big", policy, MakeData(domain, 50, 11))
+          .ok());
+  ServerOptions sopts;
+  sopts.send_timeout_ms = 100;
+  sopts.drain_grace_ms = 100;
+  auto server = BlowfishServer::Start(&host, sopts);
+  ASSERT_TRUE(server.ok());
+
+  auto sock = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(sock.ok());
+  auto send_payload = [&](const std::string& payload) {
+    const std::string frame = EncodeFrame(payload);
+    ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+  };
+  send_payload(EncodeHelloPayload(kPolicyId, "big"));
+  char buf[256];
+  auto n = sock->Recv(buf, sizeof(buf));  // the OK frame
+  ASSERT_TRUE(n.ok());
+  // Each batch's RESULT frame is ~400 KiB of %.17g values; 64 of them
+  // overflow any plausible socket buffering, so the handler wedges in
+  // send() partway through.
+  for (int i = 0; i < 64; ++i) {
+    send_payload(EncodeSubmitPayload(1));
+    send_payload(EncodeReqPayload("histogram eps=0.01"));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  (*server)->Stop();
 }
 
 }  // namespace

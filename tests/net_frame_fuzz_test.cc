@@ -270,5 +270,29 @@ TEST(NetFrameFuzzTest, DeterministicEdgeCases) {
   EXPECT_EQ(cap_over.Next(&payload), FrameDecoder::Result::kError);
 }
 
+TEST(NetFrameFuzzTest, UintFieldsRejectSignAndWhitespaceSmuggling) {
+  // strtoull skips leading whitespace and wraps negatives, so the
+  // parser must insist on a leading digit: an escaped " -5" is
+  // malformed, not 18446744073709551611.
+  auto expect_bad = [](const std::string& payload) {
+    auto msg = ParseWireMessage(payload);
+    ASSERT_TRUE(msg.ok()) << payload;
+    EXPECT_EQ(GetUintField(*msg, "n").status().code(),
+              StatusCode::kInvalidArgument)
+        << payload;
+  };
+  expect_bad("X n=%20-5");  // unescapes to " -5"
+  expect_bad("X n=%09-5");  // unescapes to "\t-5"
+  expect_bad("X n=-5");
+  expect_bad("X n=+5");
+  expect_bad("X n=5x");
+
+  auto msg = ParseWireMessage("X n=42");
+  ASSERT_TRUE(msg.ok());
+  auto value = GetUintField(*msg, "n");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42u);
+}
+
 }  // namespace
 }  // namespace blowfish
