@@ -14,10 +14,18 @@
 // per-batch-thread-spawn executor comparison (the reason
 // util/thread_pool.h exists), and whether an EngineHost batch is
 // bit-identical for any pool size (acceptance: it is).
+//
+// Alongside the CSV on stdout, the run is written as
+// BENCH_engine_throughput.json (override with --json <path>): cold and
+// warm throughput, a warm-cache sweep over pool sizes {0, 1, 8}, and
+// the pass/fail checks. bench/baselines/ holds a tracked baseline so a
+// perf regression shows up as a diff, not a memory.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -88,7 +96,13 @@ bool Identical(const std::vector<QueryResponse>& a,
   return true;
 }
 
-int Run() {
+/// One warm-cache sweep point: queries/sec at a given pool size.
+struct PoolPoint {
+  size_t pool_size = 0;
+  double warm_qps = 0.0;
+};
+
+int Run(const std::string& json_path) {
   constexpr uint64_t kMaxEdges = uint64_t{1} << 24;
   constexpr size_t kColdQueries = 3;
   constexpr size_t kWarmQueries = 64;
@@ -166,6 +180,37 @@ int Run() {
   std::printf("cache_misses,%llu\n",
               static_cast<unsigned long long>(stats.misses));
   std::printf("speedup_check,%s\n", speedup >= 5.0 ? "PASS" : "FAIL");
+
+  // --- Warm-cache throughput vs pool size. -------------------------------
+  // Pool size 0 is the inline executor (the submitting thread drains the
+  // whole batch); the sweep shows what worker fan-out buys once the
+  // sensitivity is cached and the work per query is mechanism-only.
+  std::vector<PoolPoint> pool_points;
+  for (size_t pool_size : {size_t{0}, size_t{1}, size_t{8}}) {
+    ReleaseEngineOptions opts;
+    opts.root_seed = kSeed;
+    opts.default_session_budget = 1e9;
+    opts.pool = std::make_shared<ThreadPool>(pool_size);
+    auto e = ReleaseEngine::Create(*policy, *data, opts);
+    if (!e.ok()) {
+      std::fprintf(stderr, "engine: %s\n", e.status().ToString().c_str());
+      return 1;
+    }
+    (void)(*e)->ServeBatch(HistogramBatch(1, kEps));  // pay the miss
+    const auto start = Clock::now();
+    auto responses = (*e)->ServeBatch(HistogramBatch(kWarmQueries, kEps));
+    const double seconds = SecondsSince(start);
+    for (const QueryResponse& r : responses) {
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "pool sweep release: %s\n",
+                     r.status.ToString().c_str());
+        return 1;
+      }
+    }
+    pool_points.push_back(PoolPoint{pool_size, kWarmQueries / seconds});
+    std::printf("warm_qps_pool_%zu,%.3f\n", pool_size,
+                pool_points.back().warm_qps);
+  }
 
   // --- Determinism: same root seed, same request history, different
   // thread counts -> bit-identical output. ---
@@ -261,10 +306,60 @@ int Run() {
   std::printf("host_determinism_pool_1_vs_4,%s\n",
               host_ok ? "PASS" : "FAIL");
 
+  // --- JSON artifact (the tracked-baseline format). ----------------------
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(json,
+               "  \"config\": {\"domain\": %llu, \"rows\": %zu, \"eps\": "
+               "%g, \"cold_queries\": %zu, \"warm_queries\": %zu, "
+               "\"seed\": %llu},\n",
+               static_cast<unsigned long long>(policy->domain().size()),
+               data->size(), kEps, kColdQueries, kWarmQueries,
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(json, "  \"cold_qps\": %.3f,\n", cold_qps);
+  std::fprintf(json, "  \"warm_qps\": %.3f,\n", warm_qps);
+  std::fprintf(json, "  \"speedup_warm_over_cold\": %.1f,\n", speedup);
+  std::fprintf(json, "  \"warm_qps_by_pool_size\": [\n");
+  for (size_t i = 0; i < pool_points.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"pool_size\": %zu, \"warm_qps\": %.3f}%s\n",
+                 pool_points[i].pool_size, pool_points[i].warm_qps,
+                 i + 1 < pool_points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"executor\": {\"pool_batches_per_sec\": %.1f, "
+               "\"spawn_batches_per_sec\": %.1f, \"speedup\": %.2f},\n",
+               kExecBatches / pool_seconds, kExecBatches / spawn_seconds,
+               spawn_seconds / pool_seconds);
+  std::fprintf(json,
+               "  \"checks\": {\"speedup_ge_5x\": %s, "
+               "\"determinism_threads_1_vs_4\": %s, "
+               "\"host_determinism_pool_1_vs_4\": %s}\n",
+               speedup >= 5.0 ? "true" : "false",
+               deterministic ? "true" : "false",
+               host_ok ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("# wrote %s\n", json_path.c_str());
+
   return (speedup >= 5.0 && deterministic && host_ok) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace blowfish
 
-int main() { return blowfish::Run(); }
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_engine_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return blowfish::Run(json_path);
+}

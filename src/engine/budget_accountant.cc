@@ -79,7 +79,33 @@ Status WriteLedgerLine(std::ostream& out, const std::string& name,
   return Status::OK();
 }
 
+/// "budget_charges_total" + scope "t" -> "budget_charges_total{tenant=t}".
+std::string ScopedMetricName(const std::string& base,
+                             const std::string& scope) {
+  if (scope.empty()) return base;
+  return base + "{tenant=" + scope + "}";
+}
+
 }  // namespace
+
+BudgetAccountant::BudgetAccountant(double default_budget,
+                                   obs::MetricsRegistry* metrics,
+                                   const std::string& metrics_scope)
+    : default_budget_(default_budget) {
+  if (metrics == nullptr) metrics = obs::MetricsRegistry::Global();
+  charges_total_ = metrics->GetCounter(
+      ScopedMetricName("budget_charges_total", metrics_scope));
+  refunds_total_ = metrics->GetCounter(
+      ScopedMetricName("budget_refunds_total", metrics_scope));
+  settles_total_ = metrics->GetCounter(
+      ScopedMetricName("budget_settles_total", metrics_scope));
+  refusals_total_ = metrics->GetCounter(
+      ScopedMetricName("budget_refusals_total", metrics_scope));
+  eps_charged_total_ = metrics->GetDoubleCounter(
+      ScopedMetricName("budget_eps_charged_total", metrics_scope));
+  eps_refunded_total_ = metrics->GetDoubleCounter(
+      ScopedMetricName("budget_eps_refunded_total", metrics_scope));
+}
 
 BudgetAccountant::SessionState& BudgetAccountant::GetOrCreateLocked(
     const std::string& session) {
@@ -119,6 +145,7 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeSequential(
   SessionState& state = GetOrCreateLocked(session);
   const double spent = state.ledger.TotalEpsilon();
   if (spent + epsilon > state.budget + 1e-12) {
+    refusals_total_->Increment();
     return Status::ResourceExhausted(
         "session '" + session + "': charging " + std::to_string(epsilon) +
         " would exceed budget (spent " + std::to_string(spent) + " of " +
@@ -130,6 +157,8 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeSequential(
     receipt.charge_id = next_charge_id_++;
     state.open_charges[receipt.charge_id] = epsilon;
   }
+  charges_total_->Increment();
+  eps_charged_total_->Add(epsilon);
   receipt.session = session;
   receipt.label = std::move(label);
   receipt.charged = epsilon;
@@ -152,6 +181,7 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
   SessionState& state = GetOrCreateLocked(session);
   const double spent = state.ledger.TotalEpsilon();
   if (spent + cost > state.budget + 1e-12) {
+    refusals_total_->Increment();
     return Status::ResourceExhausted(
         "session '" + session + "': parallel group of max eps " +
         std::to_string(cost) + " would exceed budget (spent " +
@@ -163,6 +193,8 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
     receipt.charge_id = next_charge_id_++;
     state.open_charges[receipt.charge_id] = cost;
   }
+  charges_total_->Increment();
+  eps_charged_total_->Add(cost);
   receipt.session = session;
   receipt.label = std::move(label);
   receipt.charged = cost;
@@ -199,6 +231,8 @@ Status BudgetAccountant::Refund(const BudgetReceipt& receipt) {
       (receipt.label.empty() ? std::string("release") : receipt.label) +
       " [refund]";
   BLOWFISH_RETURN_IF_ERROR(state.ledger.Refund(charge->second, label));
+  refunds_total_->Increment();
+  eps_refunded_total_->Add(charge->second);
   state.open_charges.erase(charge);
   return Status::OK();
 }
@@ -208,7 +242,9 @@ void BudgetAccountant::Settle(const BudgetReceipt& receipt) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(receipt.session);
   if (it == sessions_.end()) return;
-  it->second.open_charges.erase(receipt.charge_id);
+  if (it->second.open_charges.erase(receipt.charge_id) > 0) {
+    settles_total_->Increment();
+  }
 }
 
 std::vector<BudgetAccountant::SessionInfo> BudgetAccountant::ListSessions()

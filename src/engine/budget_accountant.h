@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/privacy_loss.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace blowfish {
@@ -51,8 +52,15 @@ struct BudgetReceipt {
 class BudgetAccountant {
  public:
   /// `default_budget` caps sessions that are auto-created on first charge.
-  explicit BudgetAccountant(double default_budget)
-      : default_budget_(default_budget) {}
+  /// `metrics` is where charge/refund/settle/refusal counters and epsilon
+  /// totals report (nullptr = process-wide default); `metrics_scope`, when
+  /// non-empty, becomes the {tenant=...} label on every budget metric, so
+  /// a multi-tenant host's accountants stay distinguishable in one
+  /// registry. All metric updates happen under mu_, so the double totals
+  /// are exact, not merely eventually consistent.
+  explicit BudgetAccountant(double default_budget,
+                            obs::MetricsRegistry* metrics = nullptr,
+                            const std::string& metrics_scope = "");
 
   /// Creates a session with an explicit budget. Fails with AlreadyExists
   /// semantics (InvalidArgument) if the session already exists.
@@ -152,6 +160,14 @@ class BudgetAccountant {
   double default_budget_;
   uint64_t next_charge_id_ = 1;  // guarded by mu_
   std::map<std::string, SessionState> sessions_;
+  /// Resolved once in the constructor; never null. Updated under mu_
+  /// only, so snapshots after quiescence are exact.
+  obs::Counter* charges_total_;
+  obs::Counter* refunds_total_;
+  obs::Counter* settles_total_;
+  obs::Counter* refusals_total_;
+  obs::DoubleCounter* eps_charged_total_;
+  obs::DoubleCounter* eps_refunded_total_;
 };
 
 }  // namespace blowfish

@@ -56,15 +56,61 @@ ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
     : policy_(std::move(policy)), data_(std::move(data)),
       hist_(std::move(hist)), options_(options),
       policy_fp_(SensitivityCache::PolicyFingerprint(policy_)),
-      accountant_(options.default_session_budget),
+      accountant_(options.default_session_budget,
+                  options.metrics != nullptr
+                      ? options.metrics
+                      : obs::MetricsRegistry::Global(),
+                  options.metrics_scope),
       cache_(options.shared_cache
                  ? options.shared_cache
                  : std::make_shared<SensitivityCache>(
-                       options.cache_capacity)),
+                       options.cache_capacity, options.metrics)),
       pool_(options.pool ? options.pool
                          : std::make_shared<ThreadPool>(
-                               options.num_threads - 1)),
-      root_seed_(options.root_seed) {}
+                               options.num_threads - 1, options.metrics)),
+      root_seed_(options.root_seed),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : obs::MetricsRegistry::Global()),
+      tracer_(options.tracer != nullptr ? options.tracer
+                                        : obs::TraceWriter::Global()) {
+  batches_total_ = metrics_->GetCounter("engine_batches_total");
+  batch_latency_us_ = metrics_->GetHistogram("engine_batch_latency_us");
+}
+
+ReleaseEngine::~ReleaseEngine() = default;
+
+/// Per-kind dispatch telemetry. One block per query kind, created on the
+/// kind's first admission and stable afterwards.
+struct ReleaseEngine::KindMetrics {
+  obs::Histogram* latency_us = nullptr;
+  obs::Counter* queries_total = nullptr;
+  obs::DoubleCounter* eps_charged = nullptr;
+};
+
+const ReleaseEngine::KindMetrics& ReleaseEngine::KindMetricsFor(
+    const std::string& kind) {
+  auto& slot = kind_metrics_[kind];
+  if (slot == nullptr) {
+    slot.reset(new KindMetrics());
+    slot->latency_us = metrics_->GetHistogram(
+        "engine_query_latency_us{kind=" + kind + "}");
+    slot->queries_total =
+        metrics_->GetCounter("engine_queries_total{kind=" + kind + "}");
+    slot->eps_charged = metrics_->GetDoubleCounter(
+        "engine_eps_charged_total{kind=" + kind + "}");
+  }
+  return *slot;
+}
+
+void ReleaseEngine::CountRefusal(StatusCode code) {
+  auto& counter = refusal_counters_[code];
+  if (counter == nullptr) {
+    counter = metrics_->GetCounter(
+        std::string("engine_queries_refused_total{code=") +
+        StatusCodeToString(code) + "}");
+  }
+  counter->Increment();
+}
 
 StatusOr<double> ReleaseEngine::ResolveSensitivity(
     const QueryRequest& request, bool* cache_hit) {
@@ -99,12 +145,17 @@ void ReleaseEngine::Execute(const QueryRequest& request, Random rng,
 struct ReleaseEngine::Work {
   size_t index = 0;
   uint64_t stream_id = 0;
+  /// Stable handle pointers resolved at admission (under serve_mu_), so
+  /// the drain threads never touch the kind-metrics map.
+  obs::Histogram* latency_us = nullptr;
+  obs::Counter* queries_total = nullptr;
 };
 
 std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     const std::vector<QueryRequest>& requests,
     const QueryCompletionCallback& on_complete) {
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  const uint64_t batch_start_us = obs::MonotonicMicros();
   std::vector<QueryResponse> responses(requests.size());
 
   // Whether the policy carries constraints that actually restrict I_Q;
@@ -316,6 +367,18 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     }
   }
 
+  // --- Spend attribution (sequential, after charging): per-kind epsilon
+  // totals. Summing receipt.charged — the group charge rides on its
+  // argmax member — keeps the per-kind totals adding up to the
+  // accountant's session totals.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!responses[i].status.ok()) continue;
+    if (responses[i].receipt.charged > 0.0) {
+      KindMetricsFor(QueryKindName(requests[i]))
+          .eps_charged->Add(responses[i].receipt.charged);
+    }
+  }
+
   // --- Admission pass 3 (sequential): assign RNG streams. ----------------
   // Stream ids are handed out in request order, so the noise a query draws
   // is a pure function of (root seed, admission history) — never of
@@ -324,7 +387,8 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   work.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!responses[i].status.ok()) continue;
-    work.push_back(Work{i, next_stream_++});
+    const KindMetrics& km = KindMetricsFor(QueryKindName(requests[i]));
+    work.push_back(Work{i, next_stream_++, km.latency_us, km.queries_total});
   }
 
   // --- Streaming: queries refused at admission complete right now, in
@@ -351,6 +415,10 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::vector<Work> work;
     const std::vector<QueryRequest>* requests = nullptr;
     std::vector<QueryResponse>* responses = nullptr;
+    /// Per-request execution time, for the trace spans (each slot is
+    /// written by exactly one drain thread; the all_done handshake
+    /// publishes them back to the batch thread).
+    std::vector<uint64_t>* durations_us = nullptr;
     const ReleaseEngine* engine = nullptr;
     const QueryCompletionCallback* on_complete = nullptr;
     std::atomic<size_t> next{0};
@@ -361,10 +429,12 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::condition_variable all_done;
     size_t done = 0;
   };
+  std::vector<uint64_t> durations_us(requests.size(), 0);
   auto state = std::make_shared<BatchState>();
   state->work = std::move(work);
   state->requests = &requests;
   state->responses = &responses;
+  state->durations_us = &durations_us;
   state->engine = this;
   state->on_complete = on_complete ? &on_complete : nullptr;
   auto drain = [](const std::shared_ptr<BatchState>& s) {
@@ -374,9 +444,17 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
       if (w >= s->work.size()) break;
       const Work& item = s->work[w];
       QueryResponse& response = (*s->responses)[item.index];
+      const uint64_t exec_start_us = obs::MonotonicMicros();
       s->engine->Execute((*s->requests)[item.index],
                          Random(s->engine->root_seed_).Fork(item.stream_id),
                          &response);
+      const uint64_t exec_us = obs::MonotonicMicros() - exec_start_us;
+      (*s->durations_us)[item.index] = exec_us;
+      // Telemetry after the fact, on pre-resolved handles: sharded
+      // atomics only — nothing here can reorder completions or touch
+      // the query's RNG stream.
+      item.latency_us->Observe(exec_us);
+      item.queries_total->Increment();
       // A failed query releases nothing: drop any partial payload
       // computed before the failure (e.g. the first of several
       // quantiles, already noisy), both as hygiene and because the
@@ -449,6 +527,50 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     if (resp.receipt.charge_id != 0 && !resp.receipt.refunded) {
       accountant_.Settle(resp.receipt);
     }
+  }
+
+  // --- Telemetry epilogue (sequential, under serve_mu_): refusal
+  // counters and, when a tracer is open, one span per query plus the
+  // batch span. Spans are emitted after settlement so their receipt
+  // fields are final, and in request order so a trace is stable for a
+  // deterministic workload.
+  size_t refused = 0;
+  for (const QueryResponse& resp : responses) {
+    if (!resp.status.ok()) {
+      CountRefusal(resp.status.code());
+      ++refused;
+    }
+  }
+  batches_total_->Increment();
+  const uint64_t batch_us = obs::MonotonicMicros() - batch_start_us;
+  batch_latency_us_->Observe(batch_us);
+  if (tracer_->enabled()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const QueryResponse& resp = responses[i];
+      obs::TraceEvent span("query");
+      if (!options_.metrics_scope.empty()) {
+        span.Str("tenant", options_.metrics_scope);
+      }
+      span.Str("kind", QueryKindName(requests[i]))
+          .Str("label", resp.label)
+          .Str("session", requests[i].session)
+          .Str("status", StatusCodeToString(resp.status.code()))
+          .Double("eps", resp.receipt.epsilon)
+          .Double("charged", resp.receipt.charged)
+          .Uint("charge_id", resp.receipt.charge_id)
+          .Bool("cache_hit", resp.cache_hit)
+          .Bool("refunded", resp.receipt.refunded)
+          .Uint("dur_us", durations_us[i]);
+      tracer_->Write(std::move(span));
+    }
+    obs::TraceEvent span("batch");
+    if (!options_.metrics_scope.empty()) {
+      span.Str("tenant", options_.metrics_scope);
+    }
+    span.Uint("queries", requests.size())
+        .Uint("refused", refused)
+        .Uint("dur_us", batch_us);
+    tracer_->Write(std::move(span));
   }
 
   return responses;

@@ -56,6 +56,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +69,8 @@
 #include "engine/budget_accountant.h"
 #include "engine/ops/query_op.h"
 #include "engine/sensitivity_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -153,6 +156,22 @@ struct ReleaseEngineOptions {
   uint64_t max_pairs = uint64_t{1} << 28;
   /// Vertex bound for the exact policy-graph alpha/xi DFS (Thm 8.1).
   size_t max_policy_graph_vertices = 24;
+  /// Registry for the engine's telemetry (per-kind dispatch latency and
+  /// spend, refusal-by-status counters, batch counters) and its
+  /// accountant's per-tenant budget counters. nullptr = the process-wide
+  /// default. Metrics never touch RNG streams or reorder completions:
+  /// handle resolution happens at admission (already serialized), the
+  /// drain path touches only sharded atomics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Non-empty: the {tenant=...} label on this engine's budget metrics
+  /// (an EngineHost passes its tenant id so one registry serves all
+  /// tenants distinguishably).
+  std::string metrics_scope;
+  /// Span tracer for per-batch / per-query JSONL spans. nullptr = the
+  /// process-wide default writer, which is disabled until the daemon's
+  /// --trace_file opens it; spans are emitted at batch end, after
+  /// settlement, so a span's receipt fields are final.
+  obs::TraceWriter* tracer = nullptr;
 };
 
 class ReleaseEngine {
@@ -161,6 +180,10 @@ class ReleaseEngine {
   /// shared read-only by all queries) and fingerprints the policy.
   static StatusOr<std::unique_ptr<ReleaseEngine>> Create(
       Policy policy, Dataset data, ReleaseEngineOptions options = {});
+
+  /// Out-of-line: the per-kind metrics map holds a type private to the
+  /// .cc file.
+  ~ReleaseEngine();
 
   /// Serves a batch. Sensitivity resolution and budget charging run
   /// sequentially (so admission is deterministic); execution fans out
@@ -188,9 +211,19 @@ class ReleaseEngine {
 
  private:
   struct Work;
+  struct KindMetrics;
 
   ReleaseEngine(Policy policy, Dataset data, Histogram hist,
                 ReleaseEngineOptions options);
+
+  /// Per-kind metric handles, resolved lazily under serve_mu_ (admission
+  /// is serialized, so the map never races; drain threads only see the
+  /// stable handle pointers stashed in their Work items).
+  const KindMetrics& KindMetricsFor(const std::string& kind);
+
+  /// Counts one refusal under the status code's label, resolving the
+  /// per-code counter lazily. Must hold serve_mu_.
+  void CountRefusal(StatusCode code);
 
   /// Cache-backed S(f, P) for the request's shape. Sets `cache_hit`.
   StatusOr<double> ResolveSensitivity(const QueryRequest& request,
@@ -221,6 +254,15 @@ class ReleaseEngine {
   /// secret-graph enumeration behind the parallel-group predicate runs
   /// once per engine, not once per batch. Guarded by serve_mu_.
   std::optional<StatusOr<CellCriticalSets>> cell_critical_sets_;
+  /// Telemetry. The registry/tracer pointers are resolved at
+  /// construction and never null; the per-kind and per-code maps are
+  /// guarded by serve_mu_ (see KindMetricsFor).
+  obs::MetricsRegistry* metrics_;
+  obs::TraceWriter* tracer_;
+  obs::Counter* batches_total_;
+  obs::Histogram* batch_latency_us_;
+  std::map<std::string, std::unique_ptr<KindMetrics>> kind_metrics_;
+  std::map<StatusCode, obs::Counter*> refusal_counters_;
   std::mutex serve_mu_;
 };
 

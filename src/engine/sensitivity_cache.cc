@@ -32,6 +32,7 @@ StatusOr<double> SensitivityCache::GetOrCompute(
     auto it = index_.find(key);
     if (it != index_.end()) {
       ++stats_.hits;
+      hits_total_->Increment();
       if (was_hit != nullptr) *was_hit = true;
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->second;
@@ -44,10 +45,14 @@ StatusOr<double> SensitivityCache::GetOrCompute(
   }
   in_flight_.insert(key);
   ++stats_.misses;
+  misses_total_->Increment();
   lock.unlock();
   // The expensive part runs without the lock: one tenant's cold
   // policy-graph bound must not block other keys' hits and computes.
-  StatusOr<double> computed = compute();
+  StatusOr<double> computed = [&]() {
+    obs::ScopedLatencyTimer timer(compute_us_);
+    return compute();
+  }();
   lock.lock();
   in_flight_.erase(key);
   in_flight_cv_.notify_all();
@@ -91,6 +96,7 @@ void SensitivityCache::PutLocked(const std::string& key,
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    evictions_total_->Increment();
   }
   lru_.emplace_front(key, sensitivity);
   index_[key] = lru_.begin();

@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "core/policy.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace blowfish {
@@ -31,7 +32,21 @@ namespace blowfish {
 /// Mutex-guarded LRU cache of (policy, query-shape) -> S(f, P).
 class SensitivityCache {
  public:
-  explicit SensitivityCache(size_t capacity = 128) : capacity_(capacity) {}
+  /// `metrics` is the registry hit/miss/eviction counters and the
+  /// NP-hard compute-time histogram report into; nullptr = process-wide
+  /// default. The internal Stats remain authoritative for exact
+  /// per-cache assertions; the obs mirrors exist so a daemon exposes
+  /// them over STATS without reaching into the cache.
+  explicit SensitivityCache(size_t capacity = 128,
+                            obs::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity) {
+    if (metrics == nullptr) metrics = obs::MetricsRegistry::Global();
+    hits_total_ = metrics->GetCounter("sensitivity_cache_hits_total");
+    misses_total_ = metrics->GetCounter("sensitivity_cache_misses_total");
+    evictions_total_ =
+        metrics->GetCounter("sensitivity_cache_evictions_total");
+    compute_us_ = metrics->GetHistogram("sensitivity_cache_compute_us");
+  }
 
   struct Stats {
     uint64_t hits = 0;
@@ -110,6 +125,12 @@ class SensitivityCache {
   std::set<std::string> in_flight_;
   std::condition_variable in_flight_cv_;
   Stats stats_;
+  /// obs mirrors of stats_ plus the compute-time histogram; resolved in
+  /// the constructor, never null.
+  obs::Counter* hits_total_;
+  obs::Counter* misses_total_;
+  obs::Counter* evictions_total_;
+  obs::Histogram* compute_us_;
 };
 
 }  // namespace blowfish

@@ -153,6 +153,46 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
   }
 }
 
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats() {
+  BLOWFISH_RETURN_IF_ERROR(WritePayload(EncodeStatsPayload()));
+  std::vector<MetricSample> samples;
+  while (true) {
+    BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
+    BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
+    if (msg.verb == kVerbMetric) {
+      BLOWFISH_ASSIGN_OR_RETURN(auto sample, ParseMetricPayload(msg));
+      samples.push_back(
+          MetricSample{std::move(sample.first), sample.second});
+      continue;
+    }
+    if (msg.verb == kVerbDone) {
+      BLOWFISH_ASSIGN_OR_RETURN(uint64_t n, GetUintField(msg, "n"));
+      if (n != samples.size()) {
+        return Status::Internal(
+            "DONE count " + std::to_string(n) + " does not match " +
+            std::to_string(samples.size()) + " METRIC frames");
+      }
+      return samples;
+    }
+    if (msg.verb == kVerbErr) {
+      Status error;
+      BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &error));
+      return error.ok() ? Status::Internal("ERR frame with code=OK")
+                        : error;
+    }
+    return Status::Internal("unexpected " + msg.verb +
+                            " frame in a STATS reply");
+  }
+}
+
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats(
+    const std::string& address, uint16_t port) {
+  BLOWFISH_ASSIGN_OR_RETURN(Socket sock,
+                            Socket::ConnectTcp(address, port));
+  BlowfishClient client(std::move(sock));
+  return client.FetchStats();
+}
+
 Status BlowfishClient::Bye() {
   BLOWFISH_RETURN_IF_ERROR(WritePayload(kVerbBye));
   BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());

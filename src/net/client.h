@@ -30,6 +30,14 @@
 
 namespace blowfish {
 
+/// One sample from a STATS reply. Names follow the metrics registry's
+/// convention (obs/metrics.h): any label block rides inside the name,
+/// e.g. "engine_query_latency_us_p99{kind=histogram}".
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
 class BlowfishClient {
  public:
   /// Streamed per-query delivery, invoked in wire arrival order — the
@@ -55,6 +63,18 @@ class BlowfishClient {
   /// everywhere else.
   StatusOr<std::vector<QueryResponse>> SubmitBatchText(
       const std::string& text, const ResultCallback& on_result = nullptr);
+
+  /// Requests the daemon's metrics snapshot on this connection (STATS
+  /// verb). Samples arrive in the server's sorted order; values are
+  /// bit-exact doubles. Usable between batches at any point.
+  StatusOr<std::vector<MetricSample>> FetchStats();
+
+  /// One-shot STATS without a tenant: connects, fetches, disconnects.
+  /// STATS is accepted before HELLO (daemon-wide, not tenant-scoped),
+  /// so no policy/dataset ids are needed — this is what
+  /// `blowfish_cli stats` uses.
+  static StatusOr<std::vector<MetricSample>> FetchStats(
+      const std::string& address, uint16_t port);
 
   /// Clean shutdown: BYE, wait for the server's OK. Further submits
   /// fail.

@@ -372,4 +372,19 @@ Status ParseReceiptPayload(const WireMessage& msg, size_t* index,
   return ParseReceiptFields(msg, receipt);
 }
 
+std::string EncodeStatsPayload() { return kVerbStats; }
+
+std::string EncodeMetricPayload(const std::string& name, double value) {
+  WireMessageBuilder b(kVerbMetric);
+  b.Add("name", name).AddDouble("value", value);
+  return b.payload();
+}
+
+StatusOr<std::pair<std::string, double>> ParseMetricPayload(
+    const WireMessage& msg) {
+  BLOWFISH_ASSIGN_OR_RETURN(std::string name, GetField(msg, "name"));
+  BLOWFISH_ASSIGN_OR_RETURN(double value, GetDoubleField(msg, "value"));
+  return std::make_pair(std::move(name), value);
+}
+
 }  // namespace blowfish

@@ -85,6 +85,11 @@ inline constexpr char kVerbResult[] = "RESULT";
 inline constexpr char kVerbReceipt[] = "RECEIPT";
 inline constexpr char kVerbDone[] = "DONE";
 inline constexpr char kVerbBye[] = "BYE";
+/// STATS — request the daemon's metrics snapshot. Accepted before or
+/// after HELLO (the metrics are daemon-wide, not tenant-scoped); the
+/// server answers one METRIC frame per sample, then DONE n=<count>.
+inline constexpr char kVerbStats[] = "STATS";
+inline constexpr char kVerbMetric[] = "METRIC";
 
 /// Percent-escapes a raw field value: '%', space, control bytes, and
 /// non-ASCII become %XX. '=' is allowed unescaped in values: parsers
@@ -190,6 +195,18 @@ StatusOr<std::pair<size_t, QueryResponse>> ParseResultPayload(
 /// Parses a RECEIPT message; overwrites *receipt with the final state.
 Status ParseReceiptPayload(const WireMessage& msg, size_t* index,
                            BudgetReceipt* receipt);
+
+/// STATS — no fields.
+std::string EncodeStatsPayload();
+
+/// METRIC name=<escaped> value=<%.17g> — one metrics sample. Sample
+/// names reuse the registry's convention (obs/metrics.h), label block
+/// and all; the value crosses bit-exactly like every other double.
+std::string EncodeMetricPayload(const std::string& name, double value);
+
+/// Parses a METRIC message into (name, value).
+StatusOr<std::pair<std::string, double>> ParseMetricPayload(
+    const WireMessage& msg);
 
 }  // namespace blowfish
 

@@ -40,7 +40,22 @@ BlowfishServer::BlowfishServer(EngineHost* host, ListenSocket listener,
                                ServerOptions options)
     : host_(host),
       listener_(std::move(listener)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : obs::MetricsRegistry::Global()),
+      connections_total_(metrics_->GetCounter("net_connections_total")),
+      connections_active_(metrics_->GetGauge("net_connections_active")),
+      frames_in_total_(metrics_->GetCounter("net_frames_in_total")),
+      frames_out_total_(metrics_->GetCounter("net_frames_out_total")),
+      bytes_in_total_(metrics_->GetCounter("net_bytes_in_total")),
+      bytes_out_total_(metrics_->GetCounter("net_bytes_out_total")),
+      batches_total_(metrics_->GetCounter("net_batches_total")),
+      send_deadline_expired_total_(
+          metrics_->GetCounter("net_send_deadline_expired_total")),
+      connections_dead_total_(
+          metrics_->GetCounter("net_connections_dead_total")),
+      drain_escalations_total_(
+          metrics_->GetCounter("net_drain_escalations_total")) {}
 
 BlowfishServer::~BlowfishServer() { Stop(); }
 
@@ -72,19 +87,60 @@ void BlowfishServer::Stop() {
   // waiting on its batch future; the joins below wait for that (budget
   // settlement must finish before the ledger flush that follows
   // Stop() in blowfish_serverd).
+  const auto log = [this](const std::string& line) {
+    if (options_.drain_log) options_.drain_log(line);
+  };
+  const auto unfinished = [&connections]() {
+    size_t n = 0;
+    for (const auto& conn : connections) {
+      if (!conn->finished.load()) ++n;
+    }
+    return n;
+  };
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.drain_grace_ms);
-  for (auto& conn : connections) {
-    while (!conn->finished.load() &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  size_t remaining = unfinished();
+  if (remaining > 0) {
+    log("drain: waiting on " + std::to_string(remaining) +
+        " connection(s) with a batch in flight (grace " +
+        std::to_string(options_.drain_grace_ms) + " ms)");
+  }
+  auto next_log = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(1);
+  while (remaining > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const size_t now_remaining = unfinished();
+    if (now_remaining != remaining ||
+        std::chrono::steady_clock::now() >= next_log) {
+      if (now_remaining > 0) {
+        log("drain: " + std::to_string(now_remaining) +
+            " connection(s) still in flight");
+      }
+      next_log = std::chrono::steady_clock::now() +
+                 std::chrono::seconds(1);
     }
-    if (!conn->finished.load()) conn->sock.ShutdownBoth();
+    remaining = now_remaining;
+  }
+  if (remaining > 0) {
+    // Grace expired: ShutdownBoth unblocks writers a stalled client
+    // pinned (SHUT_RD never wakes a blocked send()). The batches keep
+    // executing and settle engine-side; their remaining frames are not
+    // delivered.
+    size_t escalated = 0;
+    for (auto& conn : connections) {
+      if (conn->finished.load()) continue;
+      conn->sock.ShutdownBoth();
+      ++escalated;
+    }
+    drain_escalations_total_->Increment(escalated);
+    log("drain: grace expired, escalated " + std::to_string(escalated) +
+        " connection(s) to full shutdown");
   }
   for (auto& conn : connections) {
     if (conn->thread.joinable()) conn->thread.join();
   }
+  if (!connections.empty()) log("drain: complete");
   listener_.Close();
 }
 
@@ -126,6 +182,8 @@ void BlowfishServer::AcceptLoop() {
       connections_.push_back(std::move(conn));
       ++stats_.connections;
     }
+    connections_total_->Increment();
+    connections_active_->Increment();
     raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
   }
 }
@@ -138,13 +196,51 @@ void BlowfishServer::WriteFrame(Connection* conn,
   // One deadline per frame, covering all its partial writes: a client
   // that stops reading (or trickle-reads) costs the writing thread at
   // most send_timeout_ms before the connection is declared dead.
-  if (!conn->sock
-           .SendAll(frame.data(), frame.size(), options_.send_timeout_ms)
-           .ok()) {
-    // The peer is gone or stalled. Engine-side work is unaffected;
-    // just stop writing so completion callbacks become no-ops.
-    conn->dead.store(true);
+  const Status sent =
+      conn->sock.SendAll(frame.data(), frame.size(),
+                         options_.send_timeout_ms);
+  if (sent.ok()) {
+    frames_out_total_->Increment();
+    bytes_out_total_->Increment(frame.size());
+    return;
   }
+  // The peer is gone or stalled. Engine-side work is unaffected; just
+  // stop writing so completion callbacks become no-ops. Deadline
+  // expiries (the stalled-reader case) are counted apart from plain
+  // peer death; write_mu makes the dead transition fire once.
+  conn->dead.store(true);
+  connections_dead_total_->Increment();
+  if (sent.message().rfind("send timed out", 0) == 0) {
+    send_deadline_expired_total_->Increment();
+  }
+}
+
+obs::Counter* BlowfishServer::ErrCounterFor(StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = err_counters_.find(code);
+  if (it != err_counters_.end()) return it->second;
+  obs::Counter* counter = metrics_->GetCounter(
+      std::string("net_err_frames_total{code=") +
+      StatusCodeToString(code) + "}");
+  err_counters_[code] = counter;
+  return counter;
+}
+
+void BlowfishServer::WriteErrorFrame(Connection* conn,
+                                     const Status& status) {
+  ErrCounterFor(status.code())->Increment();
+  WriteFrame(conn, EncodeErrorPayload(status));
+}
+
+void BlowfishServer::ServeStats(Connection* conn) {
+  // Snapshot BEFORE writing: the request's frame-in is already counted,
+  // the reply's frames-out are not yet — so a client can reconcile the
+  // reported counters against the traffic it has generated so far.
+  const std::vector<obs::Sample> samples = metrics_->Snapshot();
+  for (const obs::Sample& sample : samples) {
+    WriteFrame(conn, EncodeMetricPayload(sample.name, sample.value));
+  }
+  WriteFrame(conn, EncodeDonePayload(samples.size()));
 }
 
 void BlowfishServer::HandleConnection(Connection* conn) {
@@ -156,9 +252,10 @@ void BlowfishServer::HandleConnection(Connection* conn) {
     while (true) {
       switch (decoder.Next(payload)) {
         case FrameDecoder::Result::kFrame:
+          frames_in_total_->Increment();
           return 1;
         case FrameDecoder::Result::kError:
-          WriteFrame(conn, EncodeErrorPayload(decoder.error()));
+          WriteErrorFrame(conn, decoder.error());
           return -1;
         case FrameDecoder::Result::kNeedMore:
           break;
@@ -166,12 +263,13 @@ void BlowfishServer::HandleConnection(Connection* conn) {
       auto n = conn->sock.Recv(buf, sizeof(buf));
       if (!n.ok()) return -1;
       if (*n == 0) return 0;
+      bytes_in_total_->Increment(*n);
       decoder.Feed(buf, *n);
     }
   };
 
   auto protocol_error = [&](const Status& status) {
-    WriteFrame(conn, EncodeErrorPayload(status));
+    WriteErrorFrame(conn, status);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.protocol_errors;
   };
@@ -193,6 +291,12 @@ void BlowfishServer::HandleConnection(Connection* conn) {
     if (!msg.ok()) {
       protocol_error(msg.status());
       break;
+    }
+
+    // STATS is tenant-agnostic: allowed before or after HELLO.
+    if (msg->verb == kVerbStats) {
+      ServeStats(conn);
+      continue;
     }
 
     if (!hello_done) {
@@ -290,17 +394,17 @@ void BlowfishServer::HandleConnection(Connection* conn) {
     }
     if (broken) break;
     if (oversized_line) {
-      WriteFrame(conn, EncodeErrorPayload(Status::ResourceExhausted(
-                           "request line exceeds the " +
-                           std::to_string(kMaxRequestLine) +
-                           "-byte cap")));
+      WriteErrorFrame(conn, Status::ResourceExhausted(
+                                "request line exceeds the " +
+                                std::to_string(kMaxRequestLine) +
+                                "-byte cap"));
       continue;  // batch refused; the connection stays usable
     }
     if (oversized_batch) {
-      WriteFrame(conn, EncodeErrorPayload(Status::ResourceExhausted(
-                           "batch text exceeds the " +
-                           std::to_string(kMaxBatchBytes) +
-                           "-byte cap")));
+      WriteErrorFrame(conn, Status::ResourceExhausted(
+                                "batch text exceeds the " +
+                                std::to_string(kMaxBatchBytes) +
+                                "-byte cap"));
       continue;  // batch refused; the connection stays usable
     }
 
@@ -308,7 +412,7 @@ void BlowfishServer::HandleConnection(Connection* conn) {
     if (!requests.ok()) {
       // A malformed batch is the client's problem, not the
       // connection's: report it structurally and stay usable.
-      WriteFrame(conn, EncodeErrorPayload(requests.status()));
+      WriteErrorFrame(conn, requests.status());
       continue;
     }
 
@@ -322,7 +426,7 @@ void BlowfishServer::HandleConnection(Connection* conn) {
         });
     auto responses = future.get();
     if (!responses.ok()) {
-      WriteFrame(conn, EncodeErrorPayload(responses.status()));
+      WriteErrorFrame(conn, responses.status());
       continue;
     }
     // Final receipt state (refunds applied, charges settled), then the
@@ -331,6 +435,7 @@ void BlowfishServer::HandleConnection(Connection* conn) {
       WriteFrame(conn, EncodeReceiptPayload(i, (*responses)[i]));
     }
     WriteFrame(conn, EncodeDonePayload(responses->size()));
+    batches_total_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.batches;
@@ -338,6 +443,7 @@ void BlowfishServer::HandleConnection(Connection* conn) {
   }
 
   conn->sock.ShutdownBoth();
+  connections_active_->Decrement();
   conn->finished.store(true);
 }
 

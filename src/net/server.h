@@ -36,12 +36,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/engine_host.h"
 #include "util/socket.h"
 #include "util/status.h"
@@ -73,6 +76,17 @@ struct ServerOptions {
   /// but its remaining frames are not delivered. Size it above the
   /// slowest batch you intend to drain cleanly.
   int drain_grace_ms = 30000;
+  /// Registry for the wire layer's counters (connections, frames and
+  /// bytes each way, ERR frames by code, send-deadline expiries, drain
+  /// escalations) and the snapshot a STATS verb answers from. nullptr =
+  /// the process-wide default — pass the same registry the EngineHost
+  /// uses so one STATS reply covers every layer.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional sink for drain-progress lines during Stop(): how many
+  /// connections still have work in flight (~1/s while waiting out the
+  /// grace period) and how many were escalated to a full shutdown.
+  /// Called from the stopping thread only. nullptr = silent.
+  std::function<void(const std::string&)> drain_log;
 };
 
 class BlowfishServer {
@@ -128,6 +142,18 @@ class BlowfishServer {
   /// depends on the socket.
   void WriteFrame(Connection* conn, const std::string& payload);
 
+  /// WriteFrame of an ERR payload, counted under the status code's
+  /// label (net_err_frames_total{code=...}).
+  void WriteErrorFrame(Connection* conn, const Status& status);
+
+  /// Lazily resolves the per-code ERR counter. Takes mu_.
+  obs::Counter* ErrCounterFor(StatusCode code);
+
+  /// Answers one STATS verb: snapshots the registry FIRST (so the
+  /// reply's own frames-out are not in it), then writes one METRIC
+  /// frame per sample and DONE n=<count>.
+  void ServeStats(Connection* conn);
+
   /// Joins and drops connections whose handler has finished (called
   /// from the accept loop so a long-lived daemon's connection list
   /// tracks live connections, not lifetime connection count).
@@ -142,9 +168,25 @@ class BlowfishServer {
   std::mutex stop_mu_;
   bool stopped_ = false;
   std::atomic<bool> stopping_{false};
-  mutable std::mutex mu_;  // guards connections_ and stats_
+  mutable std::mutex mu_;  // guards connections_, stats_, err_counters_
   std::vector<std::unique_ptr<Connection>> connections_;
   Stats stats_;
+  /// Wire-layer telemetry (obs/metrics.h). The registry pointer and the
+  /// fixed handles are resolved at construction and never null; the
+  /// per-code ERR counters resolve lazily under mu_. Hot-path updates
+  /// touch only the sharded atomics behind these handles — no locks.
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* connections_total_;
+  obs::Gauge* connections_active_;
+  obs::Counter* frames_in_total_;
+  obs::Counter* frames_out_total_;
+  obs::Counter* bytes_in_total_;
+  obs::Counter* bytes_out_total_;
+  obs::Counter* batches_total_;
+  obs::Counter* send_deadline_expired_total_;
+  obs::Counter* connections_dead_total_;
+  obs::Counter* drain_escalations_total_;
+  std::map<StatusCode, obs::Counter*> err_counters_;
 };
 
 }  // namespace blowfish

@@ -1,0 +1,293 @@
+// Process-wide metrics: counters, gauges, and latency histograms with
+// padded per-shard atomics — zero locks and zero allocation on the hot
+// path.
+//
+// Layering: src/obs/ is the bottom of the stack. It includes NOTHING
+// from src/engine, src/server, src/net, or even src/util — standard
+// library only — so every other layer may link it without cycles (CI
+// greps exactly that). It follows that obs has no Status: fallible
+// operations return bool.
+//
+// Design:
+//
+//   * Writers call Counter::Increment / Gauge::Add / Histogram::Observe
+//     on a pointer they resolved ONCE from the registry (registration
+//     takes a mutex; the returned pointer is stable for the registry's
+//     lifetime, so callers cache it at setup time and the serving path
+//     never locks).
+//   * Each metric's storage is sharded: kMetricShards cache-line-padded
+//     atomic cells, indexed by a hash of the writer's thread id. Two
+//     pool threads bumping the same counter touch different cache
+//     lines; Snapshot() sums the shards.
+//   * All atomic traffic is memory_order_relaxed. Metrics are
+//     monitoring, not synchronization: a snapshot taken concurrently
+//     with writers is a consistent-enough view, and a snapshot taken
+//     after writers are quiesced (joined, or sequenced by an external
+//     happens-before edge such as a mutex or thread join) is EXACT —
+//     which is what the concurrency tests assert.
+//   * Nothing here reads clocks or RNG on its own; timing is the
+//     caller's (see ScopedLatencyTimer / MonotonicMicros below, which
+//     only touch std::chrono::steady_clock). Metrics can therefore
+//     never perturb the engine's deterministic noise streams.
+//
+// Naming convention (see docs/observability.md for the full table):
+// Prometheus-ish snake_case with an optional label block appended to
+// the name string itself, e.g.
+//
+//   engine_query_latency_us{kind=histogram}
+//   budget_eps_charged_total{tenant=census/p}
+//
+// The registry treats the whole string as the key; RenderPrometheus()
+// quotes the label values on the way out.
+
+#ifndef BLOWFISH_OBS_METRICS_H_
+#define BLOWFISH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace blowfish {
+namespace obs {
+
+/// Number of padded atomic cells per metric. A small power of two:
+/// enough to keep an 8–16 thread pool off each other's cache lines,
+/// small enough that a registry with a few hundred metrics stays in
+/// tens of kilobytes.
+constexpr size_t kMetricShards = 16;
+
+/// The calling thread's shard index (hash of thread id, cached in a
+/// thread_local so the hot path is one TLS read).
+size_t ThisThreadShard();
+
+/// Monotonic steady-clock microseconds. For latency spans only — never
+/// wall time, never fed into anything that affects output.
+uint64_t MonotonicMicros();
+
+namespace internal {
+/// One cache line per cell so concurrent writers on different shards
+/// never false-share. 64 is the common x86/ARM line size; being wrong
+/// costs throughput, not correctness.
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> value{0};
+};
+struct alignas(64) PaddedI64 {
+  std::atomic<int64_t> value{0};
+};
+struct alignas(64) PaddedF64 {
+  std::atomic<double> value{0.0};
+};
+}  // namespace internal
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Exact once writers are quiesced.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedU64 shards_[kMetricShards];
+};
+
+/// Monotonic double accumulator (epsilon totals). C++17 has no
+/// atomic<double>::fetch_add, so Add is a CAS loop — still lock-free,
+/// and uncontended in practice thanks to sharding.
+class DoubleCounter {
+ public:
+  void Add(double delta) {
+    auto& cell = shards_[ThisThreadShard()].value;
+    double observed = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedF64 shards_[kMetricShards];
+};
+
+/// Up/down gauge (active connections, queue depth). Modeled as sharded
+/// deltas — a thread Adds on one shard and Subtracts on (possibly)
+/// another, so individual shards can go negative; only the sum is
+/// meaningful.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedI64 shards_[kMetricShards];
+};
+
+/// Fixed-bucket latency histogram over microseconds, exponential
+/// bucket bounds: bucket 0 holds [0,1), bucket i holds [2^(i-1), 2^i),
+/// the last bucket is the overflow. 28 buckets reach 2^27 us ≈ 134 s —
+/// beyond any per-query or per-frame latency this stack produces.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+
+  void Observe(uint64_t micros) {
+    Shard& shard = shards_[ThisThreadShard()];
+    shard.buckets[BucketIndex(micros)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    shard.sum_micros.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Aggregated view, summed over shards.
+  struct Totals {
+    uint64_t buckets[kBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+  };
+  Totals Aggregate() const;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket. 0 when empty.
+  static double Quantile(const Totals& totals, double q);
+
+  /// Upper bound of bucket i in microseconds (1, 2, 4, ... ; the
+  /// overflow bucket reuses the previous bound — interpolation clamps
+  /// there rather than invent a tail).
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  static size_t BucketIndex(uint64_t micros) {
+    size_t index = 0;
+    while (index + 1 < kBuckets && micros >= BucketUpperBound(index)) {
+      ++index;
+    }
+    return index;
+  }
+
+  /// All of one shard's cells in a single padded block: the shard is
+  /// written by (mostly) one thread, so intra-shard sharing is free and
+  /// inter-shard sharing is what the padding prevents.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> sum_micros{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// One rendered metric value. Histograms expand to five samples:
+/// name_count, name_sum_us, name_p50, name_p90, name_p99 (suffix
+/// spliced before the label block if any).
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Owns metrics by name. Lookup/creation locks a mutex (setup path);
+/// the returned pointers are stable until the registry dies, which for
+/// Global() is never.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide default registry (leaked singleton). Tests inject
+  /// their own registries instead for exact, isolated totals.
+  static MetricsRegistry* Global();
+
+  /// Find-or-create. A name belongs to exactly one metric type; asking
+  /// for an existing name as a different type returns nullptr (caller
+  /// bug — callers that hardcode names may assert on it).
+  Counter* GetCounter(const std::string& name);
+  DoubleCounter* GetDoubleCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All current values, sorted by sample name. Exact for quiesced
+  /// writers; a self-consistent approximation otherwise.
+  std::vector<Sample> Snapshot() const;
+
+  /// Prometheus-style text exposition: one "name value" line per
+  /// sample, label values quoted ({k=v} -> {k="v"}).
+  std::string RenderPrometheusText() const;
+
+  /// Writes RenderPrometheusText() to `path` (truncating). False on
+  /// I/O failure.
+  bool WriteTextFile(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kDoubleCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<DoubleCounter>> double_counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Observes the enclosing scope's wall (steady) time into a histogram
+/// on destruction. Null histogram = no-op, so call sites stay branchless
+/// when metrics are disabled.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_micros_(histogram != nullptr ? MonotonicMicros() : 0) {}
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(MonotonicMicros() - start_micros_);
+    }
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_micros_;
+};
+
+/// Splices a suffix into a metric name BEFORE its label block:
+/// ("lat_us{kind=x}", "_p50") -> "lat_us_p50{kind=x}". Exposed for the
+/// STATS consumers that reverse the convention.
+std::string SpliceMetricSuffix(const std::string& name,
+                               const std::string& suffix);
+
+}  // namespace obs
+}  // namespace blowfish
+
+#endif  // BLOWFISH_OBS_METRICS_H_

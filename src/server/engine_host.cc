@@ -27,12 +27,26 @@ uint64_t DeriveTenantSeed(uint64_t host_seed, const std::string& policy_id,
   return SplitMix64(host_seed ^ SplitMix64(h));
 }
 
+/// The {tenant=...} label value for a tenant's metrics. Label blocks use
+/// '{', '}', ',' and '=' structurally, so those (and quotes) are mapped
+/// to '_' — ids come from configs and are normally already clean.
+std::string TenantMetricsScope(const std::string& policy_id,
+                               const std::string& dataset_id) {
+  std::string scope = policy_id + "/" + dataset_id;
+  for (char& c : scope) {
+    if (c == '{' || c == '}' || c == ',' || c == '=' || c == '"') c = '_';
+  }
+  return scope;
+}
+
 }  // namespace
 
 EngineHost::EngineHost(EngineHostOptions options)
     : options_(options),
-      pool_(std::make_shared<ThreadPool>(options.num_threads)),
-      cache_(std::make_shared<SensitivityCache>(options.cache_capacity)) {}
+      pool_(std::make_shared<ThreadPool>(options.num_threads,
+                                         options.metrics)),
+      cache_(std::make_shared<SensitivityCache>(options.cache_capacity,
+                                                options.metrics)) {}
 
 EngineHost::~EngineHost() { Shutdown(); }
 
@@ -84,6 +98,9 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
   engine_options.max_pairs = tenant->options.max_pairs;
   engine_options.max_policy_graph_vertices =
       tenant->options.max_policy_graph_vertices;
+  engine_options.metrics = options_.metrics;
+  engine_options.metrics_scope = TenantMetricsScope(key.first, key.second);
+  engine_options.tracer = options_.tracer;
 
   auto engine = ReleaseEngine::Create(std::move(*tenant->pending_policy),
                                       std::move(*tenant->pending_data),

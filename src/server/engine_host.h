@@ -42,6 +42,8 @@
 #include "core/policy.h"
 #include "engine/release_engine.h"
 #include "engine/sensitivity_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/status.h"
 
@@ -58,6 +60,15 @@ struct EngineHostOptions {
   /// their (policy_id, dataset_id) key, so a host restarted with the
   /// same configuration replays the same noise streams.
   uint64_t root_seed = 20140612;
+  /// Registry the host's telemetry reports into — its shared pool and
+  /// cache, and every tenant engine (each labeled
+  /// {tenant=policy_id/dataset_id} on its budget metrics). nullptr = the
+  /// process-wide default; tests inject a fresh registry for exact,
+  /// isolated totals.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span tracer forwarded to every tenant engine. nullptr = the
+  /// process-wide default writer (disabled until opened).
+  obs::TraceWriter* tracer = nullptr;
 };
 
 /// Per-tenant knobs, forwarded into the tenant's ReleaseEngineOptions.

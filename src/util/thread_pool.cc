@@ -2,7 +2,11 @@
 
 namespace blowfish {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) metrics = obs::MetricsRegistry::Global();
+  queue_depth_gauge_ = metrics->GetGauge("pool_queue_depth");
+  task_latency_us_ = metrics->GetHistogram("pool_task_latency_us");
+  tasks_total_ = metrics->GetCounter("pool_tasks_total");
   workers_.reserve(num_threads);
   worker_ids_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -26,6 +30,7 @@ void ThreadPool::Post(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shutdown_ && !workers_.empty()) {
       queue_.push_back(std::move(task));
+      queue_depth_gauge_->Increment();
       // Notify under the lock: a worker observing shutdown_ between our
       // push and an unlocked notify could otherwise exit and strand the
       // task (Shutdown drains, so in practice only ordering matters).
@@ -35,7 +40,11 @@ void ThreadPool::Post(std::function<void()> task) {
   }
   // Shut down or zero-threaded: run inline so the caller's future is
   // always fulfilled.
-  task();
+  {
+    obs::ScopedLatencyTimer timer(task_latency_us_);
+    task();
+  }
+  tasks_total_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++executed_;
 }
@@ -47,8 +56,13 @@ void ThreadPool::WorkerLoop() {
     if (queue_.empty()) return;  // shutdown_ with a drained queue
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth_gauge_->Decrement();
     lock.unlock();
-    task();
+    {
+      obs::ScopedLatencyTimer timer(task_latency_us_);
+      task();
+    }
+    tasks_total_->Increment();
     lock.lock();
     ++executed_;
   }

@@ -39,13 +39,20 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace blowfish {
 
 class ThreadPool {
  public:
   /// Starts `num_threads` persistent workers. Zero is allowed and yields
   /// an inline executor (every task runs on the submitting thread).
-  explicit ThreadPool(size_t num_threads);
+  /// `metrics` names the registry the pool reports into (queue depth,
+  /// task latency, task count); nullptr means the process-wide default.
+  /// Handles are resolved here, once — the queue path touches only
+  /// sharded atomics.
+  explicit ThreadPool(size_t num_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -99,6 +106,10 @@ class ThreadPool {
   bool joining_ = false;
   bool joined_ = false;
   uint64_t executed_ = 0;
+  /// Resolved once in the constructor; never null.
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* task_latency_us_;
+  obs::Counter* tasks_total_;
   std::vector<std::thread> workers_;
   /// Worker thread ids; immutable after construction, so IsWorkerThread
   /// reads it without the lock.

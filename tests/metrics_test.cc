@@ -1,0 +1,252 @@
+// Tests for the obs metrics registry (src/obs/metrics.h).
+//
+// The load-bearing suites are the concurrency ones: N threads hammer
+// one metric through its sharded atomics, the threads are joined (the
+// quiescence edge), and the aggregated value must be EXACT — sharding
+// may never lose an increment. They run under TSan and ASan in CI via
+// the "obs" ctest label.
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace blowfish {
+namespace obs {
+namespace {
+
+TEST(CounterTest, SingleThreadedExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(DoubleCounterTest, ConcurrentAddsOfBinaryExactValuesAreExact) {
+  MetricsRegistry registry;
+  DoubleCounter* counter = registry.GetDoubleCounter("eps");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  // 0.25 is binary-exact, so the total is exact regardless of which
+  // shard each add landed on or the order shards are summed.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (int i = 0; i < kPerThread; ++i) counter->Add(0.25);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread * 0.25);
+}
+
+TEST(GaugeTest, ConcurrentUpDownNetsExactly) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("depth");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  // Each thread nets +1 after kPerThread up/down pairs plus one extra
+  // increment; the sum over shards must land on exactly kThreads.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge->Increment();
+        gauge->Decrement();
+      }
+      gauge->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge->Value(), kThreads);
+}
+
+TEST(HistogramTest, BucketBoundsAreExponential) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  // The overflow bucket reuses the previous bound.
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1),
+            Histogram::BucketUpperBound(Histogram::kBuckets - 2));
+}
+
+TEST(HistogramTest, CountAndSumAreExactUnderConcurrency) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(static_cast<uint64_t>(t));  // 0..7 us
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram::Totals totals = histogram->Aggregate();
+  EXPECT_EQ(totals.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  // sum = kPerThread * (0 + 1 + ... + 7)
+  EXPECT_EQ(totals.sum_micros, static_cast<uint64_t>(kPerThread) * 28);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us");
+  // 100 observations of 0 us: all land in bucket 0 = [0, 1).
+  for (int i = 0; i < 100; ++i) histogram->Observe(0);
+  const Histogram::Totals totals = histogram->Aggregate();
+  const double p50 = Histogram::Quantile(totals, 0.50);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LT(p50, 1.0);
+  // p99 stays inside the same bucket.
+  EXPECT_LT(Histogram::Quantile(totals, 0.99), 1.0);
+}
+
+TEST(HistogramTest, QuantileSeparatesTwoModes) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us");
+  // 90 fast observations (~3 us) and 10 slow ones (~1000 us): the p50
+  // must sit in the fast bucket, the p99 in the slow one.
+  for (int i = 0; i < 90; ++i) histogram->Observe(3);
+  for (int i = 0; i < 10; ++i) histogram->Observe(1000);
+  const Histogram::Totals totals = histogram->Aggregate();
+  EXPECT_LT(Histogram::Quantile(totals, 0.50), 8.0);
+  EXPECT_GE(Histogram::Quantile(totals, 0.99), 512.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us");
+  EXPECT_EQ(Histogram::Quantile(histogram->Aggregate(), 0.5), 0.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+}
+
+TEST(RegistryTest, TypeMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("a"), nullptr);
+  EXPECT_EQ(registry.GetGauge("a"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("a"), nullptr);
+  EXPECT_EQ(registry.GetDoubleCounter("a"), nullptr);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationYieldsOneMetric) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t]() {
+      Counter* counter = registry.GetCounter("shared");
+      seen[t] = counter;
+      counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(RegistryTest, SnapshotExpandsHistogramsAndSorts) {
+  MetricsRegistry registry;
+  registry.GetCounter("z_counter")->Increment(3);
+  registry.GetHistogram("lat_us{kind=mean}")->Observe(5);
+  registry.GetGauge("depth")->Add(-2);
+  registry.GetDoubleCounter("eps")->Add(0.5);
+  const std::vector<Sample> samples = registry.Snapshot();
+  // Sorted by name.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  std::set<std::string> names;
+  for (const Sample& sample : samples) names.insert(sample.name);
+  EXPECT_EQ(names.count("z_counter"), 1u);
+  EXPECT_EQ(names.count("depth"), 1u);
+  EXPECT_EQ(names.count("eps"), 1u);
+  // The histogram expands with suffixes spliced before the label block.
+  EXPECT_EQ(names.count("lat_us_count{kind=mean}"), 1u);
+  EXPECT_EQ(names.count("lat_us_sum_us{kind=mean}"), 1u);
+  EXPECT_EQ(names.count("lat_us_p50{kind=mean}"), 1u);
+  EXPECT_EQ(names.count("lat_us_p90{kind=mean}"), 1u);
+  EXPECT_EQ(names.count("lat_us_p99{kind=mean}"), 1u);
+  for (const Sample& sample : samples) {
+    if (sample.name == "z_counter") EXPECT_EQ(sample.value, 3.0);
+    if (sample.name == "depth") EXPECT_EQ(sample.value, -2.0);
+    if (sample.name == "eps") EXPECT_EQ(sample.value, 0.5);
+    if (sample.name == "lat_us_count{kind=mean}") {
+      EXPECT_EQ(sample.value, 1.0);
+    }
+    if (sample.name == "lat_us_sum_us{kind=mean}") {
+      EXPECT_EQ(sample.value, 5.0);
+    }
+  }
+}
+
+TEST(RegistryTest, SpliceMetricSuffix) {
+  EXPECT_EQ(SpliceMetricSuffix("lat_us", "_p50"), "lat_us_p50");
+  EXPECT_EQ(SpliceMetricSuffix("lat_us{kind=x}", "_p50"),
+            "lat_us_p50{kind=x}");
+}
+
+TEST(RegistryTest, RenderPrometheusQuotesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total{tenant=census/p,code=OK}")->Increment(7);
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("reqs_total{tenant=\"census/p\",code=\"OK\"} 7"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RegistryTest, WriteTextFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("written_total")->Increment(11);
+  const std::string path =
+      ::testing::TempDir() + "/metrics_test_dump.prom";
+  ASSERT_TRUE(registry.WriteTextFile(path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buf[256] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buf, n), "written_total 11\n");
+}
+
+TEST(RegistryTest, WriteTextFileFailsOnBadPath) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.WriteTextFile("/nonexistent-dir-xyz/metrics"));
+}
+
+TEST(RegistryTest, GlobalIsStable) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+  EXPECT_NE(MetricsRegistry::Global(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace blowfish

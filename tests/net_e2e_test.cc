@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,8 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/engine_host.h"
 #include "util/random.h"
 #include "util/socket.h"
@@ -129,11 +132,17 @@ Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
 }
 
 /// Two tenants sharing one policy shape over different datasets — the
-/// shared-sensitivity-cache configuration of docs/server.md.
-std::unique_ptr<EngineHost> MakeHost(size_t pool_threads) {
+/// shared-sensitivity-cache configuration of docs/server.md. `metrics`
+/// and `tracer`, when set, wire the host into a test-local registry /
+/// span writer (nullptr = the process-wide defaults, like production).
+std::unique_ptr<EngineHost> MakeHost(size_t pool_threads,
+                                     obs::MetricsRegistry* metrics = nullptr,
+                                     obs::TraceWriter* tracer = nullptr) {
   EngineHostOptions options;
   options.num_threads = pool_threads;
   options.root_seed = kSeed;
+  options.metrics = metrics;
+  options.tracer = tracer;
   auto domain = LineDomain(32);
   Policy policy = Policy::FullDomain(domain).value();
   auto host = std::make_unique<EngineHost>(options);
@@ -273,8 +282,13 @@ TEST(NetE2eTest, MultiClientSoakKeepsBudgetArithmeticExact) {
   // default budget, 10 — five batches spend 3.75).
   constexpr double kBatchSpend = 0.75;
 
-  auto host = MakeHost(4);
-  auto server = BlowfishServer::Start(host.get());
+  // A test-local registry shared by host and server: the STATS totals
+  // at the end must reconcile exactly against the soak's arithmetic.
+  obs::MetricsRegistry registry;
+  auto host = MakeHost(4, &registry);
+  ServerOptions server_options;
+  server_options.metrics = &registry;
+  auto server = BlowfishServer::Start(host.get(), server_options);
   ASSERT_TRUE(server.ok());
   const uint16_t port = (*server)->port();
 
@@ -329,8 +343,198 @@ TEST(NetE2eTest, MultiClientSoakKeepsBudgetArithmeticExact) {
     EXPECT_EQ((*other_engine)->accountant().Spent(session), 0.0)
         << session;
   }
+
+  // The same arithmetic over the wire: one-shot STATS (no HELLO). Every
+  // client thread is joined, and each client read the server's frames
+  // before exiting, so every server-side counter increment
+  // happens-before this snapshot. The snapshot is taken before the
+  // METRIC frames are written, so the expected frame counts include the
+  // STATS request itself but not its reply.
+  auto samples = BlowfishClient::FetchStats("127.0.0.1", port);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  auto metric = [&](const std::string& name) -> double {
+    for (const MetricSample& sample : *samples) {
+      if (sample.name == name) return sample.value;
+    }
+    ADD_FAILURE() << "metric " << name << " missing from STATS";
+    return -1.0;
+  };
+  const double kQueries = kClients * kBatches * 4.0;
+  EXPECT_EQ(metric("net_connections_total"), kClients + 1.0);
+  EXPECT_EQ(metric("net_batches_total"),
+            static_cast<double>(kClients * kBatches));
+  // Per client: HELLO + kBatches*(SUBMIT + 4 REQ) + BYE frames in; the
+  // stats connection adds its STATS frame.
+  EXPECT_EQ(metric("net_frames_in_total"),
+            kClients * (2.0 + kBatches * 5.0) + 1.0);
+  // Per client: OK + kBatches*(4 RESULT + 4 RECEIPT + DONE) + OK.
+  EXPECT_EQ(metric("net_frames_out_total"),
+            kClients * (2.0 + kBatches * 9.0));
+  EXPECT_EQ(metric("net_connections_dead_total"), 0.0);
+  EXPECT_EQ(metric("net_send_deadline_expired_total"), 0.0);
+  EXPECT_EQ(metric("net_drain_escalations_total"), 0.0);
+  // Engine layer, same snapshot: per-kind query counts and per-tenant
+  // spend. 0.25/0.125 are binary-exact, so the double sums are exact.
+  EXPECT_EQ(metric("engine_batches_total"),
+            static_cast<double>(kClients * kBatches));
+  for (const char* kind : {"histogram", "mean", "range", "quantiles"}) {
+    EXPECT_EQ(metric(std::string("engine_queries_total{kind=") + kind +
+                     "}"),
+              kClients * kBatches * 1.0)
+        << kind;
+  }
+  const double per_tenant_eps = (kClients / 2.0) * kBatches * kBatchSpend;
+  EXPECT_EQ(metric("budget_eps_charged_total{tenant=p/alpha}"),
+            per_tenant_eps);
+  EXPECT_EQ(metric("budget_eps_charged_total{tenant=p/beta}"),
+            per_tenant_eps);
+  EXPECT_EQ(metric("budget_charges_total{tenant=p/alpha}"), kQueries / 2);
+  EXPECT_EQ(metric("budget_charges_total{tenant=p/beta}"), kQueries / 2);
+  EXPECT_EQ(metric("budget_refusals_total{tenant=p/alpha}"), 0.0);
+  EXPECT_EQ(metric("budget_eps_refunded_total{tenant=p/alpha}"), 0.0);
+  // Cache accounting: one lookup per query. The batch's four kinds map
+  // to 3 distinct sensitivity shapes; concurrent first-touch of a shape
+  // may compute twice (both engines miss before either inserts), so
+  // misses is >= 3, but lookups never go missing.
+  EXPECT_EQ(metric("sensitivity_cache_hits_total") +
+                metric("sensitivity_cache_misses_total"),
+            kQueries);
+  EXPECT_GE(metric("sensitivity_cache_misses_total"), 3.0);
+  // Latency histograms carry one sample per query.
+  EXPECT_EQ(metric("engine_query_latency_us_count{kind=histogram}"),
+            kClients * kBatches * 1.0);
+
   (*server)->Stop();
   EXPECT_EQ((*server)->stats().batches, kClients * kBatches);
+}
+
+TEST(NetE2eTest, StatsVerbReportsExactSingleConnectionArithmetic) {
+  // One connection, one batch, then STATS on the same connection: every
+  // expected value is computable client-side, down to the byte. The
+  // client knows exactly which frames it shipped (and their encoded
+  // sizes), and the server snapshots the registry before writing the
+  // reply — so frames-in includes the STATS request, frames-out stops
+  // at the batch's DONE.
+  obs::MetricsRegistry registry;
+  auto host = MakeHost(2, &registry);
+  ServerOptions server_options;
+  server_options.metrics = &registry;
+  auto server = BlowfishServer::Start(host.get(), server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                        kPolicyId, kTenantA);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto responses = (*client)->SubmitBatchText(kBatchText);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses->size(), 4u);
+
+  // Reconstruct the exact bytes the server has received: HELLO, SUBMIT,
+  // the four REQ frames, and the STATS request (4-byte length prefix
+  // each, via the same EncodeFrame the client uses).
+  std::vector<std::string> shipped = {
+      EncodeHelloPayload(kPolicyId, kTenantA), EncodeSubmitPayload(4)};
+  std::string text(kBatchText);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    shipped.push_back(EncodeReqPayload(text.substr(pos, nl - pos)));
+    pos = nl + 1;
+  }
+  shipped.push_back(EncodeStatsPayload());
+  double expected_bytes_in = 0;
+  for (const std::string& payload : shipped) {
+    expected_bytes_in += static_cast<double>(EncodeFrame(payload).size());
+  }
+
+  auto samples = (*client)->FetchStats();
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  auto metric = [&](const std::string& name) -> double {
+    for (const MetricSample& sample : *samples) {
+      if (sample.name == name) return sample.value;
+    }
+    ADD_FAILURE() << "metric " << name << " missing from STATS";
+    return -1.0;
+  };
+  EXPECT_EQ(metric("net_connections_total"), 1.0);
+  EXPECT_EQ(metric("net_connections_active"), 1.0);
+  // HELLO + SUBMIT + 4 REQ + STATS.
+  EXPECT_EQ(metric("net_frames_in_total"), 7.0);
+  EXPECT_EQ(metric("net_bytes_in_total"), expected_bytes_in);
+  // OK + 4 RESULT + 4 RECEIPT + DONE; the METRIC frames come after the
+  // snapshot.
+  EXPECT_EQ(metric("net_frames_out_total"), 10.0);
+  EXPECT_GE(metric("net_bytes_out_total"), 10.0 * 4);
+  EXPECT_EQ(metric("net_batches_total"), 1.0);
+  EXPECT_EQ(metric("engine_batches_total"), 1.0);
+  EXPECT_EQ(metric("engine_queries_total{kind=histogram}"), 1.0);
+  EXPECT_EQ(metric("engine_eps_charged_total{kind=histogram}"), 0.25);
+  EXPECT_EQ(metric("engine_eps_charged_total{kind=mean}"), 0.125);
+  EXPECT_EQ(metric("budget_eps_charged_total{tenant=p/alpha}"), 0.75);
+  EXPECT_EQ(metric("budget_charges_total{tenant=p/alpha}"), 4.0);
+  // The four kinds map to 3 distinct sensitivity shapes (two share
+  // one), all first-touch: 3 misses, then 1 hit, serialized — exact.
+  EXPECT_EQ(metric("sensitivity_cache_misses_total"), 3.0);
+  EXPECT_EQ(metric("sensitivity_cache_hits_total"), 1.0);
+  EXPECT_EQ(metric("engine_query_latency_us_count{kind=mean}"), 1.0);
+
+  EXPECT_TRUE((*client)->Bye().ok());
+}
+
+TEST(NetE2eTest, TelemetryDoesNotPerturbServedBytes) {
+  // The determinism invariant of ISSUE scope: with a live registry AND
+  // an enabled span tracer on the serving host, every wire response is
+  // still bit-identical to an untelemetered in-process host's. Metrics
+  // and spans observe completions; they never touch RNG streams or
+  // reorder anything.
+  for (size_t pool : {size_t{0}, size_t{8}}) {
+    auto local_host = MakeHost(pool);  // process defaults, tracer off
+    obs::MetricsRegistry registry;
+    obs::TraceWriter tracer;
+    const std::string trace_path =
+        ::testing::TempDir() + "/net_e2e_trace_" + std::to_string(pool) +
+        ".jsonl";
+    ASSERT_TRUE(tracer.Open(trace_path));
+    auto wire_host = MakeHost(pool, &registry, &tracer);
+    ServerOptions server_options;
+    server_options.metrics = &registry;
+    auto server = BlowfishServer::Start(wire_host.get(), server_options);
+    ASSERT_TRUE(server.ok());
+
+    auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                          kPolicyId, kTenantA);
+    ASSERT_TRUE(client.ok());
+    for (int round = 0; round < 3; ++round) {
+      auto requests = EngineHost::ParseBatchText(kBatchText);
+      ASSERT_TRUE(requests.ok());
+      auto local = local_host
+                       ->SubmitBatch(kPolicyId, kTenantA,
+                                     std::move(*requests))
+                       .get();
+      ASSERT_TRUE(local.ok());
+      auto wire = (*client)->SubmitBatchText(kBatchText);
+      ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+      ExpectResponsesEqual(*wire, *local,
+                           "telemetry on, pool " + std::to_string(pool) +
+                               ", round " + std::to_string(round));
+    }
+    EXPECT_TRUE((*client)->Bye().ok());
+    (*server)->Stop();
+    tracer.Close();
+
+    // The spans really were written: 3 batches x (4 query spans + 1
+    // batch span), one JSON object per line.
+    std::ifstream trace(trace_path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(trace, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 15u);
+    for (const std::string& l : lines) {
+      EXPECT_EQ(l.front(), '{');
+      EXPECT_EQ(l.back(), '}');
+      EXPECT_NE(l.find("\"tenant\":\"p/alpha\""), std::string::npos);
+    }
+  }
 }
 
 TEST(NetE2eTest, ClientDeathMidBatchSettlesLikeACleanRun) {

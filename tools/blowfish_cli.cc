@@ -23,6 +23,8 @@
 //   blowfish_cli remote    --port 7070 [--host 127.0.0.1]
 //                          --policy <policy_id> --tenant <name>
 //                          --requests reqs.txt [--stream]
+//   blowfish_cli stats     --port 7070 [--host 127.0.0.1]
+//   blowfish_cli stats     --metrics_file m.prom
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
@@ -46,7 +48,10 @@
 // file to a running `blowfish_serverd` over the wire protocol
 // (net/client.h) and prints the streamed responses; the tenant key is
 // the (policy id, tenant name) pair the daemon's serve config
-// registered.
+// registered. The `stats` command fetches a running daemon's metrics
+// snapshot over the wire (STATS verb, no tenant needed) or prints a
+// --metrics_file dump; metric names are catalogued in
+// docs/observability.md.
 
 #include <cstdio>
 #include <cstring>
@@ -441,6 +446,35 @@ void PrintWireResponses(const std::vector<QueryResponse>& responses) {
   }
 }
 
+int RunStats(Args& args) {
+  // Remote: STATS over the wire (no tenant handshake — the verb is
+  // accepted before HELLO). Local: print a --metrics_file dump a
+  // daemon's SIGUSR1 wrote.
+  const char* port_text = args.Get("port");
+  const char* metrics_file = args.Get("metrics_file");
+  if (port_text != nullptr) {
+    auto port = ParseNonNegativeInt(port_text, "--port");
+    if (!port.ok()) return Fail(port.status().ToString());
+    if (*port == 0 || *port > 65535) return Fail("--port out of range");
+    auto samples = BlowfishClient::FetchStats(
+        args.Get("host", "127.0.0.1"), static_cast<uint16_t>(*port));
+    if (!samples.ok()) return Fail(samples.status().ToString());
+    for (const MetricSample& sample : *samples) {
+      std::printf("%s %.17g\n", sample.name.c_str(), sample.value);
+    }
+    return 0;
+  }
+  if (metrics_file != nullptr) {
+    auto text = ReadTextFile(metrics_file);
+    if (!text.ok()) return Fail(text.status().ToString());
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  return Fail(
+      "stats needs --port <p> [--host addr] (live daemon) or "
+      "--metrics_file <f> (a SIGUSR1 dump)");
+}
+
 int RunRemote(Args& args) {
   const char* address = args.Get("host", "127.0.0.1");
   const char* port_text = args.Get("port");
@@ -479,6 +513,7 @@ int RunCli(Args args) {
   if (args.command == "serve") return RunServe(args);
   if (args.command == "sessions") return RunSessions(args);
   if (args.command == "remote") return RunRemote(args);
+  if (args.command == "stats") return RunStats(args);
 
   const char* policy_path = args.Get("policy");
   if (policy_path == nullptr) return Fail("--policy <file> is required");
@@ -705,6 +740,8 @@ int main(int argc, char** argv) {
                  "[--host 127.0.0.1] --policy <id> --tenant <name>\n"
                  "                             --requests <file> "
                  "[--stream]\n"
+                 "       blowfish_cli stats    --port <p> "
+                 "[--host 127.0.0.1] | --metrics_file <file>\n"
                  "batch request kinds: %s\n",
                  blowfish::QueryOpRegistry::Global().KnownKindsString()
                      .c_str());

@@ -2,7 +2,8 @@
 //
 //   blowfish_serverd --config host.cfg [--port 7070] [--bind 127.0.0.1]
 //                    [--threads 4] [--cache_file warm.cache]
-//                    [--print_port]
+//                    [--print_port] [--metrics_file m.prom]
+//                    [--trace_file t.jsonl]
 //
 // Builds a multi-tenant EngineHost from the same serve config
 // `blowfish_cli serve` uses (server/serve_config.h), then serves the
@@ -18,6 +19,15 @@
 //     (server/host_builder.h, SaveHostState) before exiting 0 — a
 //     restarted daemon refuses what this process's clients already
 //     spent.
+//   * Telemetry (docs/observability.md): every layer's counters live
+//     in the process-wide metrics registry, served over the wire by
+//     the STATS verb (`blowfish_cli stats`). SIGUSR1 dumps a
+//     Prometheus-style text snapshot — to --metrics_file if given,
+//     else to stdout — without disturbing serving; the same dump runs
+//     once more on clean exit. --trace_file turns on per-batch /
+//     per-query JSONL spans. During a drain the daemon logs progress
+//     (~1/s): connections still in flight, and how many had to be
+//     escalated to a full shutdown at the grace deadline.
 //
 // Clients: `blowfish_cli remote` or the BlowfishClient library
 // (net/client.h). docs/server.md documents the frame grammar and shows
@@ -30,6 +40,8 @@
 #include <unistd.h>
 
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/host_builder.h"
 #include "util/parse.h"
 
@@ -37,12 +49,13 @@ namespace blowfish {
 namespace {
 
 /// Self-pipe: the signal handler writes one byte; main blocks on the
-/// read side. The only async-signal-safe thing the handler does is
-/// write(2).
+/// read side. The byte says which signal fired: 'U' = SIGUSR1 (dump
+/// metrics, keep serving), 'T' = SIGTERM/SIGINT (drain and exit). The
+/// only async-signal-safe thing the handler does is write(2).
 int g_signal_pipe[2] = {-1, -1};
 
-void OnSignal(int /*signum*/) {
-  const char byte = 1;
+void OnSignal(int signum) {
+  const char byte = signum == SIGUSR1 ? 'U' : 'T';
   // Best effort: a full pipe means a wakeup is already pending.
   [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
 }
@@ -52,11 +65,28 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Prometheus-style snapshot of the process-wide registry: to `path`
+/// when set (SIGUSR1's re-dumpable file contract), else to stdout.
+void DumpMetrics(const std::string& path) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  if (path.empty()) {
+    std::fputs(registry->RenderPrometheusText().c_str(), stdout);
+  } else if (registry->WriteTextFile(path)) {
+    std::printf("# metrics dumped to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write --metrics_file %s\n",
+                 path.c_str());
+  }
+  std::fflush(stdout);
+}
+
 int Run(int argc, char** argv) {
   std::string config_path;
   ServerOptions server_options;
   std::string threads_override;
   std::string cache_file_override;
+  std::string metrics_file;
+  std::string trace_file;
   bool print_port = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,13 +117,21 @@ int Run(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Fail("--cache_file needs a file");
       cache_file_override = v;
+    } else if (flag == "--metrics_file") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--metrics_file needs a file");
+      metrics_file = v;
+    } else if (flag == "--trace_file") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--trace_file needs a file");
+      trace_file = v;
     } else if (flag == "--print_port") {
       print_port = true;
     } else {
       return Fail("unknown flag '" + flag +
                   "' (usage: blowfish_serverd --config <file> [--port p] "
                   "[--bind addr] [--threads n] [--cache_file f] "
-                  "[--print_port])");
+                  "[--print_port] [--metrics_file f] [--trace_file f])");
     }
   }
   if (config_path.empty()) {
@@ -109,6 +147,13 @@ int Run(int argc, char** argv) {
   }
   if (!cache_file_override.empty()) config->cache_file = cache_file_override;
 
+  // Open the tracer before the host exists so the very first batch is
+  // traced. Spans go to the process-wide writer the engines default to.
+  if (!trace_file.empty() &&
+      !obs::TraceWriter::Global()->Open(trace_file)) {
+    return Fail("cannot open --trace_file " + trace_file);
+  }
+
   auto host = BuildHostFromConfig(*config);
   if (!host.ok()) return Fail(host.status().ToString());
 
@@ -120,8 +165,13 @@ int Run(int argc, char** argv) {
   action.sa_handler = OnSignal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGUSR1, &action, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // dead peers are error returns, not exits
 
+  server_options.drain_log = [](const std::string& line) {
+    std::printf("# %s\n", line.c_str());
+    std::fflush(stdout);
+  };
   auto server = BlowfishServer::Start(host->get(), server_options);
   if (!server.ok()) return Fail(server.status().ToString());
 
@@ -135,9 +185,22 @@ int Run(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  // Block until SIGTERM/SIGINT.
-  char byte;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Block until a signal. SIGUSR1 dumps a metrics snapshot and keeps
+  // serving (re-dumpable at will); SIGTERM/SIGINT fall through to the
+  // drain.
+  while (true) {
+    char byte = 0;
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    if (byte == 'U') {
+      DumpMetrics(metrics_file);
+      continue;
+    }
+    break;
   }
 
   std::printf("# draining: in-flight batches complete, ledgers flush\n");
@@ -146,6 +209,8 @@ int Run(int argc, char** argv) {
   const BlowfishServer::Stats stats = (*server)->stats();
   Status saved = SaveHostState(**host, *config);
   if (!saved.ok()) return Fail(saved.ToString());
+  if (!metrics_file.empty()) DumpMetrics(metrics_file);
+  obs::TraceWriter::Global()->Close();
   std::printf("# served %llu batches over %llu connections "
               "(%llu protocol errors); state flushed\n",
               static_cast<unsigned long long>(stats.batches),
