@@ -90,8 +90,11 @@ std::string ScopedMetricName(const std::string& base,
 
 BudgetAccountant::BudgetAccountant(double default_budget,
                                    obs::MetricsRegistry* metrics,
-                                   const std::string& metrics_scope)
-    : default_budget_(default_budget) {
+                                   const std::string& metrics_scope,
+                                   obs::AuditLog* audit)
+    : default_budget_(default_budget),
+      audit_(audit != nullptr ? audit : obs::AuditLog::Global()),
+      audit_scope_(metrics_scope) {
   if (metrics == nullptr) metrics = obs::MetricsRegistry::Global();
   charges_total_ = metrics->GetCounter(
       ScopedMetricName("budget_charges_total", metrics_scope));
@@ -125,14 +128,25 @@ Status BudgetAccountant::OpenSession(const std::string& session,
   if (!(budget >= 0.0) || !std::isfinite(budget)) {
     return Status::InvalidArgument("session budget must be finite and >= 0");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.count(session) > 0) {
-    return Status::InvalidArgument("session '" + session +
-                                   "' already exists");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(session) > 0) {
+      return Status::InvalidArgument("session '" + session +
+                                     "' already exists");
+    }
+    SessionState state;
+    state.budget = budget;
+    sessions_.emplace(session, std::move(state));
   }
-  SessionState state;
-  state.budget = budget;
-  sessions_.emplace(session, std::move(state));
+  // Audit write strictly after mu_ is released: the log line must not
+  // extend the admission critical section.
+  if (audit_->enabled()) {
+    obs::TraceEvent event("event", "open");
+    event.Uint("ts_us", obs::MonotonicMicros());
+    if (!audit_scope_.empty()) event.Str("tenant", audit_scope_);
+    event.Str("session", session).Double("budget", budget);
+    audit_->Write(std::move(event));
+  }
   return Status::OK();
 }
 
@@ -164,6 +178,7 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeSequential(
   receipt.charged = epsilon;
   receipt.epsilon = epsilon;
   receipt.remaining = state.budget - state.ledger.TotalEpsilon();
+  receipt.budget = state.budget;
   return receipt;
 }
 
@@ -200,6 +215,7 @@ StatusOr<BudgetReceipt> BudgetAccountant::ChargeParallel(
   receipt.charged = cost;
   receipt.epsilon = cost;
   receipt.remaining = state.budget - state.ledger.TotalEpsilon();
+  receipt.budget = state.budget;
   receipt.parallel = true;
   return receipt;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/privacy_loss.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -42,6 +43,11 @@ struct BudgetReceipt {
   double epsilon = 0.0;
   /// Session budget left after the charge.
   double remaining = 0.0;
+  /// The session's total budget at charge time. Rides the wire receipt
+  /// (optional `budget=` key) and the audit log, where it lets a replay
+  /// re-open sessions with the exact cap the original run enforced.
+  /// 0 when parsed from an older server's receipt.
+  double budget = 0.0;
   bool parallel = false;
   /// Set by the engine when the charge was returned because the query
   /// failed after admission (see BudgetAccountant::Refund).
@@ -58,9 +64,18 @@ class BudgetAccountant {
   /// a multi-tenant host's accountants stay distinguishable in one
   /// registry. All metric updates happen under mu_, so the double totals
   /// are exact, not merely eventually consistent.
+  ///
+  /// `audit` is the privacy audit sink (nullptr = process-wide
+  /// AuditLog::Global(), disabled by default). The accountant itself
+  /// emits only session-open events — charge/refund/settle/refusal
+  /// lines are emitted by the ReleaseEngine at batch end, in ledger
+  /// order, off this accountant's mutex (the audit path must never
+  /// extend the admission critical section). `metrics_scope` doubles as
+  /// the audit tenant label.
   explicit BudgetAccountant(double default_budget,
                             obs::MetricsRegistry* metrics = nullptr,
-                            const std::string& metrics_scope = "");
+                            const std::string& metrics_scope = "",
+                            obs::AuditLog* audit = nullptr);
 
   /// Creates a session with an explicit budget. Fails with AlreadyExists
   /// semantics (InvalidArgument) if the session already exists.
@@ -168,6 +183,10 @@ class BudgetAccountant {
   obs::Counter* refusals_total_;
   obs::DoubleCounter* eps_charged_total_;
   obs::DoubleCounter* eps_refunded_total_;
+  /// Resolved once in the constructor; never null. Written to only
+  /// outside mu_.
+  obs::AuditLog* audit_;
+  std::string audit_scope_;
 };
 
 }  // namespace blowfish

@@ -60,7 +60,9 @@ ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
                   options.metrics != nullptr
                       ? options.metrics
                       : obs::MetricsRegistry::Global(),
-                  options.metrics_scope),
+                  options.metrics_scope,
+                  options.audit != nullptr ? options.audit
+                                           : obs::AuditLog::Global()),
       cache_(options.shared_cache
                  ? options.shared_cache
                  : std::make_shared<SensitivityCache>(
@@ -72,7 +74,9 @@ ReleaseEngine::ReleaseEngine(Policy policy, Dataset data, Histogram hist,
       metrics_(options.metrics != nullptr ? options.metrics
                                           : obs::MetricsRegistry::Global()),
       tracer_(options.tracer != nullptr ? options.tracer
-                                        : obs::TraceWriter::Global()) {
+                                        : obs::TraceWriter::Global()),
+      audit_(options.audit != nullptr ? options.audit
+                                      : obs::AuditLog::Global()) {
   batches_total_ = metrics_->GetCounter("engine_batches_total");
   batch_latency_us_ = metrics_->GetHistogram("engine_batch_latency_us");
 }
@@ -153,10 +157,41 @@ struct ReleaseEngine::Work {
 
 std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     const std::vector<QueryRequest>& requests,
-    const QueryCompletionCallback& on_complete) {
+    const QueryCompletionCallback& on_complete,
+    const obs::TraceContext& trace) {
   std::lock_guard<std::mutex> serve_lock(serve_mu_);
   const uint64_t batch_start_us = obs::MonotonicMicros();
   std::vector<QueryResponse> responses(requests.size());
+
+  // Audit events are gathered as admission/refund/settle decisions are
+  // made — in exact ledger-operation order — and written in the
+  // epilogue, off the accountant's mutex. One enabled check per batch.
+  const bool audit_on = audit_->enabled();
+  std::vector<obs::TraceEvent> audit_events;
+  auto new_audit_event = [&](const char* kind, const std::string& session) {
+    obs::TraceEvent event("event", kind);
+    event.Uint("ts_us", obs::MonotonicMicros());
+    if (!options_.metrics_scope.empty()) {
+      event.Str("tenant", options_.metrics_scope);
+    }
+    event.Str("session", session);
+    trace.Stamp(&event);
+    return event;
+  };
+  auto audit_charge = [&](const std::string& kind, const BudgetReceipt& r,
+                          size_t group_members) {
+    obs::TraceEvent event = new_audit_event("charge", r.session);
+    event.Str("kind", kind)
+        .Str("label", r.label)
+        .Double("eps", r.epsilon)
+        .Double("charged", r.charged)
+        .Uint("charge_id", r.charge_id)
+        .Double("budget", r.budget)
+        .Double("remaining", r.remaining)
+        .Bool("parallel", r.parallel);
+    if (r.parallel) event.Uint("members", group_members);
+    audit_events.push_back(std::move(event));
+  };
 
   // Whether the policy carries constraints that actually restrict I_Q;
   // unpinned-only sets are semantically unconstrained.
@@ -201,6 +236,10 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     }
   }
 
+  // End of the validate/sensitivity-resolution phase, for the
+  // "sensitivity" trace span.
+  const uint64_t sens_end_us = obs::MonotonicMicros();
+
   // --- Admission pass 2 (sequential): charge budgets. --------------------
   // Strictly in request order, so refusals under contention hit the later
   // queries: sequential requests charge eps at their own position;
@@ -228,10 +267,22 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
           req.session, charge,
           req.label.empty() ? req.op->KindName() : req.label);
       if (!receipt.ok()) {
+        if (audit_on &&
+            receipt.status().code() == StatusCode::kResourceExhausted) {
+          obs::TraceEvent event = new_audit_event("refuse", req.session);
+          event.Str("kind", QueryKindName(req))
+              .Str("label", req.label)
+              .Double("eps", charge)
+              .Bool("parallel", false);
+          audit_events.push_back(std::move(event));
+        }
         responses[i].status = receipt.status();
         continue;
       }
       responses[i].receipt = std::move(*receipt);
+      if (audit_on) {
+        audit_charge(QueryKindName(req), responses[i].receipt, 0);
+      }
       continue;
     }
     const std::pair<std::string, std::string> key{req.session,
@@ -352,8 +403,23 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     auto receipt =
         accountant_.ChargeParallel(key.first, epsilons, key.second);
     if (!receipt.ok()) {
+      if (audit_on &&
+          receipt.status().code() == StatusCode::kResourceExhausted) {
+        obs::TraceEvent event = new_audit_event("refuse", key.first);
+        event.Str("kind", "parallel_group")
+            .Str("label", key.second)
+            .Double("eps",
+                    *std::max_element(epsilons.begin(), epsilons.end()))
+            .Bool("parallel", true);
+        audit_events.push_back(std::move(event));
+      }
       for (size_t m : group.members) responses[m].status = receipt.status();
       continue;
+    }
+    // The parallel-group admission record: one ledger charge of
+    // max(eps) covers the whole group.
+    if (audit_on) {
+      audit_charge("parallel_group", *receipt, group.members.size());
     }
     for (size_t m : group.members) {
       BudgetReceipt r = *receipt;
@@ -415,9 +481,10 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::vector<Work> work;
     const std::vector<QueryRequest>* requests = nullptr;
     std::vector<QueryResponse>* responses = nullptr;
-    /// Per-request execution time, for the trace spans (each slot is
-    /// written by exactly one drain thread; the all_done handshake
-    /// publishes them back to the batch thread).
+    /// Per-request execution start time and duration, for the trace
+    /// spans (each slot is written by exactly one drain thread; the
+    /// all_done handshake publishes them back to the batch thread).
+    std::vector<uint64_t>* start_us = nullptr;
     std::vector<uint64_t>* durations_us = nullptr;
     const ReleaseEngine* engine = nullptr;
     const QueryCompletionCallback* on_complete = nullptr;
@@ -429,11 +496,13 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     std::condition_variable all_done;
     size_t done = 0;
   };
+  std::vector<uint64_t> start_us(requests.size(), 0);
   std::vector<uint64_t> durations_us(requests.size(), 0);
   auto state = std::make_shared<BatchState>();
   state->work = std::move(work);
   state->requests = &requests;
   state->responses = &responses;
+  state->start_us = &start_us;
   state->durations_us = &durations_us;
   state->engine = this;
   state->on_complete = on_complete ? &on_complete : nullptr;
@@ -449,6 +518,7 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
                          Random(s->engine->root_seed_).Fork(item.stream_id),
                          &response);
       const uint64_t exec_us = obs::MonotonicMicros() - exec_start_us;
+      (*s->start_us)[item.index] = exec_start_us;
       (*s->durations_us)[item.index] = exec_us;
       // Telemetry after the fact, on pre-resolved handles: sharded
       // atomics only — nothing here can reorder completions or touch
@@ -472,6 +542,7 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
       if (s->done == s->work.size()) s->all_done.notify_all();
     }
   };
+  const uint64_t exec_phase_start_us = obs::MonotonicMicros();
   const size_t helpers = std::min(
       pool_->size(), state->work.empty() ? 0 : state->work.size() - 1);
   for (size_t t = 0; t < helpers; ++t) {
@@ -483,17 +554,27 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     state->all_done.wait(
         lock, [&]() { return state->done == state->work.size(); });
   }
+  const uint64_t exec_phase_end_us = obs::MonotonicMicros();
 
   // --- Refunds: a query that failed *after* its budget charge (mechanism
   // error mid-batch) returns the charge to its session. Sequential
   // charges refund individually; a parallel group's single charge covered
   // every member, so it is returned only when the whole group failed —
   // if any member released, the group charge still pays for it.
+  auto audit_refund = [&](const BudgetReceipt& r) {
+    obs::TraceEvent event = new_audit_event("refund", r.session);
+    event.Str("label", r.label)
+        .Uint("charge_id", r.charge_id)
+        .Double("charged", r.charged);
+    audit_events.push_back(std::move(event));
+  };
+  const uint64_t settle_start_us = obs::MonotonicMicros();
   for (size_t i = 0; i < requests.size(); ++i) {
     QueryResponse& resp = responses[i];
     if (resp.status.ok() || resp.receipt.parallel) continue;
     if (resp.receipt.charged <= 0.0) continue;
     if (accountant_.Refund(resp.receipt).ok()) {
+      if (audit_on) audit_refund(resp.receipt);
       resp.receipt.refunded = true;
       resp.receipt.remaining = accountant_.Remaining(resp.receipt.session);
     }
@@ -512,6 +593,7 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     for (size_t m : group.members) {
       if (responses[m].receipt.charged > 0.0 &&
           accountant_.Refund(responses[m].receipt).ok()) {
+        if (audit_on) audit_refund(responses[m].receipt);
         responses[m].receipt.refunded = true;
       }
     }
@@ -526,8 +608,19 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   for (QueryResponse& resp : responses) {
     if (resp.receipt.charge_id != 0 && !resp.receipt.refunded) {
       accountant_.Settle(resp.receipt);
+      // One settle line per ledger charge: a parallel group's members
+      // share a charge_id but only the argmax member carries it as
+      // charged > 0 (and a refunded group never reaches here).
+      if (audit_on && resp.receipt.charged > 0.0) {
+        obs::TraceEvent event =
+            new_audit_event("settle", resp.receipt.session);
+        event.Uint("charge_id", resp.receipt.charge_id)
+            .Double("charged", resp.receipt.charged);
+        audit_events.push_back(std::move(event));
+      }
     }
   }
+  const uint64_t settle_end_us = obs::MonotonicMicros();
 
   // --- Telemetry epilogue (sequential, under serve_mu_): refusal
   // counters and, when a tracer is open, one span per query plus the
@@ -545,6 +638,24 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
   const uint64_t batch_us = obs::MonotonicMicros() - batch_start_us;
   batch_latency_us_->Observe(batch_us);
   if (tracer_->enabled()) {
+    auto phase_span = [&](const char* kind, uint64_t ts_us,
+                          uint64_t end_us) {
+      obs::TraceEvent span(kind);
+      if (!options_.metrics_scope.empty()) {
+        span.Str("tenant", options_.metrics_scope);
+      }
+      span.Uint("ts_us", ts_us).Uint("dur_us", end_us - ts_us);
+      trace.Stamp(&span);
+      tracer_->Write(std::move(span));
+    };
+    // The three server-side engine phases of the causal tree:
+    // validate+sensitivity, cooperative-drain execution, and
+    // refund/settle. ts_us is CLOCK_MONOTONIC microseconds —
+    // comparable across processes on one machine, so client and
+    // server spans merge onto one timeline.
+    phase_span("sensitivity", batch_start_us, sens_end_us);
+    phase_span("execute", exec_phase_start_us, exec_phase_end_us);
+    phase_span("settle", settle_start_us, settle_end_us);
     for (size_t i = 0; i < requests.size(); ++i) {
       const QueryResponse& resp = responses[i];
       obs::TraceEvent span("query");
@@ -560,7 +671,9 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
           .Uint("charge_id", resp.receipt.charge_id)
           .Bool("cache_hit", resp.cache_hit)
           .Bool("refunded", resp.receipt.refunded)
+          .Uint("ts_us", start_us[i])
           .Uint("dur_us", durations_us[i]);
+      trace.Stamp(&span);
       tracer_->Write(std::move(span));
     }
     obs::TraceEvent span("batch");
@@ -569,8 +682,19 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
     }
     span.Uint("queries", requests.size())
         .Uint("refused", refused)
+        .Uint("ts_us", batch_start_us)
         .Uint("dur_us", batch_us);
+    trace.Stamp(&span);
     tracer_->Write(std::move(span));
+  }
+
+  // Audit lines last, in the exact order the ledger operations
+  // happened (charges in request order, then refunds, then settles) —
+  // which is what lets blowfish_audit replay them into a fresh
+  // accountant and reproduce charge_ids exactly. Written here, under
+  // serve_mu_ but off the accountant's mutex.
+  for (obs::TraceEvent& event : audit_events) {
+    audit_->Write(std::move(event));
   }
 
   return responses;

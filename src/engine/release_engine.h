@@ -69,8 +69,10 @@
 #include "engine/budget_accountant.h"
 #include "engine/ops/query_op.h"
 #include "engine/sensitivity_cache.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -172,6 +174,15 @@ struct ReleaseEngineOptions {
   /// --trace_file opens it; spans are emitted at batch end, after
   /// settlement, so a span's receipt fields are final.
   obs::TraceWriter* tracer = nullptr;
+  /// Privacy audit sink: every budget-affecting event of a batch —
+  /// charge, parallel-group admission, refusal, refund, settle — is
+  /// recorded as one JSONL line, in exact ledger order, such that
+  /// replaying the log reproduces the accountant's persisted ledger
+  /// byte-for-byte (src/server/audit_replay.h). nullptr = the
+  /// process-wide AuditLog::Global(), disabled until the daemon's
+  /// --audit_file opens it. Events are gathered during admission and
+  /// written in the batch epilogue, off the accountant's mutex.
+  obs::AuditLog* audit = nullptr;
 };
 
 class ReleaseEngine {
@@ -199,9 +210,15 @@ class ReleaseEngine {
   /// finishes instead of making callers wait for the whole batch (see
   /// QueryCompletionCallback for the exact contract). The returned
   /// vector is unchanged by streaming.
+  ///
+  /// `trace`, when valid, is the wire-propagated trace context for the
+  /// batch: every span and audit line the batch emits is stamped with
+  /// its ids, joining the server-side tree to the client's. Telemetry
+  /// only — serving is bit-identical with or without it.
   std::vector<QueryResponse> ServeBatch(
       const std::vector<QueryRequest>& requests,
-      const QueryCompletionCallback& on_complete = nullptr);
+      const QueryCompletionCallback& on_complete = nullptr,
+      const obs::TraceContext& trace = obs::TraceContext());
 
   BudgetAccountant& accountant() { return accountant_; }
   SensitivityCache& cache() { return *cache_; }
@@ -259,6 +276,7 @@ class ReleaseEngine {
   /// guarded by serve_mu_ (see KindMetricsFor).
   obs::MetricsRegistry* metrics_;
   obs::TraceWriter* tracer_;
+  obs::AuditLog* audit_;
   obs::Counter* batches_total_;
   obs::Histogram* batch_latency_us_;
   std::map<std::string, std::unique_ptr<KindMetrics>> kind_metrics_;

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/random.h"
 
 namespace blowfish {
 
@@ -54,6 +56,33 @@ StatusOr<std::string> BlowfishClient::ReadPayload() {
   }
 }
 
+void BlowfishClient::EnableTracing(obs::TraceWriter* tracer,
+                                   uint64_t seed) {
+  tracer_ = tracer != nullptr ? tracer : obs::TraceWriter::Global();
+  trace_seed_ = seed;
+  // Stream 0 of the seed is the connection's trace id. 0 means "no
+  // trace" on the wire, so that one draw (p = 2^-64) is remapped.
+  trace_id_ = Random(seed).Fork(0).engine()();
+  if (trace_id_ == 0) trace_id_ = 1;
+  batch_index_ = 0;
+}
+
+Status BlowfishClient::CheckTraceEcho(
+    const WireMessage& msg, const obs::TraceContext& sent) const {
+  if (!sent.valid()) return Status::OK();
+  BLOWFISH_ASSIGN_OR_RETURN(obs::TraceContext echoed,
+                            ParseTraceContext(msg));
+  // No echo at all is an older server — fine. An echo that names a
+  // DIFFERENT context means frames are crossing batches or
+  // connections: corruption, not version skew.
+  if (!echoed.valid() || echoed == sent) return Status::OK();
+  return Status::Internal(
+      "server echoed trace " + std::to_string(echoed.trace_id) +
+      "/span " + std::to_string(echoed.span_id) +
+      " on a batch sent as trace " + std::to_string(sent.trace_id) +
+      "/span " + std::to_string(sent.span_id));
+}
+
 StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
     const std::string& text, const ResultCallback& on_result) {
   // Ship the batch file line by line, exactly as written — the server
@@ -80,18 +109,45 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
     }
   }
 
+  // Mint this batch's trace context (no-op wire-wise when tracing is
+  // off: EncodeSubmitPayload appends nothing for an invalid context).
+  obs::TraceContext ctx;
+  const bool traced = tracer_ != nullptr;
+  if (traced) {
+    ctx.trace_id = trace_id_;
+    uint64_t span = Random(trace_seed_).Fork(batch_index_ + 1).engine()();
+    ctx.span_id = span != 0 ? span : 1;
+    ++batch_index_;
+  }
+
+  const uint64_t send_start_us = traced ? obs::MonotonicMicros() : 0;
   BLOWFISH_RETURN_IF_ERROR(
-      WritePayload(EncodeSubmitPayload(lines.size())));
+      WritePayload(EncodeSubmitPayload(lines.size(), ctx)));
   for (const std::string& line : lines) {
     BLOWFISH_RETURN_IF_ERROR(WritePayload(EncodeReqPayload(line)));
   }
+  if (traced && tracer_->enabled()) {
+    obs::TraceEvent span("client_send");
+    span.Uint("ts_us", send_start_us)
+        .Uint("dur_us", obs::MonotonicMicros() - send_start_us);
+    ctx.Stamp(&span);
+    tracer_->Write(std::move(span));
+  }
 
+  // The assembly loop splits its wall time two ways: decode_us is the
+  // cumulative time blocked reading frames off the socket, the rest is
+  // parse/assemble work — the client_decode / client_assemble spans.
+  const uint64_t assemble_start_us = traced ? obs::MonotonicMicros() : 0;
+  uint64_t decode_us = 0;
   std::vector<QueryResponse> responses;
   std::vector<bool> seen;
   while (true) {
+    const uint64_t read_start_us = traced ? obs::MonotonicMicros() : 0;
     BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
+    if (traced) decode_us += obs::MonotonicMicros() - read_start_us;
     BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
     if (msg.verb == kVerbResult) {
+      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
       BLOWFISH_ASSIGN_OR_RETURN(auto result, ParseResultPayload(msg));
       const size_t index = result.first;
       // One response per request line at most: an index past what we
@@ -117,6 +173,7 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
       continue;
     }
     if (msg.verb == kVerbReceipt) {
+      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
       size_t index = 0;
       BudgetReceipt receipt;
       BLOWFISH_RETURN_IF_ERROR(ParseReceiptPayload(msg, &index, &receipt));
@@ -128,6 +185,7 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
       continue;
     }
     if (msg.verb == kVerbDone) {
+      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
       BLOWFISH_ASSIGN_OR_RETURN(uint64_t n, GetUintField(msg, "n"));
       if (n != responses.size()) {
         return Status::Internal(
@@ -139,6 +197,23 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
           return Status::Internal("no RESULT for query " +
                                   std::to_string(i));
         }
+      }
+      if (traced && tracer_->enabled()) {
+        const uint64_t total_us =
+            obs::MonotonicMicros() - assemble_start_us;
+        // Both spans cover the whole assembly loop; their durations
+        // are CUMULATIVE slices of it (blocked-on-socket vs. local
+        // work), not contiguous intervals.
+        obs::TraceEvent decode_span("client_decode");
+        decode_span.Uint("ts_us", assemble_start_us)
+            .Uint("dur_us", decode_us);
+        ctx.Stamp(&decode_span);
+        tracer_->Write(std::move(decode_span));
+        obs::TraceEvent assemble_span("client_assemble");
+        assemble_span.Uint("ts_us", assemble_start_us)
+            .Uint("dur_us", total_us - decode_us);
+        ctx.Stamp(&assemble_span);
+        tracer_->Write(std::move(assemble_span));
       }
       return responses;
     }
@@ -153,8 +228,9 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
   }
 }
 
-StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats() {
-  BLOWFISH_RETURN_IF_ERROR(WritePayload(EncodeStatsPayload()));
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchSamples(
+    const std::string& request_payload, const char* what) {
+  BLOWFISH_RETURN_IF_ERROR(WritePayload(request_payload));
   std::vector<MetricSample> samples;
   while (true) {
     BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
@@ -180,9 +256,13 @@ StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats() {
       return error.ok() ? Status::Internal("ERR frame with code=OK")
                         : error;
     }
-    return Status::Internal("unexpected " + msg.verb +
-                            " frame in a STATS reply");
+    return Status::Internal("unexpected " + msg.verb + " frame in a " +
+                            std::string(what) + " reply");
   }
+}
+
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats() {
+  return FetchSamples(EncodeStatsPayload(), "STATS");
 }
 
 StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats(
@@ -191,6 +271,18 @@ StatusOr<std::vector<MetricSample>> BlowfishClient::FetchStats(
                             Socket::ConnectTcp(address, port));
   BlowfishClient client(std::move(sock));
   return client.FetchStats();
+}
+
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchHealth() {
+  return FetchSamples(EncodeHealthPayload(), "HEALTH");
+}
+
+StatusOr<std::vector<MetricSample>> BlowfishClient::FetchHealth(
+    const std::string& address, uint16_t port) {
+  BLOWFISH_ASSIGN_OR_RETURN(Socket sock,
+                            Socket::ConnectTcp(address, port));
+  BlowfishClient client(std::move(sock));
+  return client.FetchHealth();
 }
 
 Status BlowfishClient::Bye() {

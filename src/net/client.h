@@ -24,11 +24,15 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "server/engine_host.h"
 #include "util/socket.h"
 #include "util/status.h"
 
 namespace blowfish {
+
+struct WireMessage;  // net/protocol.h
 
 /// One sample from a STATS reply. Names follow the metrics registry's
 /// convention (obs/metrics.h): any label block rides inside the name,
@@ -76,6 +80,33 @@ class BlowfishClient {
   static StatusOr<std::vector<MetricSample>> FetchStats(
       const std::string& address, uint16_t port);
 
+  /// Requests the daemon's liveness surface (HEALTH verb): ready /
+  /// draining flags, uptime, active connections, and per-tenant
+  /// remaining-budget gauges. Same sample shape as FetchStats.
+  StatusOr<std::vector<MetricSample>> FetchHealth();
+
+  /// One-shot HEALTH without a tenant (accepted pre-HELLO, like
+  /// STATS) — what `blowfish_cli health` and the CI smoke use.
+  static StatusOr<std::vector<MetricSample>> FetchHealth(
+      const std::string& address, uint16_t port);
+
+  /// Turns on wire-propagated tracing for this client. Every later
+  /// batch is stamped with one connection-wide 64-bit trace id and a
+  /// fresh per-batch span id, both minted from deterministic
+  /// Random::Fork streams of `seed` (stream 0 = trace id, stream k =
+  /// batch k's span id) — two runs with the same seed mint the same
+  /// ids, so traces diff cleanly across runs. The ids ride as trace= /
+  /// span= keys on SUBMIT; the server threads them through its own
+  /// spans and audit lines and echoes them on RESULT / RECEIPT / DONE
+  /// (the echo is verified when present; an older server that omits it
+  /// still interoperates). The client writes its own spans
+  /// (client_send, client_decode, client_assemble) to `tracer`, tagged
+  /// with the same ids, so the two JSONL files concatenate into one
+  /// causal tree. nullptr = the process-wide writer. Tracing is OFF
+  /// until this is called: an untraced client sends byte-identical
+  /// frames to a pre-tracing one.
+  void EnableTracing(obs::TraceWriter* tracer, uint64_t seed);
+
   /// Clean shutdown: BYE, wait for the server's OK. Further submits
   /// fail.
   Status Bye();
@@ -92,8 +123,26 @@ class BlowfishClient {
   /// here (the protocol always tells the client what comes next).
   StatusOr<std::string> ReadPayload();
 
+  /// Shared METRIC/DONE assembly loop behind FetchStats and
+  /// FetchHealth: writes `request_payload`, collects METRIC frames
+  /// until a count-checked DONE. `what` names the verb in error text.
+  StatusOr<std::vector<MetricSample>> FetchSamples(
+      const std::string& request_payload, const char* what);
+
+  /// Checks a server frame's echoed trace context against what this
+  /// batch sent: absent is fine (older server), mismatched is not.
+  Status CheckTraceEcho(const WireMessage& msg,
+                        const obs::TraceContext& sent) const;
+
   Socket sock_;
   FrameDecoder decoder_;
+  /// Tracing state; tracer_ == nullptr until EnableTracing.
+  obs::TraceWriter* tracer_ = nullptr;
+  uint64_t trace_seed_ = 0;
+  uint64_t trace_id_ = 0;
+  /// Count of traced batches sent; batch k's span id comes from
+  /// Fork(k + 1) (stream 0 is the trace id's).
+  uint64_t batch_index_ = 0;
 };
 
 }  // namespace blowfish

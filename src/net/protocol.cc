@@ -72,6 +72,7 @@ void AddReceiptFields(WireMessageBuilder& b, const BudgetReceipt& r) {
       .AddDouble("charged", r.charged)
       .AddDouble("eps", r.epsilon)
       .AddDouble("remaining", r.remaining)
+      .AddDouble("budget", r.budget)
       .AddBool("parallel", r.parallel)
       .AddBool("refunded", r.refunded);
 }
@@ -83,6 +84,11 @@ Status ParseReceiptFields(const WireMessage& msg, BudgetReceipt* r) {
   BLOWFISH_ASSIGN_OR_RETURN(r->charged, GetDoubleField(msg, "charged"));
   BLOWFISH_ASSIGN_OR_RETURN(r->epsilon, GetDoubleField(msg, "eps"));
   BLOWFISH_ASSIGN_OR_RETURN(r->remaining, GetDoubleField(msg, "remaining"));
+  // budget= arrived with the audit log; optional so receipts from an
+  // older server still parse (left at the struct default, 0).
+  if (msg.Find("budget") != nullptr) {
+    BLOWFISH_ASSIGN_OR_RETURN(r->budget, GetDoubleField(msg, "budget"));
+  }
   BLOWFISH_ASSIGN_OR_RETURN(r->parallel, GetBoolField(msg, "parallel"));
   BLOWFISH_ASSIGN_OR_RETURN(r->refunded, GetBoolField(msg, "refunded"));
   return Status::OK();
@@ -277,10 +283,33 @@ Status ParseStatusFields(const WireMessage& msg, Status* out) {
   return Status::OK();
 }
 
-std::string EncodeSubmitPayload(size_t num_lines) {
+std::string EncodeSubmitPayload(size_t num_lines,
+                                const obs::TraceContext& trace) {
   WireMessageBuilder b(kVerbSubmit);
   b.AddUint("n", num_lines);
-  return b.payload();
+  std::string payload = b.payload();
+  AppendTraceContext(&payload, trace);
+  return payload;
+}
+
+void AppendTraceContext(std::string* payload,
+                        const obs::TraceContext& trace) {
+  if (!trace.valid()) return;
+  payload->append(" trace=");
+  payload->append(std::to_string(trace.trace_id));
+  payload->append(" span=");
+  payload->append(std::to_string(trace.span_id));
+}
+
+StatusOr<obs::TraceContext> ParseTraceContext(const WireMessage& msg) {
+  obs::TraceContext trace;
+  if (msg.Find("trace") != nullptr) {
+    BLOWFISH_ASSIGN_OR_RETURN(trace.trace_id, GetUintField(msg, "trace"));
+  }
+  if (msg.Find("span") != nullptr) {
+    BLOWFISH_ASSIGN_OR_RETURN(trace.span_id, GetUintField(msg, "span"));
+  }
+  return trace;
 }
 
 std::string EncodeReqPayload(const std::string& line) {
@@ -315,8 +344,10 @@ std::string EncodeResultPayload(size_t index,
 }
 
 std::string EncodeBoundedResultPayload(size_t index,
-                                       const QueryResponse& response) {
+                                       const QueryResponse& response,
+                                       const obs::TraceContext& trace) {
   std::string payload = EncodeResultPayload(index, response);
+  AppendTraceContext(&payload, trace);
   if (payload.size() <= kMaxFramePayload) return payload;
   QueryResponse bounded;
   bounded.status = Status::ResourceExhausted(
@@ -329,7 +360,9 @@ std::string EncodeBoundedResultPayload(size_t index,
   // The receipt is bounded (its strings echo request text, capped at
   // kMaxRequestLine) and must survive: the budget WAS charged.
   bounded.receipt = response.receipt;
-  return EncodeResultPayload(index, bounded);
+  std::string bounded_payload = EncodeResultPayload(index, bounded);
+  AppendTraceContext(&bounded_payload, trace);
+  return bounded_payload;
 }
 
 std::string EncodeReceiptPayload(size_t index,
@@ -373,6 +406,8 @@ Status ParseReceiptPayload(const WireMessage& msg, size_t* index,
 }
 
 std::string EncodeStatsPayload() { return kVerbStats; }
+
+std::string EncodeHealthPayload() { return kVerbHealth; }
 
 std::string EncodeMetricPayload(const std::string& name, double value) {
   WireMessageBuilder b(kVerbMetric);

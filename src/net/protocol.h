@@ -38,6 +38,17 @@
 // IEEE doubles bit-exactly — the e2e suite asserts byte-identical
 // payloads against in-process serving.
 //
+// Evolution contract — unknown keys: ParseWireMessage keeps EVERY
+// well-formed `key=value` token (WireMessage::Find returns the last
+// occurrence), and the typed parsers above it look up only the keys
+// they know. An unrecognized key on a known verb is therefore carried,
+// ignored, and never an error — which is how optional keys (trace=,
+// span=, budget=) roll out with no flag day: an old peer drops them on
+// the floor, a new peer reads them. Only *malformed* tokens (no '=',
+// empty key, bad escape) and malformed values for KNOWN keys are
+// protocol errors. tests/net_e2e_test.cc pins this down on both the
+// parser and a live server.
+//
 // This header is the only place the wire layer touches engine types,
 // and it reaches them exclusively through server/engine_host.h (CI
 // greps that src/net/ includes no engine/core/mech/data header
@@ -51,6 +62,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "server/engine_host.h"
 #include "util/status.h"
 
@@ -90,6 +102,11 @@ inline constexpr char kVerbBye[] = "BYE";
 /// server answers one METRIC frame per sample, then DONE n=<count>.
 inline constexpr char kVerbStats[] = "STATS";
 inline constexpr char kVerbMetric[] = "METRIC";
+/// HEALTH — liveness probe. Accepted before or after HELLO, like
+/// STATS; the server answers METRIC frames (ready/draining flags,
+/// uptime, active connections, per-tenant remaining budget), then
+/// DONE n=<count>.
+inline constexpr char kVerbHealth[] = "HEALTH";
 
 /// Percent-escapes a raw field value: '%', space, control bytes, and
 /// non-ASCII become %XX. '=' is allowed unescaped in values: parsers
@@ -162,8 +179,23 @@ std::string EncodeErrorPayload(const Status& status);
 /// keys) — distinct from the carried status itself.
 Status ParseStatusFields(const WireMessage& msg, Status* out);
 
-/// SUBMIT n=<request line count>
-std::string EncodeSubmitPayload(size_t num_lines);
+/// SUBMIT n=<request line count> [trace=<id> span=<id>] — the trace
+/// keys appear iff `trace` is valid (client tracing enabled).
+std::string EncodeSubmitPayload(size_t num_lines,
+                                const obs::TraceContext& trace =
+                                    obs::TraceContext());
+
+// ---- Trace context (optional keys, see the evolution contract) -------------
+
+/// Appends ` trace=<id> span=<id>` to an encoded payload when `trace`
+/// is valid; no-op otherwise. Ids are decimal uint64 — no escaping
+/// needed.
+void AppendTraceContext(std::string* payload, const obs::TraceContext& trace);
+
+/// Extracts the optional trace=/span= keys from any message. Absent
+/// keys yield an invalid (zeroed) context — not an error; present but
+/// malformed values ARE an error (known keys parse strictly).
+StatusOr<obs::TraceContext> ParseTraceContext(const WireMessage& msg);
 
 /// REQ line=<escaped batch-file line>
 std::string EncodeReqPayload(const std::string& line);
@@ -179,9 +211,13 @@ std::string EncodeResultPayload(size_t index, const QueryResponse& response);
 /// domain) is replaced by a RESULT with the same index, label, and
 /// receipt but a ResourceExhausted status and no values — the client
 /// gets a structured per-query error instead of a poisoned connection
-/// (or, in Debug builds, an EncodeFrame assert in the daemon).
+/// (or, in Debug builds, an EncodeFrame assert in the daemon). A valid
+/// `trace` is echoed on the frame — appended before the bound check,
+/// so the echo can never push a payload past the cap.
 std::string EncodeBoundedResultPayload(size_t index,
-                                       const QueryResponse& response);
+                                       const QueryResponse& response,
+                                       const obs::TraceContext& trace =
+                                           obs::TraceContext());
 
 /// RECEIPT i=<index> <receipt...> — the final receipt state after the
 /// batch future resolved (refunds applied, charges settled).
@@ -198,6 +234,9 @@ Status ParseReceiptPayload(const WireMessage& msg, size_t* index,
 
 /// STATS — no fields.
 std::string EncodeStatsPayload();
+
+/// HEALTH — no fields.
+std::string EncodeHealthPayload();
 
 /// METRIC name=<escaped> value=<%.17g> — one metrics sample. Sample
 /// names reuse the registry's convention (obs/metrics.h), label block

@@ -21,6 +21,16 @@ constexpr uint64_t kMaxBatchLines = 65536;
 /// otherwise make the daemon buffer before any engine-side validation.
 constexpr size_t kMaxBatchBytes = size_t{8} << 20;  // 8 MiB
 
+/// Label values live inside a {k=v,...} block, so the block's
+/// structural characters (and quotes) are mapped to '_'. Session names
+/// come from request text and can contain anything printable.
+std::string SanitizeLabelValue(std::string value) {
+  for (char& c : value) {
+    if (c == '{' || c == '}' || c == ',' || c == '=' || c == '"') c = '_';
+  }
+  return value;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<BlowfishServer>> BlowfishServer::Start(
@@ -43,6 +53,9 @@ BlowfishServer::BlowfishServer(EngineHost* host, ListenSocket listener,
       options_(std::move(options)),
       metrics_(options_.metrics != nullptr ? options_.metrics
                                            : obs::MetricsRegistry::Global()),
+      tracer_(options_.tracer != nullptr ? options_.tracer
+                                         : obs::TraceWriter::Global()),
+      start_us_(obs::MonotonicMicros()),
       connections_total_(metrics_->GetCounter("net_connections_total")),
       connections_active_(metrics_->GetGauge("net_connections_active")),
       frames_in_total_(metrics_->GetCounter("net_frames_in_total")),
@@ -189,7 +202,19 @@ void BlowfishServer::AcceptLoop() {
 }
 
 void BlowfishServer::WriteFrame(Connection* conn,
-                                const std::string& payload) {
+                                const std::string& payload,
+                                std::atomic<uint64_t>* write_us) {
+  const uint64_t t0 = write_us != nullptr ? obs::MonotonicMicros() : 0;
+  struct Accumulate {
+    std::atomic<uint64_t>* sink;
+    uint64_t t0;
+    ~Accumulate() {
+      if (sink != nullptr) {
+        sink->fetch_add(obs::MonotonicMicros() - t0,
+                        std::memory_order_relaxed);
+      }
+    }
+  } accumulate{write_us, t0};
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->dead.load()) return;
   const std::string frame = EncodeFrame(payload);
@@ -239,6 +264,34 @@ void BlowfishServer::ServeStats(Connection* conn) {
   const std::vector<obs::Sample> samples = metrics_->Snapshot();
   for (const obs::Sample& sample : samples) {
     WriteFrame(conn, EncodeMetricPayload(sample.name, sample.value));
+  }
+  WriteFrame(conn, EncodeDonePayload(samples.size()));
+}
+
+void BlowfishServer::ServeHealth(Connection* conn) {
+  // Liveness first (cheap, lock-free), then the budget gauges — which
+  // read only ALREADY-CONSTRUCTED engines, so a health probe never
+  // triggers lazy tenant construction (see EngineHost::BudgetSnapshot).
+  const bool draining = stopping_.load();
+  std::vector<std::pair<std::string, double>> samples;
+  samples.emplace_back("health_ready", draining ? 0.0 : 1.0);
+  samples.emplace_back("health_draining", draining ? 1.0 : 0.0);
+  samples.emplace_back(
+      "health_uptime_us",
+      static_cast<double>(obs::MonotonicMicros() - start_us_));
+  samples.emplace_back("health_connections_active",
+                       static_cast<double>(connections_active_->Value()));
+  for (const EngineHost::TenantBudget& line : host_->BudgetSnapshot()) {
+    samples.emplace_back(
+        "health_budget_remaining{tenant=" + SanitizeLabelValue(line.tenant) +
+            ",session=" +
+            SanitizeLabelValue(line.session.empty() ? "default"
+                                                    : line.session) +
+            "}",
+        line.remaining);
+  }
+  for (const auto& [name, value] : samples) {
+    WriteFrame(conn, EncodeMetricPayload(name, value));
   }
   WriteFrame(conn, EncodeDonePayload(samples.size()));
 }
@@ -293,9 +346,14 @@ void BlowfishServer::HandleConnection(Connection* conn) {
       break;
     }
 
-    // STATS is tenant-agnostic: allowed before or after HELLO.
+    // STATS and HEALTH are tenant-agnostic: allowed before or after
+    // HELLO (an external prober needs neither tenant nor handshake).
     if (msg->verb == kVerbStats) {
       ServeStats(conn);
+      continue;
+    }
+    if (msg->verb == kVerbHealth) {
+      ServeHealth(conn);
       continue;
     }
 
@@ -346,6 +404,16 @@ void BlowfishServer::HandleConnection(Connection* conn) {
       protocol_error(num_lines.status());
       break;
     }
+    // Optional wire-propagated trace context: absent keys (older
+    // clients) yield an invalid context and everything below is a
+    // no-op; malformed values are a protocol error like any other
+    // known-key violation.
+    auto trace = ParseTraceContext(*msg);
+    if (!trace.ok()) {
+      protocol_error(trace.status());
+      break;
+    }
+    const obs::TraceContext ctx = *trace;
     if (*num_lines > kMaxBatchLines) {
       protocol_error(Status::ResourceExhausted(
           "SUBMIT n=" + std::to_string(*num_lines) + " exceeds the " +
@@ -418,23 +486,49 @@ void BlowfishServer::HandleConnection(Connection* conn) {
 
     // Stream per-query completions straight onto the socket. Callbacks
     // are serialized by the engine and always complete before the
-    // future resolves, so `conn` outlives every use here.
+    // future resolves, so `conn` outlives every use here. With tracing
+    // on, every frame of the batch adds its socket wall time to one
+    // shared accumulator — the frame_write span below.
+    const bool traced = tracer_->enabled();
+    const uint64_t submit_us = traced ? obs::MonotonicMicros() : 0;
+    auto frame_write_us =
+        traced ? std::make_shared<std::atomic<uint64_t>>(0) : nullptr;
     auto future = host_->SubmitBatch(
         policy_id, dataset_id, std::move(*requests),
-        [this, conn](size_t index, const QueryResponse& response) {
-          WriteFrame(conn, EncodeBoundedResultPayload(index, response));
-        });
+        [this, conn, ctx, frame_write_us](size_t index,
+                                          const QueryResponse& response) {
+          WriteFrame(conn, EncodeBoundedResultPayload(index, response, ctx),
+                     frame_write_us.get());
+        },
+        ctx);
     auto responses = future.get();
     if (!responses.ok()) {
       WriteErrorFrame(conn, responses.status());
       continue;
     }
     // Final receipt state (refunds applied, charges settled), then the
-    // batch barrier.
+    // batch barrier. Both echo the client's trace context so a client
+    // can match frames to batches without trusting arrival order.
     for (size_t i = 0; i < responses->size(); ++i) {
-      WriteFrame(conn, EncodeReceiptPayload(i, (*responses)[i]));
+      std::string receipt = EncodeReceiptPayload(i, (*responses)[i]);
+      AppendTraceContext(&receipt, ctx);
+      WriteFrame(conn, receipt, frame_write_us.get());
     }
-    WriteFrame(conn, EncodeDonePayload(responses->size()));
+    std::string done = EncodeDonePayload(responses->size());
+    AppendTraceContext(&done, ctx);
+    WriteFrame(conn, done, frame_write_us.get());
+    if (traced) {
+      // dur_us is the batch's CUMULATIVE socket time across all its
+      // RESULT/RECEIPT/DONE frames, not a contiguous interval — the
+      // writes interleave with engine execution.
+      obs::TraceEvent span("frame_write");
+      span.Str("tenant", policy_id + "/" + dataset_id)
+          .Uint("ts_us", submit_us)
+          .Uint("dur_us",
+                frame_write_us->load(std::memory_order_relaxed));
+      ctx.Stamp(&span);
+      tracer_->Write(std::move(span));
+    }
     batches_total_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "server/engine_host.h"
 #include "util/socket.h"
 #include "util/status.h"
@@ -82,6 +84,12 @@ struct ServerOptions {
   /// the process-wide default — pass the same registry the EngineHost
   /// uses so one STATS reply covers every layer.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Span tracer for the wire layer's own spans (per-batch frame_write,
+  /// tagged with the client's trace context when the SUBMIT carried
+  /// one). nullptr = the process-wide default writer (disabled until
+  /// opened) — pass the same tracer the EngineHost uses so client,
+  /// wire, and engine spans land in one file.
+  obs::TraceWriter* tracer = nullptr;
   /// Optional sink for drain-progress lines during Stop(): how many
   /// connections still have work in flight (~1/s while waiting out the
   /// grace period) and how many were escalated to a full shutdown.
@@ -139,8 +147,11 @@ class BlowfishServer {
 
   /// Serializes and writes one frame; marks the connection dead on
   /// failure instead of erroring out, so engine-side completion never
-  /// depends on the socket.
-  void WriteFrame(Connection* conn, const std::string& payload);
+  /// depends on the socket. When `write_us` is set, the frame's wall
+  /// time on the socket (including the wait for write_mu) is added to
+  /// it — the per-batch accumulator behind the frame_write span.
+  void WriteFrame(Connection* conn, const std::string& payload,
+                  std::atomic<uint64_t>* write_us = nullptr);
 
   /// WriteFrame of an ERR payload, counted under the status code's
   /// label (net_err_frames_total{code=...}).
@@ -153,6 +164,13 @@ class BlowfishServer {
   /// reply's own frames-out are not in it), then writes one METRIC
   /// frame per sample and DONE n=<count>.
   void ServeStats(Connection* conn);
+
+  /// Answers one HEALTH verb (allowed pre-HELLO, like STATS): readiness
+  /// and drain state, uptime, active connections, and one
+  /// health_budget_remaining{tenant=...,session=...} gauge per session
+  /// of every already-constructed tenant engine. Same METRIC/DONE frame
+  /// shape as STATS, so clients share the decode path.
+  void ServeHealth(Connection* conn);
 
   /// Joins and drops connections whose handler has finished (called
   /// from the accept loop so a long-lived daemon's connection list
@@ -176,6 +194,10 @@ class BlowfishServer {
   /// per-code ERR counters resolve lazily under mu_. Hot-path updates
   /// touch only the sharded atomics behind these handles — no locks.
   obs::MetricsRegistry* metrics_;
+  /// Resolved at construction (Global when unset); never null.
+  obs::TraceWriter* tracer_;
+  /// MonotonicMicros at construction — the zero of health_uptime_us.
+  uint64_t start_us_;
   obs::Counter* connections_total_;
   obs::Gauge* connections_active_;
   obs::Counter* frames_in_total_;

@@ -1,0 +1,44 @@
+// Privacy audit log: an append-only JSONL stream recording every
+// budget-affecting event — session open, charge (sequential and
+// parallel-group admission), refund, settle, refusal — with enough
+// fields (tenant, session, query fingerprint, epsilon, charge_id,
+// budget, trace id) that replaying the log into a fresh
+// BudgetAccountant reproduces the persisted ledger byte-for-byte
+// (`tools/blowfish_audit.cc`, `src/server/audit_replay.h`).
+//
+// Mechanically this is the TraceWriter idiom verbatim — crash-safe
+// line-at-a-time writes behind one relaxed-load enabled check — so the
+// sink *is* a TraceWriter with its own identity and its own process
+// -wide singleton (--audit_file vs --trace_file). Audit lines are
+// TraceEvents built with the two-argument constructor, opening with
+// {"event":"charge",...} instead of {"span":...}.
+//
+// Lock discipline: emitters gather event fields while they hold
+// whatever lock made the event atomic (the accountant's mutex, the
+// engine's serve mutex) but call Write() only after releasing the
+// accountant's lock — the audit path must never extend the hot
+// budget critical section (see docs/observability.md).
+
+#ifndef BLOWFISH_OBS_AUDIT_H_
+#define BLOWFISH_OBS_AUDIT_H_
+
+#include "obs/trace.h"
+
+namespace blowfish {
+namespace obs {
+
+class AuditLog : public TraceWriter {
+ public:
+  /// The process-wide audit sink (leaked singleton), wired up by
+  /// --audit_file in the daemon. Distinct from TraceWriter::Global():
+  /// spans and audit lines go to different files.
+  static AuditLog* Global() {
+    static AuditLog* const global = new AuditLog();
+    return global;
+  }
+};
+
+}  // namespace obs
+}  // namespace blowfish
+
+#endif  // BLOWFISH_OBS_AUDIT_H_

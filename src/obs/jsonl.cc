@@ -1,0 +1,170 @@
+#include "obs/jsonl.h"
+
+#include <cstdint>
+
+namespace blowfish {
+namespace obs {
+
+namespace {
+
+void SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() &&
+         (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\r' || s[*i] == '\n')) {
+    ++*i;
+  }
+}
+
+bool ParseHex4(const std::string& s, size_t i, uint32_t* out) {
+  if (i + 4 > s.size()) return false;
+  uint32_t value = 0;
+  for (size_t k = 0; k < 4; ++k) {
+    const char c = s[i + k];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = value * 16 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xc0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    *out += static_cast<char>(0xe0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    *out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+}
+
+/// Parses a JSON string starting at the opening quote; advances *i past
+/// the closing quote.
+bool ParseString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      const char e = s[*i];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          uint32_t cp;
+          if (!ParseHex4(s, *i + 1, &cp)) return false;
+          // Surrogate pairs never occur in our writer's output (it
+          // only emits \u00xx for control bytes); reject rather than
+          // silently mis-decode.
+          if (cp >= 0xd800 && cp <= 0xdfff) return false;
+          AppendUtf8(cp, out);
+          *i += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+      ++*i;
+      continue;
+    }
+    *out += c;
+    ++*i;
+  }
+  return false;  // unterminated
+}
+
+/// Parses a non-string scalar (number / true / false / null) as its
+/// literal token text.
+bool ParseLiteral(const std::string& s, size_t* i, std::string* out) {
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\r' ||
+        c == '\n') {
+      break;
+    }
+    if (c == '{' || c == '[' || c == '"') return false;  // not flat
+    *out += c;
+    ++*i;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+bool ParseFlatJsonLine(const std::string& line,
+                       std::vector<JsonField>* fields) {
+  fields->clear();
+  size_t i = 0;
+  SkipSpace(line, &i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  SkipSpace(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      JsonField field;
+      SkipSpace(line, &i);
+      if (!ParseString(line, &i, &field.key)) return false;
+      SkipSpace(line, &i);
+      if (i >= line.size() || line[i] != ':') return false;
+      ++i;
+      SkipSpace(line, &i);
+      if (i < line.size() && line[i] == '"') {
+        field.is_string = true;
+        if (!ParseString(line, &i, &field.value)) return false;
+      } else {
+        if (!ParseLiteral(line, &i, &field.value)) return false;
+      }
+      fields->push_back(std::move(field));
+      SkipSpace(line, &i);
+      if (i >= line.size()) return false;
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+  SkipSpace(line, &i);
+  return i == line.size();
+}
+
+const JsonField* FindJsonField(const std::vector<JsonField>& fields,
+                               const std::string& key) {
+  for (const JsonField& field : fields) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+}  // namespace obs
+}  // namespace blowfish

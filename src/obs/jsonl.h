@@ -1,0 +1,43 @@
+// Minimal parser for the flat JSON lines that TraceWriter/AuditLog
+// emit: one object per line, string/number/bool/null values, no
+// nesting. Shared by everything that reads telemetry back —
+// `blowfish_cli trace`, `tools/blowfish_audit.cc`, the audit-replay
+// verifier, and the e2e tests — so the reader and the writer agree on
+// exactly one escaping discipline.
+//
+// Same layering rule as the rest of src/obs/: standard library only,
+// fallible calls return bool (no Status below the util layer).
+
+#ifndef BLOWFISH_OBS_JSONL_H_
+#define BLOWFISH_OBS_JSONL_H_
+
+#include <string>
+#include <vector>
+
+namespace blowfish {
+namespace obs {
+
+/// One key/value pair of a parsed line. `value` holds the decoded
+/// string for string fields and the literal token text (e.g. "0.25",
+/// "true", "null") otherwise; `is_string` records which.
+struct JsonField {
+  std::string key;
+  std::string value;
+  bool is_string = false;
+};
+
+/// Parses one flat JSON object line into its fields (insertion order
+/// preserved, duplicate keys kept). Returns false — leaving *fields in
+/// an unspecified state — on anything that is not a single flat
+/// object: nested containers, malformed escapes, trailing garbage.
+bool ParseFlatJsonLine(const std::string& line,
+                       std::vector<JsonField>* fields);
+
+/// First field with `key`, or nullptr.
+const JsonField* FindJsonField(const std::vector<JsonField>& fields,
+                               const std::string& key);
+
+}  // namespace obs
+}  // namespace blowfish
+
+#endif  // BLOWFISH_OBS_JSONL_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 
 namespace blowfish {
@@ -30,9 +32,14 @@ void AppendJsonEscaped(const std::string& value, std::string* out) {
 
 }  // namespace
 
-TraceEvent::TraceEvent(const char* span_kind) {
-  buffer_ = "{\"span\":\"";
-  AppendJsonEscaped(span_kind, &buffer_);
+TraceEvent::TraceEvent(const char* span_kind)
+    : TraceEvent("span", span_kind) {}
+
+TraceEvent::TraceEvent(const char* discriminator_key, const char* kind) {
+  buffer_ = "{\"";
+  buffer_ += discriminator_key;  // identifier literal, never data
+  buffer_ += "\":\"";
+  AppendJsonEscaped(kind, &buffer_);
   buffer_ += '"';
 }
 
@@ -115,6 +122,13 @@ void TraceWriter::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+}
+
+void TraceWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(fileno(file_));
 }
 
 void TraceWriter::Write(TraceEvent&& event) {

@@ -41,6 +41,11 @@ class TraceEvent {
   /// "query", ...
   explicit TraceEvent(const char* span_kind);
 
+  /// Same, but with a caller-chosen discriminator key. The audit log
+  /// uses this to open lines with {"event":"charge",...} while trace
+  /// spans keep {"span":"query",...}.
+  TraceEvent(const char* discriminator_key, const char* kind);
+
   TraceEvent& Str(const char* key, const std::string& value);
   TraceEvent& Int(const char* key, long long value);
   TraceEvent& Uint(const char* key, unsigned long long value);
@@ -75,6 +80,13 @@ class TraceWriter {
 
   /// Flushes, closes, disables. Idempotent.
   void Close();
+
+  /// Flushes stdio buffers AND fsyncs the fd, so every line written so
+  /// far survives power loss. The serverd drain path calls this before
+  /// Close() — per-line writes already fflush (crash-safe against
+  /// process death), fsync extends that to the kernel page cache.
+  /// No-op when disabled.
+  void Flush();
 
   /// Hot-path guard: one relaxed atomic load. Callers must check this
   /// before building a TraceEvent.

@@ -1,0 +1,52 @@
+// Wire-propagated trace identity: a (trace_id, span_id) pair minted by
+// the client, carried as optional SUBMIT keys, threaded through
+// EngineHost -> ReleaseEngine as batch state, and echoed back on
+// RESULT/RECEIPT/DONE. Both processes stamp the pair onto every span
+// they emit for the batch, so concatenating the two JSONL files yields
+// one joinable causal tree.
+//
+// Same layering rule as the rest of src/obs/: standard library plus
+// obs/ only.
+//
+// trace_id 0 is the sentinel for "no context" — the client mints ids
+// from a deterministic SplitMix64-forked stream and remaps a drawn 0
+// to 1, so a valid context never collides with the sentinel.
+
+#ifndef BLOWFISH_OBS_TRACE_CONTEXT_H_
+#define BLOWFISH_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "obs/trace.h"
+
+namespace blowfish {
+namespace obs {
+
+struct TraceContext {
+  /// Connection-scoped id, shared by every batch a client submits.
+  uint64_t trace_id = 0;
+  /// Batch-scoped id; all spans of one batch (both sides) carry it.
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Stamps "trace"/"span_id" fields onto a span or audit line. The
+  /// JSON keys differ from the wire keys (trace=/span=) because trace
+  /// events already use "span" as the kind discriminator.
+  void Stamp(TraceEvent* event) const {
+    if (!valid()) return;
+    event->Uint("trace", trace_id).Uint("span_id", span_id);
+  }
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.span_id == b.span_id;
+}
+inline bool operator!=(const TraceContext& a, const TraceContext& b) {
+  return !(a == b);
+}
+
+}  // namespace obs
+}  // namespace blowfish
+
+#endif  // BLOWFISH_OBS_TRACE_CONTEXT_H_

@@ -101,6 +101,7 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
   engine_options.metrics = options_.metrics;
   engine_options.metrics_scope = TenantMetricsScope(key.first, key.second);
   engine_options.tracer = options_.tracer;
+  engine_options.audit = options_.audit;
 
   auto engine = ReleaseEngine::Create(std::move(*tenant->pending_policy),
                                       std::move(*tenant->pending_data),
@@ -118,22 +119,38 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
 std::future<StatusOr<std::vector<QueryResponse>>> EngineHost::SubmitBatch(
     const std::string& policy_id, const std::string& dataset_id,
     std::vector<QueryRequest> requests,
-    QueryCompletionCallback on_complete) {
+    QueryCompletionCallback on_complete, const obs::TraceContext& trace) {
+  obs::TraceWriter* tracer = options_.tracer != nullptr
+                                 ? options_.tracer
+                                 : obs::TraceWriter::Global();
+  const uint64_t enqueue_us =
+      tracer->enabled() ? obs::MonotonicMicros() : 0;
   return pool_->Submit(
       [this, key = TenantKey{policy_id, dataset_id},
        requests = std::move(requests),
-       on_complete = std::move(on_complete)]()
-          -> StatusOr<std::vector<QueryResponse>> {
+       on_complete = std::move(on_complete), trace, tracer,
+       enqueue_us]() -> StatusOr<std::vector<QueryResponse>> {
+        // Queue-wait span: time between SubmitBatch and a pool worker
+        // picking the batch up — emitted before serving so a reader
+        // sees the causal order queue_wait -> sensitivity -> execute.
+        if (enqueue_us != 0 && tracer->enabled()) {
+          obs::TraceEvent span("queue_wait");
+          span.Str("tenant", TenantMetricsScope(key.first, key.second))
+              .Uint("ts_us", enqueue_us)
+              .Uint("dur_us", obs::MonotonicMicros() - enqueue_us);
+          trace.Stamp(&span);
+          tracer->Write(std::move(span));
+        }
         auto engine = GetOrCreateEngine(key);
         if (!engine.ok()) return engine.status();
-        return (*engine)->ServeBatch(requests, on_complete);
+        return (*engine)->ServeBatch(requests, on_complete, trace);
       });
 }
 
 StatusOr<std::vector<QueryResponse>> EngineHost::ServeBatch(
     const std::string& policy_id, const std::string& dataset_id,
     std::vector<QueryRequest> requests,
-    QueryCompletionCallback on_complete) {
+    QueryCompletionCallback on_complete, const obs::TraceContext& trace) {
   if (pool_->IsWorkerThread()) {
     // Called from one of our own pool workers: blocking on a future of a
     // task queued behind this one would deadlock a small pool. Run the
@@ -141,10 +158,10 @@ StatusOr<std::vector<QueryResponse>> EngineHost::ServeBatch(
     // workers help with its queries.
     auto engine = GetOrCreateEngine(TenantKey{policy_id, dataset_id});
     if (!engine.ok()) return engine.status();
-    return (*engine)->ServeBatch(requests, on_complete);
+    return (*engine)->ServeBatch(requests, on_complete, trace);
   }
   return SubmitBatch(policy_id, dataset_id, std::move(requests),
-                     std::move(on_complete))
+                     std::move(on_complete), trace)
       .get();
 }
 
@@ -162,6 +179,39 @@ bool EngineHost::HasTenant(const std::string& policy_id,
                            const std::string& dataset_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return tenants_.count(TenantKey{policy_id, dataset_id}) > 0;
+}
+
+std::vector<EngineHost::TenantBudget> EngineHost::BudgetSnapshot() const {
+  // Collect the constructed engines first (tenant map lock, then each
+  // tenant's construction lock, briefly), then read their accountants
+  // with no host lock held — ListSessions takes the accountant's own
+  // mutex. Engines are never destroyed while the host lives, so the
+  // collected pointers stay valid.
+  std::vector<std::pair<std::string, ReleaseEngine*>> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, tenant] : tenants_) {
+      std::lock_guard<std::mutex> tenant_lock(tenant->mu);
+      if (tenant->engine != nullptr) {
+        engines.emplace_back(TenantMetricsScope(key.first, key.second),
+                             tenant->engine.get());
+      }
+    }
+  }
+  std::vector<TenantBudget> out;
+  for (const auto& [scope, engine] : engines) {
+    for (const BudgetAccountant::SessionInfo& session :
+         engine->accountant().ListSessions()) {
+      TenantBudget line;
+      line.tenant = scope;
+      line.session = session.name;
+      line.budget = session.budget;
+      line.spent = session.spent;
+      line.remaining = session.remaining;
+      out.push_back(std::move(line));
+    }
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, std::string>> EngineHost::Tenants()

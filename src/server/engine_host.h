@@ -42,8 +42,10 @@
 #include "core/policy.h"
 #include "engine/release_engine.h"
 #include "engine/sensitivity_cache.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/thread_pool.h"
 #include "util/status.h"
 
@@ -69,6 +71,11 @@ struct EngineHostOptions {
   /// Span tracer forwarded to every tenant engine. nullptr = the
   /// process-wide default writer (disabled until opened).
   obs::TraceWriter* tracer = nullptr;
+  /// Privacy audit sink forwarded to every tenant engine (each tags
+  /// its lines with its {tenant=...} scope, so one log serves all
+  /// tenants distinguishably and replays per tenant). nullptr = the
+  /// process-wide AuditLog::Global() (disabled until opened).
+  obs::AuditLog* audit = nullptr;
 };
 
 /// Per-tenant knobs, forwarded into the tenant's ReleaseEngineOptions.
@@ -115,10 +122,15 @@ class EngineHost {
   /// batch. No callback fires for a batch that fails before reaching
   /// the engine (unknown tenant, construction error) — the future
   /// carries that error.
+  ///
+  /// `trace`, when valid, is the batch's wire-propagated trace context
+  /// (threaded into the engine's spans and audit lines); the host also
+  /// emits a "queue_wait" span covering enqueue -> pool pickup.
   std::future<StatusOr<std::vector<QueryResponse>>> SubmitBatch(
       const std::string& policy_id, const std::string& dataset_id,
       std::vector<QueryRequest> requests,
-      QueryCompletionCallback on_complete = nullptr);
+      QueryCompletionCallback on_complete = nullptr,
+      const obs::TraceContext& trace = obs::TraceContext());
 
   /// Synchronous convenience: SubmitBatch + get(); called from one of
   /// this host's own pool workers, it serves the batch inline instead
@@ -126,7 +138,8 @@ class EngineHost {
   StatusOr<std::vector<QueryResponse>> ServeBatch(
       const std::string& policy_id, const std::string& dataset_id,
       std::vector<QueryRequest> requests,
-      QueryCompletionCallback on_complete = nullptr);
+      QueryCompletionCallback on_complete = nullptr,
+      const obs::TraceContext& trace = obs::TraceContext());
 
   /// Parses `text` with the batch-file grammar (engine/batch_request.h)
   /// into submittable requests. A static pass-through so the wire layer
@@ -149,6 +162,23 @@ class EngineHost {
 
   SensitivityCache& cache() { return *cache_; }
   ThreadPool& pool() { return *pool_; }
+
+  /// One budget line of the HEALTH surface: a constructed tenant
+  /// engine's session, with the engine's metrics scope as the tenant
+  /// label.
+  struct TenantBudget {
+    std::string tenant;  // policy_id/dataset_id, label-sanitized
+    std::string session;
+    double budget = 0.0;
+    double spent = 0.0;
+    double remaining = 0.0;
+  };
+
+  /// Snapshot of every session of every ALREADY-CONSTRUCTED tenant
+  /// engine, for liveness reporting. Deliberately does not force lazy
+  /// engine construction — a health probe must stay cheap and
+  /// side-effect-free.
+  std::vector<TenantBudget> BudgetSnapshot() const;
 
   /// Stops the pool after draining queued batches. Idempotent; batches
   /// submitted afterwards run inline on the submitting thread.

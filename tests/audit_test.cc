@@ -1,0 +1,336 @@
+// Privacy audit log battery (src/obs/audit.h, src/obs/jsonl.h,
+// src/server/audit_replay.h):
+//
+//  * audit lines open with the {"event":...} discriminator and stay
+//    flat JSON the obs/jsonl.h parser round-trips exactly;
+//  * the AuditLog sink is free until opened, and its lines survive a
+//    read-back through the shared parser (writer and reader agree on
+//    one escaping discipline);
+//  * the headline replay guarantee: a real ReleaseEngine run — charges,
+//    a parallel-group admission, a refusal, a post-charge refund, an
+//    explicit session open, settlement — writes an audit log that
+//    replays into a fresh BudgetAccountant reproducing the persisted
+//    ledger BYTE FOR BYTE, while trace spans and foreign tenants'
+//    events in the same stream are skipped;
+//  * tampering — a dropped charge line, an edited epsilon — is
+//    detected, not silently absorbed.
+
+#include "server/audit_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/policy.h"
+#include "engine/batch_request.h"
+#include "engine/release_engine.h"
+#include "obs/audit.h"
+#include "obs/jsonl.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace blowfish {
+namespace {
+
+constexpr uint64_t kSeed = 20140612;
+
+/// A query kind that fails after admission — the refund path must show
+/// up in the audit log and replay cleanly. Registered only in this
+/// test binary.
+class AuditFailOp final : public QueryOp {
+ public:
+  std::string KindName() const override { return "audit_fail"; }
+  Status Parse(KeyValueBag&) override { return Status::OK(); }
+  StatusOr<std::string> SensitivityShape() const override {
+    return std::string("audit_fail");
+  }
+  StatusOr<double> ComputeSensitivity(
+      const Policy&, const SensitivityEnv&) const override {
+    return 1.0;
+  }
+  StatusOr<std::vector<double>> Execute(const QueryExecContext&,
+                                        Random) const override {
+    return Status::Internal("injected post-admission failure");
+  }
+};
+
+const QueryOpRegistrar kFailRegistrar{
+    "audit_fail", [] { return std::make_unique<AuditFailOp>(); }};
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+std::shared_ptr<const Domain> GridDomain(uint64_t m, size_t k) {
+  return std::make_shared<const Domain>(Domain::Grid(m, k).value());
+}
+
+Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
+                 uint64_t seed = 7) {
+  Random rng(seed);
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(domain->size()) - 1)));
+  }
+  return Dataset::Create(domain, std::move(tuples)).value();
+}
+
+QueryRequest Request(
+    const std::string& kind, double eps,
+    const std::vector<std::pair<std::string, std::string>>& kv = {}) {
+  auto request = MakeQueryRequest(kind, eps, kv);
+  EXPECT_TRUE(request.ok()) << request.status().ToString();
+  return std::move(*request);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/audit_test_" + name + ".jsonl";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AuditEventTest, OpensWithTheEventDiscriminator) {
+  obs::TraceEvent event("event", "charge");
+  event.Str("session", "s")
+      .Double("eps", 0.25)
+      .Uint("charge_id", 7)
+      .Bool("parallel", false);
+  EXPECT_EQ(std::move(event).Finish(),
+            "{\"event\":\"charge\",\"session\":\"s\",\"eps\":0.25,"
+            "\"charge_id\":7,\"parallel\":false}");
+}
+
+TEST(AuditLogTest, DisabledUntilOpenedAndLinesRoundTripTheParser) {
+  obs::AuditLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Write(obs::TraceEvent("event", "charge"));  // no-op, must not crash
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(log.Open(path));
+  EXPECT_TRUE(log.enabled());
+  // A label with every escape class the writer handles: quote,
+  // backslash, newline, tab, a control byte.
+  const std::string label = "he said \"hi\"\\\n\tctrl:\x02";
+  {
+    obs::TraceEvent event("event", "refund");
+    event.Str("session", "s1")
+        .Str("label", label)
+        .Double("charged", 0.125)
+        .Uint("charge_id", 3);
+    log.Write(std::move(event));
+  }
+  log.Flush();
+  log.Close();
+  EXPECT_FALSE(log.enabled());
+
+  const std::vector<std::string> lines = SplitLines(ReadFile(path));
+  ASSERT_EQ(lines.size(), 1u);
+  std::vector<obs::JsonField> fields;
+  ASSERT_TRUE(obs::ParseFlatJsonLine(lines[0], &fields));
+  const obs::JsonField* kind = obs::FindJsonField(fields, "event");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_TRUE(kind->is_string);
+  EXPECT_EQ(kind->value, "refund");
+  const obs::JsonField* parsed_label = obs::FindJsonField(fields, "label");
+  ASSERT_NE(parsed_label, nullptr);
+  EXPECT_EQ(parsed_label->value, label);  // escaping is an exact round trip
+  const obs::JsonField* charged = obs::FindJsonField(fields, "charged");
+  ASSERT_NE(charged, nullptr);
+  EXPECT_FALSE(charged->is_string);
+  EXPECT_EQ(charged->value, "0.125");  // literal token text, not decoded
+}
+
+TEST(JsonlTest, RejectsWhatTheWriterNeverEmits) {
+  std::vector<obs::JsonField> fields;
+  // Nesting, arrays, garbage, and malformed escapes are not flat lines.
+  EXPECT_FALSE(obs::ParseFlatJsonLine("{\"a\":{\"b\":1}}", &fields));
+  EXPECT_FALSE(obs::ParseFlatJsonLine("{\"a\":[1,2]}", &fields));
+  EXPECT_FALSE(obs::ParseFlatJsonLine("not json", &fields));
+  EXPECT_FALSE(obs::ParseFlatJsonLine("{\"a\":1} trailing", &fields));
+  EXPECT_FALSE(obs::ParseFlatJsonLine("{\"a\":\"\\x41\"}", &fields));
+  EXPECT_FALSE(obs::ParseFlatJsonLine("{\"a\":1", &fields));
+
+  // Unicode escapes decode; duplicate keys are kept in order and
+  // FindJsonField returns the first.
+  ASSERT_TRUE(obs::ParseFlatJsonLine(
+      "{\"a\":\"\\u0041\",\"a\":\"second\",\"n\":null}", &fields));
+  ASSERT_EQ(fields.size(), 3u);
+  const obs::JsonField* first = obs::FindJsonField(fields, "a");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->value, "A");
+  const obs::JsonField* null_field = obs::FindJsonField(fields, "n");
+  ASSERT_NE(null_field, nullptr);
+  EXPECT_FALSE(null_field->is_string);
+  EXPECT_EQ(null_field->value, "null");
+}
+
+/// Runs the canonical audited engine history used by the replay tests:
+/// sequential charges, a parallel-group admission, a mid-batch failure
+/// that refunds, an explicit session open, and a budget refusal — every
+/// audit event kind the engine can emit — against a grid-partition
+/// policy. Returns the persisted ledger text; the audit log lands at
+/// `audit_path`.
+std::string RunAuditedHistory(const std::string& audit_path,
+                              const std::string& scope) {
+  obs::AuditLog audit;
+  EXPECT_TRUE(audit.Open(audit_path));
+  obs::MetricsRegistry scratch_metrics;
+
+  auto domain = GridDomain(4, 2);
+  Policy policy = Policy::GridPartition(domain, {2, 2}).value();
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  options.metrics = &scratch_metrics;
+  options.metrics_scope = scope;
+  options.audit = &audit;
+  auto engine = ReleaseEngine::Create(policy, MakeData(domain, 300), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Batch 1: one sequential charge plus a parallel group charged
+  // max(0.3, 0.5) = 0.5 under Thm 4.2. Default session: 0.75 spent.
+  auto b1 = (*engine)->ServeBatch(
+      {Request("histogram", 0.25, {{"label", "h"}}),
+       Request("cell_histogram", 0.3, {{"cells", "0"}, {"group", "g"}}),
+       Request("cell_histogram", 0.5, {{"cells", "3"}, {"group", "g"}})});
+  for (const QueryResponse& r : b1) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+
+  // Batch 2: a post-admission failure (charged, then refunded) and an
+  // auto-created session s1 — no "open" event, so the replay must
+  // recover its cap from the charge record.
+  auto b2 = (*engine)->ServeBatch(
+      {Request("audit_fail", 0.125),
+       Request("histogram", 0.25, {{"session", "s1"}})});
+  EXPECT_EQ(b2[0].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(b2[0].receipt.refunded);
+  EXPECT_TRUE(b2[1].status.ok()) << b2[1].status.ToString();
+
+  // Batch 3: 0.75 + 0.5 > 1.0 — refused, never touches the ledger.
+  auto b3 = (*engine)->ServeBatch({Request("histogram", 0.5)});
+  EXPECT_EQ(b3[0].status.code(), StatusCode::kResourceExhausted);
+
+  // An explicitly opened session, then a charge against it.
+  EXPECT_TRUE((*engine)->accountant().OpenSession("vip", 2.0).ok());
+  auto b4 = (*engine)->ServeBatch(
+      {Request("histogram", 0.25, {{"session", "vip"}})});
+  EXPECT_TRUE(b4[0].status.ok()) << b4[0].status.ToString();
+
+  std::ostringstream ledger;
+  EXPECT_TRUE((*engine)->accountant().Save(ledger).ok());
+  audit.Close();
+  return ledger.str();
+}
+
+TEST(AuditReplayTest, EngineAuditLogReplaysToTheLedgerByteForByte) {
+  const std::string path = TempPath("replay");
+  const std::string ledger = RunAuditedHistory(path, "t");
+
+  std::ifstream audit(path);
+  ASSERT_TRUE(audit.good());
+  auto stats = VerifyAuditReplay(audit, "t", ledger);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->opens, 1u);     // vip only; "" and s1 auto-created
+  EXPECT_EQ(stats->charges, 5u);   // h, group, audit_fail, s1, vip
+  EXPECT_EQ(stats->refunds, 1u);   // audit_fail
+  EXPECT_EQ(stats->refusals, 1u);  // the over-budget batch 3
+  EXPECT_GE(stats->settles, 3u);
+  EXPECT_EQ(stats->skipped, 0u);
+
+  // Foreign lines in the stream — trace spans, blank lines — are
+  // skipped, not errors: one file can hold several telemetry kinds.
+  std::istringstream mixed(
+      "{\"span\":\"query\",\"trace\":3,\"dur_us\":12}\n\n" +
+      ReadFile(path));
+  auto mixed_stats = VerifyAuditReplay(mixed, "t", ledger);
+  ASSERT_TRUE(mixed_stats.ok()) << mixed_stats.status().ToString();
+  EXPECT_EQ(mixed_stats->skipped, 2u);
+  EXPECT_EQ(mixed_stats->charges, 5u);
+
+  // The tenant filter is exact: replaying another tenant's scope finds
+  // nothing, so the rebuilt (empty) ledger cannot match.
+  std::ifstream wrong_tenant(path);
+  auto mismatch = VerifyAuditReplay(wrong_tenant, "other", ledger);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInternal);
+
+  std::ifstream recount(path);
+  obs::MetricsRegistry scratch;
+  obs::AuditLog silent;
+  BudgetAccountant fresh(0.0, &scratch, "", &silent);
+  auto skipped_all = ReplayAuditLog(recount, "other", &fresh);
+  ASSERT_TRUE(skipped_all.ok());
+  EXPECT_EQ(skipped_all->charges, 0u);
+}
+
+TEST(AuditReplayTest, TamperedLogsAreDetected) {
+  const std::string path = TempPath("tamper");
+  const std::string ledger = RunAuditedHistory(path, "t");
+  const std::vector<std::string> lines = SplitLines(ReadFile(path));
+
+  size_t first_charge = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("\"event\":\"charge\"") != std::string::npos) {
+      first_charge = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_charge, lines.size());
+
+  // Dropping a charge desynchronizes the minted charge ids (or the
+  // final spend): the replay must refuse, not shrug.
+  {
+    std::ostringstream truncated;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i != first_charge) truncated << lines[i] << "\n";
+    }
+    std::istringstream in(truncated.str());
+    auto verdict = VerifyAuditReplay(in, "t", ledger);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.status().code(), StatusCode::kInternal);
+  }
+
+  // Editing a charge's amount breaks the per-line `remaining`
+  // cross-check even before the final ledger compare.
+  {
+    std::string edited_line = lines[first_charge];
+    const size_t at = edited_line.find("\"charged\":0.25");
+    ASSERT_NE(at, std::string::npos) << edited_line;
+    edited_line.replace(at, std::string("\"charged\":0.25").size(),
+                        "\"charged\":0.125");
+    std::ostringstream edited;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      edited << (i == first_charge ? edited_line : lines[i]) << "\n";
+    }
+    std::istringstream in(edited.str());
+    auto verdict = VerifyAuditReplay(in, "t", ledger);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.status().code(), StatusCode::kInternal);
+    EXPECT_NE(verdict.status().message().find("remaining"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -29,6 +29,8 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -39,8 +41,11 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "obs/audit.h"
+#include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/audit_replay.h"
 #include "server/engine_host.h"
 #include "util/random.h"
 #include "util/socket.h"
@@ -132,17 +137,20 @@ Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
 }
 
 /// Two tenants sharing one policy shape over different datasets — the
-/// shared-sensitivity-cache configuration of docs/server.md. `metrics`
-/// and `tracer`, when set, wire the host into a test-local registry /
-/// span writer (nullptr = the process-wide defaults, like production).
+/// shared-sensitivity-cache configuration of docs/server.md. `metrics`,
+/// `tracer`, and `audit`, when set, wire the host into a test-local
+/// registry / span writer / audit sink (nullptr = the process-wide
+/// defaults, like production).
 std::unique_ptr<EngineHost> MakeHost(size_t pool_threads,
                                      obs::MetricsRegistry* metrics = nullptr,
-                                     obs::TraceWriter* tracer = nullptr) {
+                                     obs::TraceWriter* tracer = nullptr,
+                                     obs::AuditLog* audit = nullptr) {
   EngineHostOptions options;
   options.num_threads = pool_threads;
   options.root_seed = kSeed;
   options.metrics = metrics;
   options.tracer = tracer;
+  options.audit = audit;
   auto domain = LineDomain(32);
   Policy policy = Policy::FullDomain(domain).value();
   auto host = std::make_unique<EngineHost>(options);
@@ -284,8 +292,14 @@ TEST(NetE2eTest, MultiClientSoakKeepsBudgetArithmeticExact) {
 
   // A test-local registry shared by host and server: the STATS totals
   // at the end must reconcile exactly against the soak's arithmetic.
+  // The audit log records every one of the soak's interleaved charges
+  // and is replay-verified against both tenants' ledgers at the end.
   obs::MetricsRegistry registry;
-  auto host = MakeHost(4, &registry);
+  obs::AuditLog audit;
+  const std::string audit_path =
+      ::testing::TempDir() + "/net_e2e_soak_audit.jsonl";
+  ASSERT_TRUE(audit.Open(audit_path));
+  auto host = MakeHost(4, &registry, nullptr, &audit);
   ServerOptions server_options;
   server_options.metrics = &registry;
   auto server = BlowfishServer::Start(host.get(), server_options);
@@ -406,6 +420,29 @@ TEST(NetE2eTest, MultiClientSoakKeepsBudgetArithmeticExact) {
 
   (*server)->Stop();
   EXPECT_EQ((*server)->stats().batches, kClients * kBatches);
+  audit.Close();
+
+  // The headline audit guarantee under concurrency: 8 clients' charges
+  // interleaved arbitrarily, yet each tenant's slice of the log replays
+  // into a fresh accountant whose persisted ledger matches the live
+  // one BYTE for byte — same charge ids, same double arithmetic.
+  for (const char* tenant : {kTenantA, kTenantB}) {
+    auto engine = host->engine(kPolicyId, tenant);
+    ASSERT_TRUE(engine.ok());
+    std::ostringstream ledger;
+    ASSERT_TRUE((*engine)->accountant().Save(ledger).ok());
+    std::ifstream audit_in(audit_path);
+    ASSERT_TRUE(audit_in.good());
+    auto replay = VerifyAuditReplay(
+        audit_in, std::string(kPolicyId) + "/" + tenant, ledger.str());
+    ASSERT_TRUE(replay.ok()) << tenant << ": "
+                             << replay.status().ToString();
+    // Half the clients, all their charges and settlements; the other
+    // tenant's lines are the skipped ones.
+    EXPECT_EQ(replay->charges, kClients / 2 * kBatches * 4u) << tenant;
+    EXPECT_EQ(replay->refunds, 0u) << tenant;
+    EXPECT_GT(replay->skipped, 0u) << tenant;
+  }
 }
 
 TEST(NetE2eTest, StatsVerbReportsExactSingleConnectionArithmetic) {
@@ -522,13 +559,17 @@ TEST(NetE2eTest, TelemetryDoesNotPerturbServedBytes) {
     (*server)->Stop();
     tracer.Close();
 
-    // The spans really were written: 3 batches x (4 query spans + 1
-    // batch span), one JSON object per line.
+    // The spans really were written: 3 batches x (queue_wait +
+    // sensitivity + execute + settle phase spans + 4 query spans + 1
+    // batch span), one JSON object per line. The server-side
+    // frame_write span is absent — this host's tracer is not wired
+    // into the ServerOptions, mirroring a daemon run where only the
+    // engine layer traces.
     std::ifstream trace(trace_path);
     std::vector<std::string> lines;
     std::string line;
     while (std::getline(trace, line)) lines.push_back(line);
-    ASSERT_EQ(lines.size(), 15u);
+    ASSERT_EQ(lines.size(), 27u);
     for (const std::string& l : lines) {
       EXPECT_EQ(l.front(), '{');
       EXPECT_EQ(l.back(), '}');
@@ -579,7 +620,11 @@ TEST(NetE2eTest, ClientDeathMidBatchSettlesLikeACleanRun) {
   // exactly the clean-run figure — charges kept for delivered-or-not
   // successes, the failed query refunded, nothing leaked.
   SetGate(false);
-  auto death_host = MakeHost(2);
+  obs::AuditLog death_audit;
+  const std::string death_audit_path =
+      ::testing::TempDir() + "/net_e2e_death_audit.jsonl";
+  ASSERT_TRUE(death_audit.Open(death_audit_path));
+  auto death_host = MakeHost(2, nullptr, nullptr, &death_audit);
   auto death_server = BlowfishServer::Start(death_host.get());
   ASSERT_TRUE(death_server.ok());
   auto death_client = BlowfishClient::Connect(
@@ -600,6 +645,258 @@ TEST(NetE2eTest, ClientDeathMidBatchSettlesLikeACleanRun) {
   auto death_engine = death_host->engine(kPolicyId, kTenantA);
   ASSERT_TRUE(death_engine.ok());
   EXPECT_EQ((*death_engine)->accountant().Spent(""), kSettledSpend);
+  death_audit.Close();
+
+  // The audit log of the killed-client run replays to exactly the
+  // settled ledger — the refund of the failed query included. The
+  // socket's death is invisible to the privacy accounting, and the log
+  // proves it.
+  std::ostringstream death_ledger;
+  ASSERT_TRUE((*death_engine)->accountant().Save(death_ledger).ok());
+  std::ifstream death_audit_in(death_audit_path);
+  ASSERT_TRUE(death_audit_in.good());
+  auto replay = VerifyAuditReplay(
+      death_audit_in, std::string(kPolicyId) + "/" + kTenantA,
+      death_ledger.str());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->charges, 3u);
+  EXPECT_EQ(replay->refunds, 1u);  // always_fail's 0.5 came back
+}
+
+TEST(NetE2eTest, TraceContextJoinsClientAndServerSpans) {
+  // The tentpole contract: the client mints deterministic trace/span
+  // ids from Random::Fork streams, carries them on SUBMIT, and the
+  // server echoes them on every reply frame and stamps every
+  // server-side span and audit line with them — so concatenating the
+  // two JSONL files yields one causal tree per batch
+  // (`blowfish_cli trace`). Tracing must not perturb one served byte.
+  obs::MetricsRegistry registry;
+  obs::TraceWriter server_tracer;
+  obs::TraceWriter client_tracer;
+  obs::AuditLog audit;
+  const std::string server_path =
+      ::testing::TempDir() + "/net_e2e_trace_server.jsonl";
+  const std::string client_path =
+      ::testing::TempDir() + "/net_e2e_trace_client.jsonl";
+  const std::string audit_path =
+      ::testing::TempDir() + "/net_e2e_trace_audit.jsonl";
+  ASSERT_TRUE(server_tracer.Open(server_path));
+  ASSERT_TRUE(client_tracer.Open(client_path));
+  ASSERT_TRUE(audit.Open(audit_path));
+
+  auto host = MakeHost(2, &registry, &server_tracer, &audit);
+  ServerOptions server_options;
+  server_options.metrics = &registry;
+  server_options.tracer = &server_tracer;
+  auto server = BlowfishServer::Start(host.get(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto reference = MakeHost(2);  // untraced control host
+
+  auto client = BlowfishClient::Connect("127.0.0.1", (*server)->port(),
+                                        kPolicyId, kTenantA);
+  ASSERT_TRUE(client.ok());
+  (*client)->EnableTracing(&client_tracer, kSeed);
+  constexpr int kRounds = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    auto requests = EngineHost::ParseBatchText(kBatchText);
+    ASSERT_TRUE(requests.ok());
+    auto local =
+        reference->SubmitBatch(kPolicyId, kTenantA, std::move(*requests))
+            .get();
+    ASSERT_TRUE(local.ok());
+    auto wire = (*client)->SubmitBatchText(kBatchText);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    ExpectResponsesEqual(*wire, *local,
+                         "traced round " + std::to_string(round));
+  }
+  EXPECT_TRUE((*client)->Bye().ok());
+  (*server)->Stop();
+  server_tracer.Close();
+  client_tracer.Close();
+  audit.Close();
+
+  // The ids are pinned by contract, reproducible by any reader: the
+  // trace id is the first draw of Fork(0) of the client's seed, batch
+  // k's span id the first draw of Fork(k + 1), zero remapped to 1.
+  auto draw = [](uint64_t stream) {
+    const uint64_t id = Random(kSeed).Fork(stream).engine()();
+    return id != 0 ? id : uint64_t{1};
+  };
+  const std::string trace_id = std::to_string(draw(0));
+  const std::vector<std::string> span_ids = {std::to_string(draw(1)),
+                                             std::to_string(draw(2))};
+
+  struct FileSpans {
+    std::set<std::string> kinds;
+    std::set<std::string> spans;
+    size_t stamped = 0;
+    size_t total = 0;
+  };
+  auto scan = [&](const std::string& path) {
+    FileSpans out;
+    std::ifstream in(path);
+    std::string line;
+    std::vector<obs::JsonField> fields;
+    while (std::getline(in, line)) {
+      ++out.total;
+      if (!obs::ParseFlatJsonLine(line, &fields)) {
+        ADD_FAILURE() << "unparseable span line: " << line;
+        continue;
+      }
+      const obs::JsonField* trace = obs::FindJsonField(fields, "trace");
+      if (trace == nullptr) continue;
+      ++out.stamped;
+      EXPECT_EQ(trace->value, trace_id) << line;
+      const obs::JsonField* span_id =
+          obs::FindJsonField(fields, "span_id");
+      if (span_id != nullptr) out.spans.insert(span_id->value);
+      const obs::JsonField* kind = obs::FindJsonField(fields, "span");
+      if (kind != nullptr) out.kinds.insert(kind->value);
+    }
+    return out;
+  };
+
+  const FileSpans server_spans = scan(server_path);
+  const FileSpans client_spans = scan(client_path);
+  // Every line on both sides is stamped, and both sides know both
+  // batches' span ids — the files concatenate into one tree.
+  EXPECT_EQ(client_spans.stamped, client_spans.total);
+  EXPECT_EQ(server_spans.stamped, server_spans.total);
+  EXPECT_GT(server_spans.total, 0u);
+  EXPECT_EQ(client_spans.kinds,
+            (std::set<std::string>{"client_send", "client_decode",
+                                   "client_assemble"}));
+  for (const std::string& id : span_ids) {
+    EXPECT_TRUE(client_spans.spans.count(id)) << "client missing " << id;
+    EXPECT_TRUE(server_spans.spans.count(id)) << "server missing " << id;
+  }
+  // The server tree covers the full life of a batch, wire receipt to
+  // frame flush.
+  for (const char* kind :
+       {"queue_wait", "sensitivity", "execute", "settle", "query",
+        "batch", "frame_write"}) {
+    EXPECT_TRUE(server_spans.kinds.count(kind)) << "missing " << kind;
+  }
+
+  // Every audit line resolves into that tree: same trace id, a span id
+  // the span files know. 2 batches x (4 charges + 4 settles).
+  std::ifstream audit_in(audit_path);
+  std::string line;
+  std::vector<obs::JsonField> fields;
+  size_t audit_lines = 0;
+  while (std::getline(audit_in, line)) {
+    ++audit_lines;
+    if (!obs::ParseFlatJsonLine(line, &fields)) {
+      ADD_FAILURE() << "unparseable audit line: " << line;
+      continue;
+    }
+    const obs::JsonField* trace = obs::FindJsonField(fields, "trace");
+    ASSERT_NE(trace, nullptr) << line;
+    EXPECT_EQ(trace->value, trace_id) << line;
+    const obs::JsonField* span_id = obs::FindJsonField(fields, "span_id");
+    ASSERT_NE(span_id, nullptr) << line;
+    EXPECT_TRUE(server_spans.spans.count(span_id->value)) << line;
+  }
+  EXPECT_EQ(audit_lines, kRounds * 8u);
+}
+
+TEST(NetE2eTest, UnknownKeysRideKnownVerbsUnharmed) {
+  // The protocol's evolution contract (net/protocol.h): parsers accept
+  // and ignore unknown `key=value` tokens on known verbs, so a newer
+  // peer can talk to an older one with no flag day. trace=/span= ride
+  // SUBMIT exactly this way — an old server would serve the batch
+  // ignoring them; this one must echo them on every reply frame.
+  auto host = MakeHost(1);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  auto sock = Socket::ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(sock.ok());
+  auto send_payload = [&](const std::string& payload) {
+    const std::string frame = EncodeFrame(payload);
+    ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+  };
+  FrameDecoder decoder;
+  char buf[4096];
+  auto read_payload = [&]() {
+    std::string payload;
+    while (decoder.Next(&payload) != FrameDecoder::Result::kFrame) {
+      auto n = sock->Recv(buf, sizeof(buf));
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) return std::string();
+      decoder.Feed(buf, *n);
+    }
+    return payload;
+  };
+
+  // HELLO carrying a key from the future.
+  send_payload(EncodeHelloPayload(kPolicyId, kTenantA) + " shiny=new");
+  EXPECT_NE(read_payload().find(kVerbOk), std::string::npos);
+
+  // SUBMIT carrying both an unknown key and a trace context.
+  send_payload(EncodeSubmitPayload(1) + " trace=7 span=9 future=maybe");
+  send_payload(EncodeReqPayload("histogram eps=0.25"));
+  std::vector<std::string> replies;
+  while (true) {
+    const std::string payload = read_payload();
+    ASSERT_FALSE(payload.empty());
+    auto msg = ParseWireMessage(payload);
+    ASSERT_TRUE(msg.ok()) << payload;
+    ASSERT_NE(msg->verb, std::string(kVerbErr)) << payload;
+    replies.push_back(payload);
+    if (msg->verb == kVerbDone) break;
+  }
+  // RESULT + RECEIPT + DONE, each echoing the ids it was given.
+  ASSERT_EQ(replies.size(), 3u);
+  for (const std::string& payload : replies) {
+    EXPECT_NE(payload.find(" trace=7"), std::string::npos) << payload;
+    EXPECT_NE(payload.find(" span=9"), std::string::npos) << payload;
+  }
+}
+
+TEST(NetE2eTest, HealthVerbReportsReadinessAndBudgetGauges) {
+  auto host = MakeHost(1);
+  auto server = BlowfishServer::Start(host.get());
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  // Spend some budget first so the gauges have arithmetic to report.
+  auto client =
+      BlowfishClient::Connect("127.0.0.1", port, kPolicyId, kTenantA);
+  ASSERT_TRUE(client.ok());
+  auto responses = (*client)->SubmitBatchText(kBatchText);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+
+  // One-shot probe: HEALTH needs no HELLO, exactly like STATS.
+  auto samples = BlowfishClient::FetchHealth("127.0.0.1", port);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  auto metric = [&](const std::string& name) -> double {
+    for (const MetricSample& sample : *samples) {
+      if (sample.name == name) return sample.value;
+    }
+    ADD_FAILURE() << "sample " << name << " missing from HEALTH";
+    return -1.0;
+  };
+  EXPECT_EQ(metric("health_ready"), 1.0);
+  EXPECT_EQ(metric("health_draining"), 0.0);
+  EXPECT_GT(metric("health_uptime_us"), 0.0);
+  // The probing connection itself plus the persistent client.
+  EXPECT_GE(metric("health_connections_active"), 1.0);
+  // kBatchText spends 0.25 + 0.25 + 0.125 on the default session and
+  // 0.125 on s1 against the tenant default budget of 10 — all
+  // binary-exact doubles, so the gauges are exact. Tenant beta has
+  // served nothing, and a health probe must not lazily construct its
+  // engine, so only alpha's sessions appear.
+  EXPECT_EQ(metric("health_budget_remaining{tenant=p/alpha,"
+                   "session=default}"),
+            10.0 - 0.625);
+  EXPECT_EQ(metric("health_budget_remaining{tenant=p/alpha,session=s1}"),
+            10.0 - 0.125);
+  for (const MetricSample& sample : *samples) {
+    EXPECT_EQ(sample.name.find("tenant=p/beta"), std::string::npos)
+        << sample.name;
+  }
+  EXPECT_TRUE((*client)->Bye().ok());
 }
 
 TEST(NetE2eTest, ProtocolViolationsGetStructuredErrors) {

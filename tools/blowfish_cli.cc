@@ -23,8 +23,11 @@
 //   blowfish_cli remote    --port 7070 [--host 127.0.0.1]
 //                          --policy <policy_id> --tenant <name>
 //                          --requests reqs.txt [--stream]
+//                          [--trace_file c.jsonl] [--trace_seed 7]
 //   blowfish_cli stats     --port 7070 [--host 127.0.0.1]
 //   blowfish_cli stats     --metrics_file m.prom
+//   blowfish_cli health    --port 7070 [--host 127.0.0.1]
+//   blowfish_cli trace     --files server.jsonl,client.jsonl
 //
 // The `advise` command prints the predicted per-range-query error of each
 // strategy under the policy (mech/error_models.h) without touching data.
@@ -51,9 +54,21 @@
 // registered. The `stats` command fetches a running daemon's metrics
 // snapshot over the wire (STATS verb, no tenant needed) or prints a
 // --metrics_file dump; metric names are catalogued in
-// docs/observability.md.
+// docs/observability.md. The `health` command fetches the daemon's
+// liveness surface (HEALTH verb, also pre-HELLO): ready/draining,
+// uptime, active connections, per-tenant remaining budgets. `remote
+// --trace_file` turns on wire-propagated tracing: the batch's trace
+// and span ids ride the SUBMIT frame, the daemon threads them through
+// its spans and audit lines, and the client writes its own spans to
+// the file — `trace` then merges any number of such JSONL files
+// (client- and server-side) into one indented causal tree per trace
+// id, with wall-clock deltas. docs/observability.md documents the
+// span inventory and the trace-context contract.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -76,6 +91,8 @@
 #include "mech/ordered.h"
 #include "mech/ordered_hierarchical.h"
 #include "net/client.h"
+#include "obs/jsonl.h"
+#include "obs/trace.h"
 #include "server/engine_host.h"
 #include "server/host_builder.h"
 #include "server/serve_config.h"
@@ -475,6 +492,148 @@ int RunStats(Args& args) {
       "--metrics_file <f> (a SIGUSR1 dump)");
 }
 
+int RunHealth(Args& args) {
+  const char* port_text = args.Get("port");
+  if (port_text == nullptr) return Fail("--port <number> is required");
+  auto port = ParseNonNegativeInt(port_text, "--port");
+  if (!port.ok()) return Fail(port.status().ToString());
+  if (*port == 0 || *port > 65535) return Fail("--port out of range");
+  auto samples = BlowfishClient::FetchHealth(
+      args.Get("host", "127.0.0.1"), static_cast<uint16_t>(*port));
+  if (!samples.ok()) return Fail(samples.status().ToString());
+  for (const MetricSample& sample : *samples) {
+    std::printf("%s %.17g\n", sample.name.c_str(), sample.value);
+  }
+  return 0;
+}
+
+/// One JSONL line that carried a trace id: where it came from, when,
+/// and everything else it said.
+struct TraceLine {
+  std::string trace;    // decimal token, displayed verbatim
+  std::string span;     // decimal token ("" when the line had none)
+  std::string kind;     // the "span"/"event" discriminator's value
+  uint64_t ts_us = 0;   // 0 = untimed (e.g. a refused query's span)
+  std::string detail;   // remaining fields, rendered k=v
+  size_t order = 0;     // file position, the tiebreak for ts collisions
+};
+
+int RunTrace(Args& args) {
+  const char* files = args.Get("files");
+  if (files == nullptr) {
+    return Fail("trace needs --files a.jsonl[,b.jsonl...] (any mix of "
+                "server --trace_file / --audit_file and client files)");
+  }
+  std::vector<std::string> paths;
+  {
+    std::istringstream in(files);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      if (!token.empty()) paths.push_back(token);
+    }
+  }
+  if (paths.empty()) return Fail("--files lists no file");
+
+  // trace id -> span id -> lines. std::map keeps the report stable
+  // across runs and across file orderings.
+  std::map<std::string, std::map<std::string, std::vector<TraceLine>>>
+      traces;
+  size_t untraced = 0;
+  size_t order = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) return Fail("cannot read " + path);
+    std::string line;
+    std::vector<obs::JsonField> fields;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      if (!obs::ParseFlatJsonLine(line, &fields)) {
+        return Fail(path + ":" + std::to_string(line_number) +
+                    ": not a flat JSON object");
+      }
+      const obs::JsonField* trace = obs::FindJsonField(fields, "trace");
+      if (trace == nullptr || trace->is_string) {
+        ++untraced;
+        continue;
+      }
+      TraceLine entry;
+      entry.trace = trace->value;
+      entry.order = order++;
+      for (const obs::JsonField& f : fields) {
+        if (f.key == "trace") continue;
+        if (f.key == "span_id") {
+          entry.span = f.value;
+          continue;
+        }
+        if (f.key == "span" || f.key == "event") {
+          entry.kind = f.value;
+          continue;
+        }
+        if (f.key == "ts_us") {
+          entry.ts_us = std::strtoull(f.value.c_str(), nullptr, 10);
+          continue;
+        }
+        if (!entry.detail.empty()) entry.detail += " ";
+        entry.detail += f.key + "=" + f.value;
+      }
+      traces[entry.trace][entry.span].push_back(std::move(entry));
+    }
+  }
+
+  for (auto& [trace_id, spans] : traces) {
+    size_t lines = 0;
+    for (const auto& [span_id, entries] : spans) lines += entries.size();
+    std::printf("trace %s (%zu span%s, %zu lines)\n", trace_id.c_str(),
+                spans.size(), spans.size() == 1 ? "" : "s", lines);
+    // Span groups print in causal order: by their earliest timed line.
+    std::vector<std::pair<uint64_t, const std::string*>> span_order;
+    for (const auto& [span_id, entries] : spans) {
+      uint64_t first = 0;
+      for (const TraceLine& entry : entries) {
+        if (entry.ts_us != 0 && (first == 0 || entry.ts_us < first)) {
+          first = entry.ts_us;
+        }
+      }
+      span_order.emplace_back(first, &span_id);
+    }
+    std::sort(span_order.begin(), span_order.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : *a.second < *b.second;
+              });
+    for (const auto& [span_start, span_id] : span_order) {
+      std::printf("  span %s\n", span_id->c_str());
+      std::vector<TraceLine> entries = spans[*span_id];
+      std::sort(entries.begin(), entries.end(),
+                [](const TraceLine& a, const TraceLine& b) {
+                  // Untimed lines (ts 0) sink below timed ones; file
+                  // position breaks ties so identical stamps keep
+                  // their written order.
+                  const uint64_t ka = a.ts_us == 0 ? UINT64_MAX : a.ts_us;
+                  const uint64_t kb = b.ts_us == 0 ? UINT64_MAX : b.ts_us;
+                  return ka != kb ? ka < kb : a.order < b.order;
+                });
+      for (const TraceLine& entry : entries) {
+        if (entry.ts_us == 0) {
+          std::printf("    +?        %-16s %s\n", entry.kind.c_str(),
+                      entry.detail.c_str());
+          continue;
+        }
+        std::printf("    +%-8llu %-16s %s\n",
+                    static_cast<unsigned long long>(entry.ts_us -
+                                                    span_start),
+                    entry.kind.c_str(), entry.detail.c_str());
+      }
+    }
+  }
+  std::printf("# %zu trace%s, %zu untraced line%s skipped\n",
+              traces.size(), traces.size() == 1 ? "" : "s", untraced,
+              untraced == 1 ? "" : "s");
+  return 0;
+}
+
 int RunRemote(Args& args) {
   const char* address = args.Get("host", "127.0.0.1");
   const char* port_text = args.Get("port");
@@ -498,6 +657,18 @@ int RunRemote(Args& args) {
                                         static_cast<uint16_t>(*port),
                                         policy_id, tenant);
   if (!client.ok()) return Fail(client.status().ToString());
+  if (const char* trace_file = args.Get("trace_file")) {
+    uint64_t trace_seed = 20140612;
+    if (const char* s = args.Get("trace_seed")) {
+      auto seed = ParseNonNegativeInt(s, "--trace_seed");
+      if (!seed.ok()) return Fail(seed.status().ToString());
+      trace_seed = *seed;
+    }
+    if (!obs::TraceWriter::Global()->Open(trace_file)) {
+      return Fail(std::string("cannot open --trace_file ") + trace_file);
+    }
+    (*client)->EnableTracing(obs::TraceWriter::Global(), trace_seed);
+  }
   const bool stream = args.GetBool("stream");
   BlowfishClient::ResultCallback on_result;
   if (stream) on_result = StreamPrinter("");
@@ -506,6 +677,7 @@ int RunRemote(Args& args) {
   if (!stream) PrintWireResponses(*responses);
   Status bye = (*client)->Bye();
   if (!bye.ok()) return Fail(bye.ToString());
+  obs::TraceWriter::Global()->Close();
   return 0;
 }
 
@@ -514,6 +686,8 @@ int RunCli(Args args) {
   if (args.command == "sessions") return RunSessions(args);
   if (args.command == "remote") return RunRemote(args);
   if (args.command == "stats") return RunStats(args);
+  if (args.command == "health") return RunHealth(args);
+  if (args.command == "trace") return RunTrace(args);
 
   const char* policy_path = args.Get("policy");
   if (policy_path == nullptr) return Fail("--policy <file> is required");
@@ -739,9 +913,13 @@ int main(int argc, char** argv) {
                  "       blowfish_cli remote   --port <p> "
                  "[--host 127.0.0.1] --policy <id> --tenant <name>\n"
                  "                             --requests <file> "
-                 "[--stream]\n"
+                 "[--stream] [--trace_file <f> [--trace_seed <n>]]\n"
                  "       blowfish_cli stats    --port <p> "
                  "[--host 127.0.0.1] | --metrics_file <file>\n"
+                 "       blowfish_cli health   --port <p> "
+                 "[--host 127.0.0.1]\n"
+                 "       blowfish_cli trace    --files "
+                 "<a.jsonl[,b.jsonl...]>\n"
                  "batch request kinds: %s\n",
                  blowfish::QueryOpRegistry::Global().KnownKindsString()
                      .c_str());

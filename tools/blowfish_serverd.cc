@@ -3,7 +3,7 @@
 //   blowfish_serverd --config host.cfg [--port 7070] [--bind 127.0.0.1]
 //                    [--threads 4] [--cache_file warm.cache]
 //                    [--print_port] [--metrics_file m.prom]
-//                    [--trace_file t.jsonl]
+//                    [--trace_file t.jsonl] [--audit_file a.jsonl]
 //
 // Builds a multi-tenant EngineHost from the same serve config
 // `blowfish_cli serve` uses (server/serve_config.h), then serves the
@@ -28,6 +28,10 @@
 //     per-query JSONL spans. During a drain the daemon logs progress
 //     (~1/s): connections still in flight, and how many had to be
 //     escalated to a full shutdown at the grace deadline.
+//     --audit_file turns on the privacy audit log: one JSONL line per
+//     budget-affecting event, replayable against the saved ledgers by
+//     `blowfish_audit`. On drain both JSONL files are fsynced before
+//     the process exits, after the last batch settles.
 //
 // Clients: `blowfish_cli remote` or the BlowfishClient library
 // (net/client.h). docs/server.md documents the frame grammar and shows
@@ -40,6 +44,7 @@
 #include <unistd.h>
 
 #include "net/server.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/host_builder.h"
@@ -87,6 +92,7 @@ int Run(int argc, char** argv) {
   std::string cache_file_override;
   std::string metrics_file;
   std::string trace_file;
+  std::string audit_file;
   bool print_port = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -125,13 +131,18 @@ int Run(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Fail("--trace_file needs a file");
       trace_file = v;
+    } else if (flag == "--audit_file") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--audit_file needs a file");
+      audit_file = v;
     } else if (flag == "--print_port") {
       print_port = true;
     } else {
       return Fail("unknown flag '" + flag +
                   "' (usage: blowfish_serverd --config <file> [--port p] "
                   "[--bind addr] [--threads n] [--cache_file f] "
-                  "[--print_port] [--metrics_file f] [--trace_file f])");
+                  "[--print_port] [--metrics_file f] [--trace_file f] "
+                  "[--audit_file f])");
     }
   }
   if (config_path.empty()) {
@@ -147,11 +158,16 @@ int Run(int argc, char** argv) {
   }
   if (!cache_file_override.empty()) config->cache_file = cache_file_override;
 
-  // Open the tracer before the host exists so the very first batch is
-  // traced. Spans go to the process-wide writer the engines default to.
+  // Open the tracer and audit log before the host exists so the very
+  // first batch is traced and audited. Both go to the process-wide
+  // sinks the engines default to.
   if (!trace_file.empty() &&
       !obs::TraceWriter::Global()->Open(trace_file)) {
     return Fail("cannot open --trace_file " + trace_file);
+  }
+  if (!audit_file.empty() &&
+      !obs::AuditLog::Global()->Open(audit_file)) {
+    return Fail("cannot open --audit_file " + audit_file);
   }
 
   auto host = BuildHostFromConfig(*config);
@@ -210,7 +226,14 @@ int Run(int argc, char** argv) {
   Status saved = SaveHostState(**host, *config);
   if (!saved.ok()) return Fail(saved.ToString());
   if (!metrics_file.empty()) DumpMetrics(metrics_file);
+  // Flush() fsyncs what the per-line fflushes left in the page cache —
+  // the drain guarantees durable trace and audit files, not just
+  // written ones. Every batch has settled (Stop() joined the handlers
+  // and SaveHostState ran), so these files are complete.
+  obs::TraceWriter::Global()->Flush();
   obs::TraceWriter::Global()->Close();
+  obs::AuditLog::Global()->Flush();
+  obs::AuditLog::Global()->Close();
   std::printf("# served %llu batches over %llu connections "
               "(%llu protocol errors); state flushed\n",
               static_cast<unsigned long long>(stats.batches),
