@@ -15,11 +15,19 @@
 // util/thread_pool.h exists), and whether an EngineHost batch is
 // bit-identical for any pool size (acceptance: it is).
 //
+// A second section measures the columnar dataset engine: on a 512k-row
+// dataset it serves one 64-query histogram batch per ScanMode — row
+// (every query walks all rows), columnar (every query runs the
+// dictionary-encoded kernel), shared (the batch runs the kernel once) —
+// checks the three transcripts are bit-identical, and gates the shared
+// scan at >= 3x the row-major execute-phase throughput.
+//
 // Alongside the CSV on stdout, the run is written as
 // BENCH_engine_throughput.json (override with --json <path>): cold and
-// warm throughput, a warm-cache sweep over pool sizes {0, 1, 8}, and
-// the pass/fail checks. bench/baselines/ holds a tracked baseline so a
-// perf regression shows up as a diff, not a memory.
+// warm throughput, a warm-cache sweep over pool sizes {0, 1, 8}, the
+// columnar scan-mode comparison, and the pass/fail checks.
+// bench/baselines/ holds a tracked baseline so a perf regression shows
+// up as a diff, not a memory.
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +43,7 @@
 #include "data/synthetic.h"
 #include "engine/batch_request.h"
 #include "engine/release_engine.h"
+#include "engine/sensitivity_cache.h"
 #include "mech/laplace.h"
 #include "server/engine_host.h"
 #include "util/thread_pool.h"
@@ -306,6 +315,106 @@ int Run(const std::string& json_path) {
   std::printf("host_determinism_pool_1_vs_4,%s\n",
               host_ok ? "PASS" : "FAIL");
 
+  // --- Columnar scan engine: shared vs per-query vs row-major. -----------
+  // The histogram-family execute phase is scan-bound once sensitivity is
+  // cached: every query needs the complete histogram of the data. An
+  // unconstrained policy (sensitivity is a cheap closed form, and a
+  // shared warm SensitivityCache removes even that) isolates the scan:
+  //   row      — every query walks all n rows (the pre-columnar layout),
+  //   columnar — every query runs the dictionary-encoded column kernel,
+  //   shared   — the batch runs ONE column kernel, every query reuses it.
+  // Same root seed + same admission order -> the three engines' served
+  // bytes must be bit-identical; that is checked, not assumed.
+  constexpr size_t kScanRows = 1 << 19;  // 512k rows, domain stays 2048
+  constexpr size_t kScanQueries = 64;
+  auto scan_policy = [&]() -> StatusOr<Policy> {
+    BLOWFISH_ASSIGN_OR_RETURN(
+        Domain dom, Domain::Create({Attribute{"A1", 4, 1.0},
+                                    Attribute{"A2", 512, 1.0}}));
+    auto domain = std::make_shared<const Domain>(std::move(dom));
+    auto graph = std::make_shared<const FullGraph>(domain->size());
+    return Policy::Create(domain, graph, ConstraintSet{});
+  }();
+  if (!scan_policy.ok()) {
+    std::fprintf(stderr, "scan policy: %s\n",
+                 scan_policy.status().ToString().c_str());
+    return 1;
+  }
+  Random scan_rng(kSeed);
+  auto scan_data = MakeData(*scan_policy, kScanRows, scan_rng);
+  if (!scan_data.ok()) {
+    std::fprintf(stderr, "scan data: %s\n",
+                 scan_data.status().ToString().c_str());
+    return 1;
+  }
+  auto scan_cache = std::make_shared<SensitivityCache>(64);
+  struct ScanPoint {
+    const char* name;
+    ScanMode mode;
+    double qps = 0.0;
+  };
+  std::vector<ScanPoint> scan_points = {
+      {"row", ScanMode::kRowMajor},
+      {"columnar", ScanMode::kPerQueryColumnar},
+      {"shared", ScanMode::kSharedColumnar},
+  };
+  std::vector<std::vector<QueryResponse>> scan_runs;
+  for (ScanPoint& point : scan_points) {
+    ReleaseEngineOptions opts;
+    opts.root_seed = kSeed;
+    opts.default_session_budget = 1e9;
+    opts.shared_cache = scan_cache;
+    opts.scan_mode = point.mode;
+    auto e = ReleaseEngine::Create(*scan_policy, *scan_data, opts);
+    if (!e.ok()) {
+      std::fprintf(stderr, "scan engine: %s\n",
+                   e.status().ToString().c_str());
+      return 1;
+    }
+    // Warm the shared sensitivity cache only (a fresh engine per mode
+    // keeps the scan measurement itself cold: the measured batch below
+    // is each mode's FIRST batch, so shared mode is charged its one
+    // amortized scan rather than reusing a previous batch's product).
+    if (scan_cache->stats().misses == 0) {
+      ReleaseEngineOptions warm_opts = opts;
+      auto warm_engine =
+          ReleaseEngine::Create(*scan_policy, *scan_data, warm_opts);
+      if (warm_engine.ok()) {
+        (void)(*warm_engine)->ServeBatch(HistogramBatch(1, kEps));
+      }
+    }
+    const auto start = Clock::now();
+    auto responses =
+        (*e)->ServeBatch(HistogramBatch(kScanQueries, kEps));
+    const double seconds = SecondsSince(start);
+    for (const QueryResponse& r : responses) {
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "scan release (%s): %s\n", point.name,
+                     r.status.ToString().c_str());
+        return 1;
+      }
+    }
+    point.qps = kScanQueries / seconds;
+    std::printf("scan_qps_%s,%.3f\n", point.name, point.qps);
+    scan_runs.push_back(std::move(responses));
+  }
+  const double scan_row_qps = scan_points[0].qps;
+  const double scan_columnar_qps = scan_points[1].qps;
+  const double scan_shared_qps = scan_points[2].qps;
+  const double columnar_vs_row = scan_columnar_qps / scan_row_qps;
+  const double shared_scan_vs_per_query =
+      scan_shared_qps / scan_columnar_qps;
+  const double shared_vs_row = scan_shared_qps / scan_row_qps;
+  const bool scan_identity = Identical(scan_runs[0], scan_runs[1]) &&
+                             Identical(scan_runs[1], scan_runs[2]);
+  const bool columnar_speedup_ok = shared_vs_row >= 3.0;
+  std::printf("columnar_vs_row,%.2f\n", columnar_vs_row);
+  std::printf("shared_scan_vs_per_query,%.2f\n", shared_scan_vs_per_query);
+  std::printf("shared_vs_row,%.2f\n", shared_vs_row);
+  std::printf("columnar_identity,%s\n", scan_identity ? "PASS" : "FAIL");
+  std::printf("columnar_speedup_ge_3x,%s\n",
+              columnar_speedup_ok ? "PASS" : "FAIL");
+
   // --- JSON artifact (the tracked-baseline format). ----------------------
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -338,17 +447,33 @@ int Run(const std::string& json_path) {
                kExecBatches / pool_seconds, kExecBatches / spawn_seconds,
                spawn_seconds / pool_seconds);
   std::fprintf(json,
+               "  \"columnar\": {\"rows\": %zu, \"queries\": %zu, "
+               "\"row_qps\": %.3f, \"columnar_qps\": %.3f, "
+               "\"shared_qps\": %.3f, \"shared_vs_row\": %.2f},\n",
+               kScanRows, kScanQueries, scan_row_qps, scan_columnar_qps,
+               scan_shared_qps, shared_vs_row);
+  std::fprintf(json, "  \"columnar_vs_row\": %.2f,\n", columnar_vs_row);
+  std::fprintf(json, "  \"shared_scan_vs_per_query\": %.2f,\n",
+               shared_scan_vs_per_query);
+  std::fprintf(json,
                "  \"checks\": {\"speedup_ge_5x\": %s, "
                "\"determinism_threads_1_vs_4\": %s, "
-               "\"host_determinism_pool_1_vs_4\": %s}\n",
+               "\"host_determinism_pool_1_vs_4\": %s, "
+               "\"columnar_identity\": %s, "
+               "\"columnar_speedup_ge_3x\": %s}\n",
                speedup >= 5.0 ? "true" : "false",
                deterministic ? "true" : "false",
-               host_ok ? "true" : "false");
+               host_ok ? "true" : "false",
+               scan_identity ? "true" : "false",
+               columnar_speedup_ok ? "true" : "false");
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("# wrote %s\n", json_path.c_str());
 
-  return (speedup >= 5.0 && deterministic && host_ok) ? 0 : 1;
+  return (speedup >= 5.0 && deterministic && host_ok && scan_identity &&
+          columnar_speedup_ok)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -22,10 +22,19 @@ Checks, in order of how much we trust them on shared hardware:
      are routine, so the gate is sized to catch real regressions (a
      mutex on the hot path, an accidental O(n^2)) while staying quiet
      about scheduler jitter. Tighten with --tolerance on quiet hardware.
+  4. Columnar scan engine — both artifacts must carry the
+     `columnar_identity` and `columnar_speedup_ge_3x` checks (so a stale
+     pre-columnar artifact fails loudly) plus the `columnar_vs_row` and
+     `shared_scan_vs_per_query` ratios, and the fresh shared-scan
+     throughput (`columnar.shared_qps`) is gated against the baseline at
+     the same tolerance as warm_qps. The >= 3x shared-vs-row floor
+     itself is the bench binary's own check, enforced by step 1.
 
 cold_qps is reported but never gated: it measures 3 one-shot queries
 dominated by policy-graph setup, where a single page-cache miss moves
-the number by 2x.
+the number by 2x. columnar_vs_row is reported but not floor-gated: the
+per-query kernel matches the row walk byte-for-byte on a full-joint
+workload, so its ratio hovers around 1.0 and is informational.
 """
 
 import argparse
@@ -61,13 +70,22 @@ def main():
     except (OSError, json.JSONDecodeError) as error:
         fail(f"cannot load artifacts: {error}")
 
+    REQUIRED_CHECKS = ("columnar_identity", "columnar_speedup_ge_3x")
+    REQUIRED_RATIOS = ("columnar_vs_row", "shared_scan_vs_per_query")
     for name, run in (("fresh", fresh), ("baseline", baseline)):
         checks = run.get("checks", {})
         if not checks:
             fail(f"{name} artifact has no checks block")
+        missing = [key for key in REQUIRED_CHECKS if key not in checks]
+        if missing:
+            fail(f"{name} artifact predates the columnar scan engine "
+                 f"(missing checks: {', '.join(missing)}) — regenerate it")
         bad = [key for key, ok in checks.items() if ok is not True]
         if bad:
             fail(f"{name} run failed its own checks: {', '.join(bad)}")
+        for key in REQUIRED_RATIOS:
+            if not isinstance(run.get(key), (int, float)):
+                fail(f"{name} artifact is missing '{key}' — regenerate it")
 
     if fresh.get("config") != baseline.get("config"):
         fail("workload config drifted from the baseline — regenerate "
@@ -81,12 +99,25 @@ def main():
         fail(f"warm_qps missing or non-positive: fresh={fresh_qps} "
              f"baseline={base_qps}")
 
+    fresh_shared = fresh.get("columnar", {}).get("shared_qps")
+    base_shared = baseline.get("columnar", {}).get("shared_qps")
+    if not isinstance(fresh_shared, (int, float)) or not isinstance(
+            base_shared, (int, float)) or base_shared <= 0:
+        fail(f"columnar.shared_qps missing or non-positive: "
+             f"fresh={fresh_shared} baseline={base_shared}")
+
     ratio = fresh_qps / base_qps
+    shared_ratio = fresh_shared / base_shared
     report = (f"warm_qps {fresh_qps:.0f} vs baseline {base_qps:.0f} "
               f"({ratio:.2f}x, gate {args.tolerance:.2f}x); "
+              f"shared scan {fresh_shared:.0f} vs baseline "
+              f"{base_shared:.0f} ({shared_ratio:.2f}x, same gate); "
+              f"columnar_vs_row {fresh.get('columnar_vs_row')}, "
+              f"shared_scan_vs_per_query "
+              f"{fresh.get('shared_scan_vs_per_query')}; "
               f"cold_qps {fresh.get('cold_qps')} "
               f"(reported, not gated)")
-    if ratio < args.tolerance:
+    if ratio < args.tolerance or shared_ratio < args.tolerance:
         fail(report)
     print(f"BENCH GATE OK: {report}")
 

@@ -19,6 +19,8 @@
 
 namespace blowfish {
 
+class ColumnarTable;
+
 /// An immutable table of tuples over a shared domain.
 class Dataset {
  public:
@@ -52,6 +54,13 @@ class Dataset {
   /// the representation k-means clusters.
   std::vector<std::vector<double>> Points() const;
 
+  /// The dictionary-encoded columnar view (data/columnar.h) — the
+  /// representation the engine's scan kernels run on. Built lazily on
+  /// first use and cached (the dataset is immutable, so the view never
+  /// goes stale); concurrent callers race benignly, one build wins.
+  /// Copies made after the build share the view; WithTuple starts fresh.
+  StatusOr<std::shared_ptr<const ColumnarTable>> columns() const;
+
  private:
   Dataset(std::shared_ptr<const Domain> domain,
           std::vector<ValueIndex> tuples)
@@ -59,6 +68,9 @@ class Dataset {
 
   std::shared_ptr<const Domain> domain_;
   std::vector<ValueIndex> tuples_;
+  /// Lazily-built columnar view; accessed only via the std::atomic_*
+  /// shared_ptr free functions so Dataset stays copyable.
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
 };
 
 }  // namespace blowfish

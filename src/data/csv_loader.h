@@ -16,6 +16,7 @@
 
 #include "core/dataset.h"
 #include "core/domain.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace blowfish {
@@ -39,6 +40,14 @@ struct CsvOptions {
   /// Rows with non-numeric cells in the selected columns are skipped when
   /// true, and cause an error when false.
   bool skip_bad_rows = true;
+  /// Record load observability (data_load_seconds, data_rows,
+  /// data_column_cardinality{attr=...} — data/columnar.h) after a
+  /// successful load. Recording forces the dataset's columnar encoding,
+  /// so tenants pay that cost at startup instead of at first batch.
+  bool record_load_metrics = true;
+  /// Registry the load metrics report into; nullptr = the process-wide
+  /// default (what the STATS verb and SIGUSR1 Prometheus dump serve).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Parses CSV text into a dataset over the cross product of the selected

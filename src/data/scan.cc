@@ -1,0 +1,154 @@
+#include "data/scan.h"
+
+#include <string>
+
+namespace blowfish {
+
+namespace {
+
+/// Same cap as Dataset::CompleteHistogram — the two paths must refuse
+/// the same domains with the same status.
+constexpr uint64_t kMaxMaterializedDomain = uint64_t{1} << 26;
+
+/// Per-column ValueIndex contributions: contrib[id] = dict[id] * stride.
+/// k-sized, so the per-row reassembly is one uint32 load + one lookup
+/// per column with no div/mod.
+std::vector<uint64_t> ColumnContrib(const ColumnarTable& table, size_t attr,
+                                    uint64_t stride) {
+  const std::vector<uint64_t>& dict = table.dictionary(attr);
+  std::vector<uint64_t> contrib(dict.size());
+  for (size_t id = 0; id < dict.size(); ++id) {
+    contrib[id] = dict[id] * stride;
+  }
+  return contrib;
+}
+
+uint64_t StrideOf(const Domain& domain, size_t attr) {
+  uint64_t stride = 1;
+  for (size_t j = domain.num_attributes(); j-- > attr + 1;) {
+    stride *= domain.attribute(j).cardinality;
+  }
+  return stride;
+}
+
+}  // namespace
+
+StatusOr<Histogram> ScanCompleteHistogram(const ColumnarTable& table) {
+  const Domain& domain = table.domain();
+  if (domain.size() > kMaxMaterializedDomain) {
+    return Status::ResourceExhausted(
+        "domain too large to materialize a complete histogram");
+  }
+  const size_t n = table.num_rows();
+  Histogram h(domain.size());
+  if (table.num_columns() == 1) {
+    // 1-D fast path: count dense ids (k slots, not |T| slots), then
+    // scatter through the sorted dictionary.
+    const std::vector<uint64_t> counts = ScanColumnCounts(table, 0);
+    const std::vector<uint64_t>& dict = table.dictionary(0);
+    for (size_t id = 0; id < counts.size(); ++id) {
+      h[dict[id]] = static_cast<double>(counts[id]);
+    }
+    return h;
+  }
+  // Joint path: reassemble each row's ValueIndex from per-column
+  // contribution tables (no div/mod), count in one pass.
+  std::vector<std::vector<uint64_t>> contribs;
+  contribs.reserve(table.num_columns());
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    contribs.push_back(ColumnContrib(table, j, StrideOf(domain, j)));
+  }
+  if (table.num_columns() == 2) {
+    const uint64_t* c0 = contribs[0].data();
+    const uint64_t* c1 = contribs[1].data();
+    const uint32_t* id0 = table.ids(0).data();
+    const uint32_t* id1 = table.ids(1).data();
+    for (size_t i = 0; i < n; ++i) {
+      h.Add(c0[id0[i]] + c1[id1[i]]);
+    }
+    return h;
+  }
+  std::vector<uint64_t> values(n, 0);
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    const uint64_t* contrib = contribs[j].data();
+    const uint32_t* ids = table.ids(j).data();
+    for (size_t i = 0; i < n; ++i) values[i] += contrib[ids[i]];
+  }
+  for (uint64_t v : values) h.Add(v);
+  return h;
+}
+
+std::vector<uint64_t> ScanColumnCounts(const ColumnarTable& table,
+                                       size_t attr) {
+  std::vector<uint64_t> counts(table.cardinality(attr), 0);
+  const uint32_t* ids = table.ids(attr).data();
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) ++counts[ids[i]];
+  return counts;
+}
+
+Histogram ScanAttributeHistogram(const ColumnarTable& table, size_t attr) {
+  Histogram h(table.domain().attribute(attr).cardinality);
+  const std::vector<uint64_t> counts = ScanColumnCounts(table, attr);
+  const std::vector<uint64_t>& dict = table.dictionary(attr);
+  for (size_t id = 0; id < counts.size(); ++id) {
+    h[dict[id]] = static_cast<double>(counts[id]);
+  }
+  return h;
+}
+
+StatusOr<std::vector<uint32_t>> BuildBucketLut(
+    const Domain& domain,
+    const std::function<uint64_t(ValueIndex)>& bucket_of,
+    size_t num_buckets) {
+  if (domain.size() > kMaxMaterializedDomain) {
+    return Status::ResourceExhausted(
+        "domain too large to materialize a bucket lookup table");
+  }
+  std::vector<uint32_t> lut(domain.size());
+  for (uint64_t v = 0; v < domain.size(); ++v) {
+    const uint64_t bucket = bucket_of(v);
+    if (bucket >= num_buckets) {
+      return Status::InvalidArgument(
+          "bucket_of(" + std::to_string(v) + ") = " +
+          std::to_string(bucket) + " out of range for " +
+          std::to_string(num_buckets) + " buckets");
+    }
+    lut[v] = static_cast<uint32_t>(bucket);
+  }
+  return lut;
+}
+
+Histogram ScanPartitionedHistogram(const ColumnarTable& table,
+                                   const std::vector<uint32_t>& bucket_lut,
+                                   size_t num_buckets) {
+  Histogram h(num_buckets);
+  const size_t n = table.num_rows();
+  if (table.num_columns() == 1) {
+    const std::vector<uint64_t>& dict = table.dictionary(0);
+    const uint32_t* ids = table.ids(0).data();
+    for (size_t i = 0; i < n; ++i) h.Add(bucket_lut[dict[ids[i]]]);
+    return h;
+  }
+  const std::vector<ValueIndex> rows = table.MaterializeRows();
+  for (ValueIndex v : rows) h.Add(bucket_lut[v]);
+  return h;
+}
+
+std::vector<double> RestrictedCounts(
+    const Histogram& h, const std::vector<ValueIndex>& included) {
+  std::vector<double> out;
+  out.reserve(included.size());
+  for (ValueIndex v : included) out.push_back(h[v]);
+  return out;
+}
+
+double ValueWeightedSum(const Histogram& h, double scale) {
+  double sum = 0.0;
+  for (size_t x = 0; x < h.size(); ++x) {
+    sum += static_cast<double>(x) * scale * h[x];
+  }
+  return sum;
+}
+
+}  // namespace blowfish

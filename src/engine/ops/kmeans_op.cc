@@ -54,6 +54,16 @@ class KMeansOp final : public QueryOp {
     return std::max(q_sum, QSizeSensitivity(policy.graph()));
   }
 
+  ScanSpec Scan() const override {
+    // K-means clusters embedded points, not histogram counts: it needs
+    // the rows (ctx.data) and never reads ctx.hist, so the engine's
+    // shared scan skips it entirely.
+    ScanSpec spec;
+    spec.needs_histogram = false;
+    spec.needs_rows = true;
+    return spec;
+  }
+
   StatusOr<std::vector<double>> Execute(const QueryExecContext& ctx,
                                         Random rng) const override {
     // sensitivity == 0 means the secret graph is edgeless: every

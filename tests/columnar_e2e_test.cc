@@ -1,0 +1,256 @@
+// Scan-mode equivalence, end to end: every registered QueryOp served
+// through ReleaseEngine under all three ScanModes (row-major walk,
+// per-query columnar kernel, batch-amortized shared scan) at pool sizes
+// {0, 1, 8}, on an unconstrained and a constrained fixture, asserting
+// byte-identical responses — values, statuses, sensitivities, full
+// budget receipts — and identical budget arithmetic. The representation
+// an engine reads its dataset through must be unobservable in its
+// output; only the clock can tell the modes apart.
+//
+// A final test drives the same contract over the wire: two daemons,
+// one serving a row-major tenant and one a shared-scan tenant, answer a
+// whole-registry batch with byte-identical frames.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/policy.h"
+#include "core/secret_graph.h"
+#include "engine/batch_request.h"
+#include "engine/release_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "server/engine_host.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace blowfish {
+namespace {
+
+constexpr uint64_t kSeed = 20140612;
+constexpr double kEps = 0.25;
+
+std::shared_ptr<const Domain> LineDomain(uint64_t size) {
+  return std::make_shared<const Domain>(Domain::Line(size).value());
+}
+
+Dataset MakeData(const std::shared_ptr<const Domain>& domain, size_t n,
+                 uint64_t seed = 11) {
+  Random rng(seed);
+  std::vector<ValueIndex> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(static_cast<ValueIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(domain->size()) - 1)));
+  }
+  return Dataset::Create(domain, std::move(tuples)).value();
+}
+
+/// One batch line per registered kind, each with its own ExampleArgs —
+/// enumerating the registry keeps this suite honest when a new op file
+/// lands: the new kind is covered (or fails loudly) with zero edits here.
+std::string WholeRegistryBatchText() {
+  std::string text;
+  for (const std::string& kind :
+       QueryOpRegistry::Global().KnownKinds()) {
+    auto op = QueryOpRegistry::Global().Create(kind);
+    EXPECT_TRUE(op.ok()) << op.status().ToString();
+    text += kind + " eps=" + std::to_string(kEps) + " label=" + kind;
+    const std::string args = (*op)->ExampleArgs();
+    if (!args.empty()) text += " " + args;
+    text += "\n";
+  }
+  return text;
+}
+
+std::vector<QueryRequest> WholeRegistryBatch() {
+  auto requests = ParseBatchRequests(WholeRegistryBatchText());
+  EXPECT_TRUE(requests.ok()) << requests.status().ToString();
+  return std::move(*requests);
+}
+
+struct Fixture {
+  std::string name;
+  Policy policy;
+  Dataset data;
+};
+
+/// Line(16) split into four G^P cells; the constrained twin pins one
+/// count constraint from the data (so kmeans and the ordered family
+/// refuse it — those refusals must be mode-invariant too).
+std::vector<Fixture> Fixtures() {
+  std::vector<Fixture> out;
+  auto domain = LineDomain(16);
+  Dataset data = MakeData(domain, 300, 13);
+  {
+    auto part = PartitionGraph::UniformGrid(domain, {4}).value();
+    Policy policy =
+        Policy::Create(domain,
+                       std::shared_ptr<const SecretGraph>(part.release()))
+            .value();
+    out.push_back(Fixture{"unconstrained", std::move(policy), data});
+  }
+  {
+    auto part = PartitionGraph::UniformGrid(domain, {4}).value();
+    ConstraintSet cs;
+    CountQuery low("low", [](ValueIndex x) { return x < 4; });
+    const uint64_t answer = low.Evaluate(data);
+    cs.AddWithAnswer(std::move(low), answer);
+    Policy policy =
+        Policy::Create(domain,
+                       std::shared_ptr<const SecretGraph>(part.release()),
+                       std::move(cs))
+            .value();
+    out.push_back(Fixture{"constrained", std::move(policy), std::move(data)});
+  }
+  return out;
+}
+
+std::unique_ptr<ReleaseEngine> MakeEngine(
+    const Policy& policy, const Dataset& data, ScanMode mode,
+    std::shared_ptr<ThreadPool> pool = nullptr) {
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 10.0;
+  options.scan_mode = mode;
+  if (pool != nullptr) options.pool = std::move(pool);
+  auto engine = ReleaseEngine::Create(policy, data, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+void ExpectByteIdentical(const std::vector<QueryResponse>& got,
+                         const std::vector<QueryResponse>& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const std::string at = context + ", query " + std::to_string(i) +
+                           " (" + want[i].label + ")";
+    EXPECT_EQ(got[i].status.code(), want[i].status.code()) << at;
+    EXPECT_EQ(got[i].status.message(), want[i].status.message()) << at;
+    EXPECT_EQ(got[i].label, want[i].label) << at;
+    // operator== on doubles: bit-exact payloads, not approximate ones.
+    EXPECT_EQ(got[i].values, want[i].values) << at;
+    EXPECT_EQ(got[i].sensitivity, want[i].sensitivity) << at;
+    EXPECT_EQ(got[i].cache_hit, want[i].cache_hit) << at;
+    EXPECT_EQ(got[i].receipt.session, want[i].receipt.session) << at;
+    EXPECT_EQ(got[i].receipt.charge_id, want[i].receipt.charge_id) << at;
+    EXPECT_EQ(got[i].receipt.charged, want[i].receipt.charged) << at;
+    EXPECT_EQ(got[i].receipt.epsilon, want[i].receipt.epsilon) << at;
+    EXPECT_EQ(got[i].receipt.remaining, want[i].receipt.remaining) << at;
+  }
+}
+
+TEST(ColumnarE2eTest, AllOpsByteIdenticalAcrossScanModesAndPoolSizes) {
+  for (const Fixture& f : Fixtures()) {
+    SCOPED_TRACE("fixture " + f.name);
+    // Reference transcript: the default configuration (shared scan,
+    // engine-owned pool).
+    auto reference_engine =
+        MakeEngine(f.policy, f.data, ScanMode::kSharedColumnar);
+    const std::vector<QueryResponse> reference =
+        reference_engine->ServeBatch(WholeRegistryBatch());
+    ASSERT_EQ(reference.size(),
+              QueryOpRegistry::Global().KnownKinds().size());
+    const double reference_spent = reference_engine->accountant().Spent("");
+    if (f.name == "unconstrained") {
+      // Every kind serves the unconstrained fixture; on the constrained
+      // one the non-supporting kinds refuse (checked for mode
+      // invariance below, content checked in constrained_ops_e2e_test).
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_TRUE(reference[i].status.ok())
+            << reference[i].label << ": "
+            << reference[i].status.ToString();
+      }
+    }
+    EXPECT_GT(reference_spent, 0.0);
+
+    for (ScanMode mode :
+         {ScanMode::kRowMajor, ScanMode::kPerQueryColumnar,
+          ScanMode::kSharedColumnar}) {
+      for (size_t pool_size : {size_t{0}, size_t{1}, size_t{8}}) {
+        const std::string context =
+            "mode " + std::to_string(static_cast<int>(mode)) + ", pool " +
+            std::to_string(pool_size);
+        auto engine =
+            MakeEngine(f.policy, f.data, mode,
+                       std::make_shared<ThreadPool>(pool_size));
+        const std::vector<QueryResponse> responses =
+            engine->ServeBatch(WholeRegistryBatch());
+        ExpectByteIdentical(responses, reference, context);
+        // Identical receipts and identical ledger: the budget arithmetic
+        // is exactly reproduced, not merely the payloads.
+        EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), reference_spent)
+            << context;
+      }
+    }
+  }
+}
+
+TEST(ColumnarE2eTest, RepeatedBatchesStayIdenticalAcrossModes) {
+  // The shared-scan engine caches its scan product across batches; the
+  // row-major engine rescans per query. Three consecutive batches must
+  // nonetheless produce one identical transcript — the cache can change
+  // timings only.
+  for (const Fixture& f : Fixtures()) {
+    SCOPED_TRACE("fixture " + f.name);
+    auto shared_engine =
+        MakeEngine(f.policy, f.data, ScanMode::kSharedColumnar);
+    auto row_engine = MakeEngine(f.policy, f.data, ScanMode::kRowMajor);
+    for (int round = 0; round < 3; ++round) {
+      const std::vector<QueryResponse> shared =
+          shared_engine->ServeBatch(WholeRegistryBatch());
+      const std::vector<QueryResponse> row =
+          row_engine->ServeBatch(WholeRegistryBatch());
+      ExpectByteIdentical(shared, row, "round " + std::to_string(round));
+    }
+    EXPECT_DOUBLE_EQ(shared_engine->accountant().Spent(""),
+                     row_engine->accountant().Spent(""));
+  }
+}
+
+TEST(ColumnarE2eTest, WireTranscriptIdenticalForRowAndSharedTenants) {
+  // Two daemons, built identically except for the tenant's scan mode;
+  // the same batch text must come back byte-identical over the wire —
+  // the full e2e path (parse -> admit -> scan -> execute -> frame) is
+  // representation-invariant.
+  auto domain = LineDomain(16);
+  Dataset data = MakeData(domain, 300, 13);
+  auto part = PartitionGraph::UniformGrid(domain, {4}).value();
+  Policy policy =
+      Policy::Create(domain,
+                     std::shared_ptr<const SecretGraph>(part.release()))
+          .value();
+  const std::string batch_text = WholeRegistryBatchText();
+
+  std::vector<std::vector<QueryResponse>> transcripts;
+  for (ScanMode mode : {ScanMode::kRowMajor, ScanMode::kSharedColumnar}) {
+    EngineHostOptions host_options;
+    host_options.num_threads = 2;
+    auto host = std::make_unique<EngineHost>(host_options);
+    TenantOptions tenant;
+    tenant.default_session_budget = 10.0;
+    tenant.root_seed = kSeed;
+    tenant.scan_mode = mode;
+    ASSERT_TRUE(host->AddTenant("p", "d", policy, data, tenant).ok());
+
+    auto server = BlowfishServer::Start(host.get());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client =
+        BlowfishClient::Connect("127.0.0.1", (*server)->port(), "p", "d");
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto responses = (*client)->SubmitBatchText(batch_text);
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    EXPECT_TRUE((*client)->Bye().ok());
+    (*server)->Stop();
+    transcripts.push_back(std::move(*responses));
+  }
+  ExpectByteIdentical(transcripts[1], transcripts[0], "row vs shared");
+}
+
+}  // namespace
+}  // namespace blowfish
