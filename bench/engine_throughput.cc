@@ -22,10 +22,16 @@
 // checks the three transcripts are bit-identical, and gates the shared
 // scan at >= 3x the row-major execute-phase throughput.
 //
+// A third section times the PR-9 op kinds — quadtree on the 2-attribute
+// scan workload and hier_range on a Line(2048) ordered tenant — and
+// checks each transcript is bit-identical across two fresh engines with
+// the same root seed.
+//
 // Alongside the CSV on stdout, the run is written as
 // BENCH_engine_throughput.json (override with --json <path>): cold and
 // warm throughput, a warm-cache sweep over pool sizes {0, 1, 8}, the
-// columnar scan-mode comparison, and the pass/fail checks.
+// columnar scan-mode comparison, the quadtree/hier_range section, and
+// the pass/fail checks.
 // bench/baselines/ holds a tracked baseline so a perf regression shows
 // up as a diff, not a memory.
 
@@ -35,6 +41,7 @@
 #include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/policy.h"
@@ -89,6 +96,19 @@ std::vector<QueryRequest> HistogramBatch(size_t count, double eps) {
   for (size_t i = 0; i < count; ++i) {
     QueryRequest request = MakeQueryRequest("histogram", eps).value();
     request.label = "q" + std::to_string(i);
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+std::vector<QueryRequest> OpBatch(
+    const std::string& kind, size_t count, double eps,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest request = MakeQueryRequest(kind, eps, kv).value();
+    request.label = kind + std::to_string(i);
     batch.push_back(std::move(request));
   }
   return batch;
@@ -415,6 +435,110 @@ int Run(const std::string& json_path) {
   std::printf("columnar_speedup_ge_3x,%s\n",
               columnar_speedup_ok ? "PASS" : "FAIL");
 
+  // --- Spatial & ordered hierarchical ops. -------------------------------
+  // The two PR-9 op kinds, measured the same way the scan section is:
+  // warm shared SensitivityCache, one batch per engine, and a
+  // bit-identity check across two fresh engines with the same root seed
+  // (each op derives per-query noise from (seed, admission order), so
+  // the transcripts must match exactly).
+  constexpr size_t kOpQueries = 64;
+  // quadtree reuses the 2-attribute scan workload: the 4 x 512 domain
+  // resolves at depth 9, so each release builds and noises a ~350k-node
+  // tree before answering the range count.
+  double quadtree_qps = 0.0;
+  bool quadtree_identity = true;
+  {
+    const std::vector<std::pair<std::string, std::string>> rect = {
+        {"x0", "1"}, {"x1", "3"}, {"y0", "32"}, {"y1", "317"}};
+    std::vector<std::vector<QueryResponse>> runs;
+    for (size_t run = 0; run < 2; ++run) {
+      ReleaseEngineOptions opts;
+      opts.root_seed = kSeed;
+      opts.default_session_budget = 1e9;
+      opts.shared_cache = scan_cache;
+      auto e = ReleaseEngine::Create(*scan_policy, *scan_data, opts);
+      if (!e.ok()) {
+        std::fprintf(stderr, "quadtree engine: %s\n",
+                     e.status().ToString().c_str());
+        return 1;
+      }
+      const auto start = Clock::now();
+      auto responses =
+          (*e)->ServeBatch(OpBatch("quadtree", kOpQueries, kEps, rect));
+      const double seconds = SecondsSince(start);
+      for (const QueryResponse& r : responses) {
+        if (!r.status.ok()) {
+          std::fprintf(stderr, "quadtree release: %s\n",
+                       r.status.ToString().c_str());
+          return 1;
+        }
+      }
+      if (run == 0) quadtree_qps = kOpQueries / seconds;
+      runs.push_back(std::move(responses));
+    }
+    quadtree_identity = Identical(runs[0], runs[1]);
+  }
+  std::printf("quadtree_qps,%.3f\n", quadtree_qps);
+  std::printf("quadtree_identity,%s\n",
+              quadtree_identity ? "PASS" : "FAIL");
+
+  // hier_range needs a 1-D ordered tenant: Line(2048) under a line
+  // graph, same row count as the scan workload.
+  double hier_range_qps = 0.0;
+  bool hier_range_identity = true;
+  {
+    auto ordered_policy = [&]() -> StatusOr<Policy> {
+      BLOWFISH_ASSIGN_OR_RETURN(Domain dom, Domain::Line(2048));
+      auto domain = std::make_shared<const Domain>(std::move(dom));
+      auto graph = std::make_shared<const LineGraph>(domain->size());
+      return Policy::Create(domain, graph);
+    }();
+    if (!ordered_policy.ok()) {
+      std::fprintf(stderr, "ordered policy: %s\n",
+                   ordered_policy.status().ToString().c_str());
+      return 1;
+    }
+    Random ordered_rng(kSeed);
+    auto ordered_data = MakeData(*ordered_policy, kScanRows, ordered_rng);
+    if (!ordered_data.ok()) {
+      std::fprintf(stderr, "ordered data: %s\n",
+                   ordered_data.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<std::pair<std::string, std::string>> range = {
+        {"lo", "256"}, {"hi", "1791"}};
+    std::vector<std::vector<QueryResponse>> runs;
+    for (size_t run = 0; run < 2; ++run) {
+      ReleaseEngineOptions opts;
+      opts.root_seed = kSeed;
+      opts.default_session_budget = 1e9;
+      opts.shared_cache = scan_cache;
+      auto e = ReleaseEngine::Create(*ordered_policy, *ordered_data, opts);
+      if (!e.ok()) {
+        std::fprintf(stderr, "ordered engine: %s\n",
+                     e.status().ToString().c_str());
+        return 1;
+      }
+      const auto start = Clock::now();
+      auto responses =
+          (*e)->ServeBatch(OpBatch("hier_range", kOpQueries, kEps, range));
+      const double seconds = SecondsSince(start);
+      for (const QueryResponse& r : responses) {
+        if (!r.status.ok()) {
+          std::fprintf(stderr, "hier_range release: %s\n",
+                       r.status.ToString().c_str());
+          return 1;
+        }
+      }
+      if (run == 0) hier_range_qps = kOpQueries / seconds;
+      runs.push_back(std::move(responses));
+    }
+    hier_range_identity = Identical(runs[0], runs[1]);
+  }
+  std::printf("hier_range_qps,%.3f\n", hier_range_qps);
+  std::printf("hier_range_identity,%s\n",
+              hier_range_identity ? "PASS" : "FAIL");
+
   // --- JSON artifact (the tracked-baseline format). ----------------------
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -456,22 +580,30 @@ int Run(const std::string& json_path) {
   std::fprintf(json, "  \"shared_scan_vs_per_query\": %.2f,\n",
                shared_scan_vs_per_query);
   std::fprintf(json,
+               "  \"ops\": {\"queries\": %zu, \"quadtree_qps\": %.3f, "
+               "\"hier_range_qps\": %.3f},\n",
+               kOpQueries, quadtree_qps, hier_range_qps);
+  std::fprintf(json,
                "  \"checks\": {\"speedup_ge_5x\": %s, "
                "\"determinism_threads_1_vs_4\": %s, "
                "\"host_determinism_pool_1_vs_4\": %s, "
                "\"columnar_identity\": %s, "
-               "\"columnar_speedup_ge_3x\": %s}\n",
+               "\"columnar_speedup_ge_3x\": %s, "
+               "\"quadtree_identity\": %s, "
+               "\"hier_range_identity\": %s}\n",
                speedup >= 5.0 ? "true" : "false",
                deterministic ? "true" : "false",
                host_ok ? "true" : "false",
                scan_identity ? "true" : "false",
-               columnar_speedup_ok ? "true" : "false");
+               columnar_speedup_ok ? "true" : "false",
+               quadtree_identity ? "true" : "false",
+               hier_range_identity ? "true" : "false");
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("# wrote %s\n", json_path.c_str());
 
   return (speedup >= 5.0 && deterministic && host_ok && scan_identity &&
-          columnar_speedup_ok)
+          columnar_speedup_ok && quadtree_identity && hier_range_identity)
              ? 0
              : 1;
 }

@@ -29,6 +29,11 @@ Checks, in order of how much we trust them on shared hardware:
      throughput (`columnar.shared_qps`) is gated against the baseline at
      the same tolerance as warm_qps. The >= 3x shared-vs-row floor
      itself is the bench binary's own check, enforced by step 1.
+  5. Spatial/ordered ops — both artifacts must carry the
+     `quadtree_identity` and `hier_range_identity` checks (a stale
+     artifact predating those ops fails loudly), and the fresh
+     `ops.quadtree_qps` / `ops.hier_range_qps` are gated against the
+     baseline at the same tolerance as warm_qps.
 
 cold_qps is reported but never gated: it measures 3 one-shot queries
 dominated by policy-graph setup, where a single page-cache miss moves
@@ -70,7 +75,8 @@ def main():
     except (OSError, json.JSONDecodeError) as error:
         fail(f"cannot load artifacts: {error}")
 
-    REQUIRED_CHECKS = ("columnar_identity", "columnar_speedup_ge_3x")
+    REQUIRED_CHECKS = ("columnar_identity", "columnar_speedup_ge_3x",
+                       "quadtree_identity", "hier_range_identity")
     REQUIRED_RATIOS = ("columnar_vs_row", "shared_scan_vs_per_query")
     for name, run in (("fresh", fresh), ("baseline", baseline)):
         checks = run.get("checks", {})
@@ -78,7 +84,7 @@ def main():
             fail(f"{name} artifact has no checks block")
         missing = [key for key in REQUIRED_CHECKS if key not in checks]
         if missing:
-            fail(f"{name} artifact predates the columnar scan engine "
+            fail(f"{name} artifact predates the current bench sections "
                  f"(missing checks: {', '.join(missing)}) — regenerate it")
         bad = [key for key, ok in checks.items() if ok is not True]
         if bad:
@@ -106,18 +112,33 @@ def main():
         fail(f"columnar.shared_qps missing or non-positive: "
              f"fresh={fresh_shared} baseline={base_shared}")
 
+    op_ratios = {}
+    for key in ("quadtree_qps", "hier_range_qps"):
+        fresh_ops = fresh.get("ops", {}).get(key)
+        base_ops = baseline.get("ops", {}).get(key)
+        if not isinstance(fresh_ops, (int, float)) or not isinstance(
+                base_ops, (int, float)) or base_ops <= 0:
+            fail(f"ops.{key} missing or non-positive: "
+                 f"fresh={fresh_ops} baseline={base_ops}")
+        op_ratios[key] = (fresh_ops, base_ops, fresh_ops / base_ops)
+
     ratio = fresh_qps / base_qps
     shared_ratio = fresh_shared / base_shared
+    ops_report = "; ".join(
+        f"{key} {f_qps:.0f} vs baseline {b_qps:.0f} ({r:.2f}x, same gate)"
+        for key, (f_qps, b_qps, r) in op_ratios.items())
     report = (f"warm_qps {fresh_qps:.0f} vs baseline {base_qps:.0f} "
               f"({ratio:.2f}x, gate {args.tolerance:.2f}x); "
               f"shared scan {fresh_shared:.0f} vs baseline "
               f"{base_shared:.0f} ({shared_ratio:.2f}x, same gate); "
+              f"{ops_report}; "
               f"columnar_vs_row {fresh.get('columnar_vs_row')}, "
               f"shared_scan_vs_per_query "
               f"{fresh.get('shared_scan_vs_per_query')}; "
               f"cold_qps {fresh.get('cold_qps')} "
               f"(reported, not gated)")
-    if ratio < args.tolerance or shared_ratio < args.tolerance:
+    if (ratio < args.tolerance or shared_ratio < args.tolerance
+            or any(r < args.tolerance for _, _, r in op_ratios.values())):
         fail(report)
     print(f"BENCH GATE OK: {report}")
 

@@ -171,11 +171,21 @@ StatusOr<WeightedPolicyGraph> WeightedPolicyGraph::Build(
         "|T| (|T| - 1) ordered pairs exceed the move enumeration budget");
   }
   // (from, to) -> heaviest realization over (all pairs, G-edge pairs).
-  std::vector<std::map<size_t, std::pair<double, double>>> adj(p + 2);
+  // Weights start at -infinity, not a sentinel: signed weight functions
+  // legitimately produce negative weights.
+  struct Heaviest {
+    double any = -std::numeric_limits<double>::infinity();
+    double edge = -std::numeric_limits<double>::infinity();
+    bool has_edge = false;
+  };
+  std::vector<std::map<size_t, Heaviest>> adj(p + 2);
   auto relax = [&adj](size_t from, size_t to, double w, bool is_edge) {
-    auto [it, inserted] = adj[from].emplace(to, std::make_pair(w, -1.0));
-    if (!inserted && w > it->second.first) it->second.first = w;
-    if (is_edge && w > it->second.second) it->second.second = w;
+    Heaviest& h = adj[from][to];
+    h.any = std::max(h.any, w);
+    if (is_edge) {
+      h.edge = std::max(h.edge, w);
+      h.has_edge = true;
+    }
   };
 
   // Every ordered pair of distinct values is a potential chain move: the
@@ -212,8 +222,8 @@ StatusOr<WeightedPolicyGraph> WeightedPolicyGraph::Build(
   std::vector<std::vector<Transition>> adj_vec(p + 2);
   for (size_t v = 0; v < adj.size(); ++v) {
     adj_vec[v].reserve(adj[v].size());
-    for (const auto& [to, weights] : adj[v]) {
-      adj_vec[v].push_back(Transition{to, weights.first, weights.second});
+    for (const auto& [to, h] : adj[v]) {
+      adj_vec[v].push_back(Transition{to, h.any, h.edge, h.has_edge});
     }
   }
   return WeightedPolicyGraph(p, std::move(adj_vec));
@@ -260,7 +270,7 @@ class HeaviestPathSearch {
 
  private:
   static double Penalty(const WeightedPolicyGraph::Transition& t) {
-    return t.edge_weight < 0.0 ? kInfinity : t.any_weight - t.edge_weight;
+    return t.has_edge ? t.any_weight - t.edge_weight : kInfinity;
   }
 
   static void Close(double total, double penalty, double& best) {

@@ -104,7 +104,10 @@ class PolicyGraph {
 ///    is sound for the histogram bound but needlessly loose here.
 class WeightedPolicyGraph {
  public:
-  /// Per-move norm ||M (e_x - e_y)||_1; must be symmetric in (x, y).
+  /// Per-move weight of changing one tuple from value x to value y —
+  /// e.g. the norm ||M (e_x - e_y)||_1, or a *signed* delta v(y) - v(x)
+  /// for scalar queries. Need not be symmetric: Build classifies every
+  /// ordered pair, so anti-symmetric signed weights are well-defined.
   using EdgeWeight = std::function<double(ValueIndex, ValueIndex)>;
 
   /// Builds the weighted graph by classifying every ordered pair of
@@ -141,12 +144,15 @@ class WeightedPolicyGraph {
   StatusOr<double> NeighborStepBound(size_t max_vertices = 24) const;
 
   /// One directed policy-graph edge: the heaviest realization over all
-  /// ordered value pairs, and over pairs that are also G-edges
-  /// (edge_weight < 0 means no G-edge realizes this transition).
+  /// ordered value pairs, and over pairs that are also G-edges. Weights
+  /// may be negative under signed weight functions, so "no G-edge
+  /// realizes this transition" is the explicit has_edge flag — never a
+  /// sentinel weight value.
   struct Transition {
     size_t to = 0;
     double any_weight = 0.0;
-    double edge_weight = -1.0;
+    double edge_weight = 0.0;
+    bool has_edge = false;
   };
 
  private:

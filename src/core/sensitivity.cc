@@ -36,6 +36,12 @@ std::vector<double> LinearQuery::Evaluate(const Histogram& h) const {
   return out;
 }
 
+double LinearQuery::ScalarValue(ValueIndex x) const {
+  double v = 0.0;
+  ForEachColumnEntry(x, [&v](size_t, double w) { v += w; });
+  return v;
+}
+
 double ValueWeightedSumQuery::EdgeNorm(ValueIndex x, ValueIndex y) const {
   if (x == y) return 0.0;
   return std::fabs(value_(x) - value_(y));
@@ -163,6 +169,27 @@ StatusOr<double> ConstrainedLinearQuerySensitivity(
   // enumeration (or its ResourceExhausted guard on large domains).
   if (!policy.has_constraints() || !policy.constraints().AnyPinned()) {
     return UnconstrainedSensitivity(query, policy.graph(), max_edges);
+  }
+  // Scalar queries: signed per-move deltas, one search per sign (see the
+  // header). Strictly tighter than the magnitude bound whenever a
+  // chain's compensating moves cancel part of its net value change.
+  if (query.output_dim() == 1) {
+    double best = 0.0;
+    for (double sign : {1.0, -1.0}) {
+      BLOWFISH_ASSIGN_OR_RETURN(
+          WeightedPolicyGraph wpg,
+          WeightedPolicyGraph::Build(
+              policy.constraints(), policy.graph(), policy.domain().size(),
+              [&query, sign](ValueIndex x, ValueIndex y) {
+                return sign * (query.ScalarValue(y) - query.ScalarValue(x));
+              },
+              max_pairs));
+      BLOWFISH_ASSIGN_OR_RETURN(double bound,
+                                wpg.NeighborStepBound(
+                                    max_policy_graph_vertices));
+      best = std::max(best, bound);
+    }
+    return best;
   }
   BLOWFISH_ASSIGN_OR_RETURN(
       WeightedPolicyGraph wpg,

@@ -54,6 +54,11 @@ class LinearQuery {
   /// f(D) = M h(D) for a materialized complete histogram.
   virtual std::vector<double> Evaluate(const Histogram& h) const;
 
+  /// The single matrix entry M[0][x] of a scalar (output_dim() == 1)
+  /// query — the value v(x) whose *signed* delta v(y) - v(x) is the
+  /// exact per-move change of f. Meaningless for multi-row queries.
+  double ScalarValue(ValueIndex x) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -214,7 +219,20 @@ double QSizeSensitivity(const SecretGraph& graph);
 /// — chain moves range over all value pairs, since constraint-forced
 /// compensations are not confined to E(G). Unconstrained policies fall
 /// back to the generic edge maximum, so this is safe to call for every
-/// policy. Fails with FailedPrecondition when the pinned constraints
+/// policy.
+///
+/// Scalar queries (output_dim() == 1) get a strictly tighter bound: a
+/// chain's L1 change is |sum of signed per-move deltas v(y) - v(x)|,
+/// not the sum of their magnitudes — compensating moves pull the value
+/// back toward where it started, and the magnitudes ignore the
+/// cancellation. The search runs twice with per-move weight
+/// s (v(y) - v(x)) for s = +1 and -1 and returns the larger bound;
+/// each run bounds the chains whose net delta has that sign, so the max
+/// dominates |net delta| over every chain. It is never above the
+/// magnitude bound (per transition, max_s s d <= |d| realization-wise
+/// and the mandatory-G-edge penalty stays nonnegative either way).
+///
+/// Fails with FailedPrecondition when the pinned constraints
 /// are not sparse over value pairs (the all-pairs strengthening of
 /// Def 8.2) and ResourceExhausted past the pair or vertex budgets (the
 /// constrained problem is NP-hard, Thm 8.1).

@@ -4,7 +4,10 @@
 //
 // Each iteration releases q_size (sensitivity 2) and q_sum (sensitivity
 // per Lemma 6.1); admission keys on max(S(q_sum), S(q_size)) so the
-// eps = 0 free-release rule only fires when *both* are free. Payload:
+// eps = 0 free-release rule only fires when *both* are free. Pinned-
+// constrained policies serve via the weighted chain bounds (Thm 8.2
+// generalized), with the cached max riding into the mechanism as both
+// sensitivity overrides. Payload:
 // { objective, c0_0..c0_{d-1}, c1_0.., ... }.
 
 #include <algorithm>
@@ -20,6 +23,28 @@
 namespace blowfish {
 namespace {
 
+/// Per-move weight of q_sum along a constrained chain: one move of one
+/// tuple from x to y shifts at most 2 ||x - y||_1 of per-cluster
+/// coordinate mass (the per-move form of Lemma 6.1). Only EdgeNorm
+/// matters — the query is never evaluated against a histogram, and
+/// output_dim 2 keeps it off the signed scalar path (q_sum is a vector
+/// of per-cluster sums, not one scalar).
+class QSumMoveNormQuery final : public LinearQuery {
+ public:
+  explicit QSumMoveNormQuery(const Domain& domain) : domain_(domain) {}
+  size_t output_dim() const override { return 2; }
+  void ForEachColumnEntry(
+      ValueIndex,
+      const std::function<void(size_t, double)>&) const override {}
+  double EdgeNorm(ValueIndex x, ValueIndex y) const override {
+    return x == y ? 0.0 : 2.0 * domain_.L1Distance(x, y);
+  }
+  std::string name() const override { return "q_sum"; }
+
+ private:
+  const Domain& domain_;
+};
+
 class KMeansOp final : public QueryOp {
  public:
   std::string KindName() const override { return "kmeans"; }
@@ -31,25 +56,33 @@ class KMeansOp final : public QueryOp {
     return Status::OK();
   }
 
-  Status Validate(const Policy& policy) const override {
-    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
-      // QSum/QSize are unconstrained closed forms (Lemma 6.1); under
-      // pinned constraints they would under-calibrate the per-iteration
-      // noise. Unpinned-only sets restrict nothing and serve normally.
-      return ConstrainedPolicyUnsupported(*this, policy);
-    }
-    return Status::OK();
-  }
-
   StatusOr<std::string> SensitivityShape() const override {
     return std::string("kmeans");
   }
 
   StatusOr<double> ComputeSensitivity(
       const Policy& policy, const SensitivityEnv& env) const override {
-    (void)env;
     // K-means releases both q_sum and q_size; admission (in particular
     // the eps = 0 free-release rule) must key on the larger of the two.
+    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
+      // Pinned constraints chain moves (Thm 8.2): both per-iteration
+      // releases need the weighted all-pairs chain bound, with q_sum
+      // paying 2 ||x - y||_1 per move and q_size paying 2 (a complete
+      // histogram's per-move norm).
+      QSumMoveNormQuery q_sum_query(policy.domain());
+      BLOWFISH_ASSIGN_OR_RETURN(
+          double q_sum,
+          ConstrainedLinearQuerySensitivity(
+              q_sum_query, policy, env.max_edges, env.max_pairs,
+              env.max_policy_graph_vertices));
+      CompleteHistogramQuery q_size_query(policy.domain().size());
+      BLOWFISH_ASSIGN_OR_RETURN(
+          double q_size,
+          ConstrainedLinearQuerySensitivity(
+              q_size_query, policy, env.max_edges, env.max_pairs,
+              env.max_policy_graph_vertices));
+      return std::max(q_sum, q_size);
+    }
     BLOWFISH_ASSIGN_OR_RETURN(double q_sum, QSumSensitivity(policy));
     return std::max(q_sum, QSizeSensitivity(policy.graph()));
   }
@@ -72,9 +105,18 @@ class KMeansOp final : public QueryOp {
     const double eps = ctx.sensitivity == 0.0 && ctx.epsilon <= 0.0
                            ? 1.0
                            : ctx.epsilon;
+    // Constrained policies ride the resolved chain bound into the
+    // mechanism as both overrides: the cache holds one scalar, so both
+    // releases calibrate to max(S_c(q_sum), S_c(q_size)) — sound, at
+    // the cost of slightly over-noising the smaller of the two.
+    // Unconstrained policies keep the mechanism's own Lemma 6.1 closed
+    // forms (identical values, identical release).
+    const double override_sens =
+        ctx.policy.has_constraints() ? ctx.sensitivity : -1.0;
     BLOWFISH_ASSIGN_OR_RETURN(
         KMeansResult result,
-        BlowfishKMeans(ctx.data, ctx.policy, eps, options_, rng));
+        BlowfishKMeans(ctx.data, ctx.policy, eps, options_, rng,
+                       override_sens, override_sens));
     std::vector<double> out;
     out.push_back(result.objective);
     for (const auto& centroid : result.centroids) {

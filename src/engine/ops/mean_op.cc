@@ -45,6 +45,17 @@ class MeanOp final : public QueryOp {
     return Status::OK();
   }
 
+  Status ValidateData(const Policy& policy,
+                      const Dataset& data) const override {
+    (void)policy;
+    if (data.size() == 0) {
+      // Refused at admission: n is public, so a doomed mean must not
+      // charge budget only to refund it from Execute.
+      return Status::FailedPrecondition("mean of an empty dataset");
+    }
+    return Status::OK();
+  }
+
   StatusOr<std::string> SensitivityShape() const override {
     return std::string("mean");
   }

@@ -8,9 +8,14 @@
 // theta in index units, Def 7.1) and differ only in the free
 // post-processing applied to it (mech/cdf_applications.h). A policy
 // whose graph is edgeless (theta < scale) publishes the exact prefix
-// sums for free.
+// sums for free. Pinned-constrained policies serve too: S(S_T, P)
+// comes from the weighted chain analysis (Thm 8.2 generalized,
+// core/sensitivity.h) and rides into the mechanism as a sensitivity
+// override. `qs=` must be a strictly increasing list inside [0, 1]
+// (absent key -> 0.25,0.5,0.75).
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,12 +32,9 @@ namespace {
 class OrderedFamilyOp : public QueryOp {
  public:
   Status Validate(const Policy& policy) const override {
-    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
-      // CumulativeHistogramSensitivity is an unconstrained closed form;
-      // serving it under pinned constraints would under-calibrate the
-      // noise (constrained neighbours chain several moves, Thm 8.2).
-      // Unpinned-only sets restrict nothing and serve normally.
-      return ConstrainedPolicyUnsupported(*this, policy);
+    if (policy.domain().num_attributes() != 1) {
+      return Status::InvalidArgument(
+          "op '" + KindName() + "' requires a 1-D ordered domain");
     }
     return Status::OK();
   }
@@ -43,7 +45,16 @@ class OrderedFamilyOp : public QueryOp {
 
   StatusOr<double> ComputeSensitivity(
       const Policy& policy, const SensitivityEnv& env) const override {
-    (void)env;
+    if (policy.has_constraints() && policy.constraints().AnyPinned()) {
+      // Pinned constraints chain several moves per neighbour step
+      // (Thm 8.2): the unconstrained closed form would under-calibrate
+      // the noise, so S(S_T, P) comes from the weighted all-pairs chain
+      // analysis over the prefix-sum query.
+      CumulativeHistogramQuery query(policy.domain().size());
+      return ConstrainedLinearQuerySensitivity(
+          query, policy, env.max_edges, env.max_pairs,
+          env.max_policy_graph_vertices);
+    }
     return CumulativeHistogramSensitivity(policy);
   }
 
@@ -61,9 +72,15 @@ class OrderedFamilyOp : public QueryOp {
       // histogram, so the exact prefix sums can be published.
       cumulative = ctx.hist.CumulativeSums();
     } else {
+      // The resolved S(S_T, P) rides along as the mechanism's noise
+      // calibration — the unconstrained value matches what the
+      // mechanism would compute itself (identical release), and the
+      // constrained chain bound is what lets it accept pinned policies.
       BLOWFISH_ASSIGN_OR_RETURN(
           OrderedMechanismResult released,
-          OrderedMechanism(ctx.hist, ctx.policy, ctx.epsilon, rng));
+          OrderedMechanism(ctx.hist, ctx.policy, ctx.epsilon, rng,
+                           /*constrained_inference=*/true,
+                           /*sensitivity_override=*/ctx.sensitivity));
       cumulative = std::move(released.inferred_cumulative);
     }
     return PostProcess(cumulative);
@@ -122,8 +139,32 @@ class QuantilesOp final : public OrderedFamilyOp {
   std::string ExampleArgs() const override { return "qs=0.25,0.5,0.75"; }
 
   Status Parse(KeyValueBag& kv) override {
+    // Raw Take first: TakeDoubleList cannot tell a present-but-empty
+    // `qs=` (an error) from an absent key (the documented default).
+    std::optional<std::string> raw = kv.Take("qs");
+    if (!raw.has_value()) {
+      quantiles_ = {0.25, 0.5, 0.75};
+      return Status::OK();
+    }
+    kv.Add("qs", *raw);
     BLOWFISH_RETURN_IF_ERROR(kv.TakeDoubleList("qs", &quantiles_));
-    if (quantiles_.empty()) quantiles_ = {0.25, 0.5, 0.75};
+    if (quantiles_.empty()) {
+      return Status::InvalidArgument(
+          "empty list for 'qs' " + kv.context());
+    }
+    double prev = -1.0;
+    for (double q : quantiles_) {
+      if (!(q >= 0.0 && q <= 1.0)) {
+        return Status::InvalidArgument(
+            "quantile out of [0, 1] for 'qs' " + kv.context());
+      }
+      if (q <= prev) {
+        return Status::InvalidArgument(
+            "non-monotone list for 'qs' (must be strictly increasing) " +
+            kv.context());
+      }
+      prev = q;
+    }
     return Status::OK();
   }
 

@@ -83,6 +83,13 @@ Status QueryOp::Validate(const Policy& policy) const {
   return Status::OK();
 }
 
+Status QueryOp::ValidateData(const Policy& policy,
+                             const Dataset& data) const {
+  (void)policy;
+  (void)data;
+  return Status::OK();
+}
+
 double QueryOp::Charge(double sensitivity, double epsilon) const {
   return sensitivity == 0.0 ? 0.0 : epsilon;
 }

@@ -156,6 +156,15 @@ class QueryOp {
   /// resolution. Default: OK.
   virtual Status Validate(const Policy& policy) const;
 
+  /// Cheap data-dependent preconditions (e.g. mean's non-empty
+  /// dataset), run right after Validate — still before sensitivity
+  /// resolution and budget charging, so a failure refuses at admission
+  /// and no charge/refund pair is ever minted. Must not read anything
+  /// the op's ScanSpec would have to fulfill (no histogram exists yet).
+  /// Default: OK.
+  virtual Status ValidateData(const Policy& policy,
+                              const Dataset& data) const;
+
   /// The query-shape string S(f, P) is cached under. Must determine the
   /// sensitivity together with the policy fingerprint: two ops with
   /// equal shapes must have equal S(f, P) under every policy.

@@ -259,6 +259,14 @@ std::vector<QueryResponse> ReleaseEngine::ServeBatch(
       responses[i].status = valid;
       continue;
     }
+    // Data-dependent preconditions refuse here too — before any charge,
+    // so a doomed query (e.g. mean over an empty dataset) never mints a
+    // charge/refund pair in the audit log.
+    Status valid_data = requests[i].op->ValidateData(policy_, data_);
+    if (!valid_data.ok()) {
+      responses[i].status = valid_data;
+      continue;
+    }
     if (pinned_constraints && !requests[i].parallel_group.empty()) {
       // A constrained group member's own chain-bound sensitivity is
       // never used: if the group is admitted, every member is noised at

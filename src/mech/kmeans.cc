@@ -161,13 +161,22 @@ StatusOr<KMeansResult> SuLQKMeans(
 
 StatusOr<KMeansResult> BlowfishKMeans(const Dataset& data,
                                       const Policy& policy, double epsilon,
-                                      const KMeansOptions& opts, Random& rng) {
-  if (policy.has_constraints()) {
+                                      const KMeansOptions& opts, Random& rng,
+                                      double qsum_override,
+                                      double qsize_override) {
+  if (policy.has_constraints() &&
+      (qsum_override < 0.0 || qsize_override < 0.0)) {
     return Status::Unimplemented(
-        "private k-means handles unconstrained policies only");
+        "private k-means handles unconstrained policies only unless the "
+        "caller supplies constrained q_sum/q_size sensitivity overrides");
   }
-  BLOWFISH_ASSIGN_OR_RETURN(double qsum_sens, QSumSensitivity(policy));
-  const double qsize_sens = QSizeSensitivity(policy.graph());
+  double qsum_sens = qsum_override;
+  if (qsum_sens < 0.0) {
+    BLOWFISH_ASSIGN_OR_RETURN(qsum_sens, QSumSensitivity(policy));
+  }
+  const double qsize_sens = qsize_override >= 0.0
+                                ? qsize_override
+                                : QSizeSensitivity(policy.graph());
   const Domain& dom = policy.domain();
   std::vector<double> box_lo(dom.num_attributes(), 0.0);
   std::vector<double> box_hi(dom.num_attributes());

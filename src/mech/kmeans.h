@@ -58,9 +58,19 @@ StatusOr<KMeansResult> SuLQKMeans(
 /// policy (Lemma 6.1) and runs SuLQKMeans on the dataset's points,
 /// satisfying (eps, P)-Blowfish privacy. With a full-domain policy this is
 /// exactly the eps-differentially-private SuLQ k-means.
+///
+/// `qsum_override` / `qsize_override` >= 0 replace the Lemma 6.1
+/// unconstrained closed forms — the hook constrained-policy callers use:
+/// they compute the chained-move sensitivities themselves (weighted
+/// Thm 8.2 machinery, core/sensitivity.h) and stay responsible for
+/// their soundness, so the mechanism accepts constrained policies only
+/// when both overrides are supplied. The defaults (-1) keep the closed
+/// forms and refuse constrained policies.
 StatusOr<KMeansResult> BlowfishKMeans(const Dataset& data,
                                       const Policy& policy, double epsilon,
-                                      const KMeansOptions& opts, Random& rng);
+                                      const KMeansOptions& opts, Random& rng,
+                                      double qsum_override = -1.0,
+                                      double qsize_override = -1.0);
 
 }  // namespace blowfish
 

@@ -9,16 +9,21 @@ namespace blowfish {
 StatusOr<OrderedMechanismResult> OrderedMechanism(const Histogram& data,
                                                   const Policy& policy,
                                                   double epsilon, Random& rng,
-                                                  bool constrained_inference) {
-  if (policy.has_constraints()) {
+                                                  bool constrained_inference,
+                                                  double sensitivity_override) {
+  if (policy.has_constraints() && sensitivity_override < 0.0) {
     return Status::Unimplemented(
-        "the ordered mechanism handles unconstrained policies only");
+        "the ordered mechanism handles unconstrained policies only unless "
+        "the caller supplies a constrained S(S_T, P) override");
   }
   if (data.size() != policy.domain().size()) {
     return Status::InvalidArgument("histogram size does not match domain");
   }
-  BLOWFISH_ASSIGN_OR_RETURN(double sensitivity,
-                            CumulativeHistogramSensitivity(policy));
+  double sensitivity = sensitivity_override;
+  if (sensitivity < 0.0) {
+    BLOWFISH_ASSIGN_OR_RETURN(sensitivity,
+                              CumulativeHistogramSensitivity(policy));
+  }
   std::vector<double> cumulative = data.CumulativeSums();
   BLOWFISH_ASSIGN_OR_RETURN(
       std::vector<double> noisy,

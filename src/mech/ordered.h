@@ -46,9 +46,17 @@ struct OrderedMechanismResult {
 /// (line graph -> 1, G^{d,theta} -> floor(theta/scale), full -> |T|-1).
 /// When `constrained_inference` is false, inferred_cumulative is only
 /// clamped, not isotonized.
+///
+/// `sensitivity_override` >= 0 replaces the internally computed
+/// unconstrained sensitivity — the hook constrained-policy callers use:
+/// they compute S(S_T, P) themselves via the weighted chain analysis
+/// (core/sensitivity.h) and stay responsible for its soundness, so the
+/// mechanism accepts pinned-constrained policies only on this path. The
+/// default (-1) keeps the unconstrained closed forms and refuses
+/// constrained policies.
 StatusOr<OrderedMechanismResult> OrderedMechanism(
     const Histogram& data, const Policy& policy, double epsilon, Random& rng,
-    bool constrained_inference = true);
+    bool constrained_inference = true, double sensitivity_override = -1.0);
 
 /// Analytic per-range-query error bound of Thm 7.1 for the line graph:
 /// 4/eps^2 (two cumulative counts, each Var(Lap(1/eps)) = 2/eps^2).

@@ -80,13 +80,21 @@ StatusOr<size_t> ThetaSteps(const Policy& policy) {
 
 }  // namespace
 
+StatusOr<size_t> OrderedHierarchicalMechanism::ResolveThetaSteps(
+    const Policy& policy) {
+  return ThetaSteps(policy);
+}
+
 StatusOr<OrderedHierarchicalMechanism> OrderedHierarchicalMechanism::Release(
     const Histogram& data, const Policy& policy, double epsilon,
     const OrderedHierarchicalOptions& opts, Random& rng) {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("epsilon must be positive");
   }
-  if (policy.has_constraints()) {
+  if (policy.has_constraints() && policy.constraints().AnyPinned()) {
+    // An UNPINNED constraint set restricts nothing (SatisfiedBy ignores
+    // queries without answers) and is served like the unconstrained
+    // policy; pinned chains break the per-node distance calibration.
     return Status::Unimplemented(
         "the ordered hierarchical mechanism handles unconstrained policies");
   }

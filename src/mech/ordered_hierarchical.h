@@ -66,6 +66,15 @@ class OrderedHierarchicalMechanism {
       const Histogram& data, const Policy& policy, double epsilon,
       const OrderedHierarchicalOptions& opts, Random& rng);
 
+  /// Resolves theta in index units from the policy's secret graph: 1
+  /// for a line graph, |T| for the full graph, floor(theta/scale) for
+  /// G^{d,theta}. Unimplemented for any other graph kind — callers
+  /// admitting queries can use this as the pre-charge support check —
+  /// and FailedPrecondition when theta falls below the domain
+  /// resolution (no edges; the cumulative histogram is exact and the
+  /// mechanism is unnecessary).
+  static StatusOr<size_t> ResolveThetaSteps(const Policy& policy);
+
   /// Noisy cumulative count s_j = q[0, j] (0-indexed bucket j).
   StatusOr<double> CumulativeCount(size_t j) const;
 

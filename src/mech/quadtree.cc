@@ -19,6 +19,46 @@ size_t DepthFor(uint64_t max_card) {
   return d;
 }
 
+/// Shared head of both Release overloads: validates the policy/options
+/// pair and resolves the padded layout. Writes depth/side on success.
+Status PlanRelease(const Policy& policy, double epsilon,
+                   const QuadtreeOptions& opts, size_t* depth,
+                   uint64_t* side) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (policy.has_constraints() && !opts.caller_calibrated_constraints) {
+    return Status::Unimplemented(
+        "the quadtree mechanism handles unconstrained policies unless "
+        "the caller calibrates epsilon to a constrained S(h, P)");
+  }
+  const Domain& dom = policy.domain();
+  if (dom.num_attributes() != 2) {
+    return Status::InvalidArgument("quadtree needs a 2-attribute domain");
+  }
+  const uint64_t m0 = dom.attribute(0).cardinality;
+  const uint64_t m1 = dom.attribute(1).cardinality;
+  *depth = opts.depth == 0 ? DepthFor(std::max(m0, m1)) : opts.depth;
+  if (*depth > kMaxDepth) {
+    return Status::ResourceExhausted("quadtree depth exceeds the cap");
+  }
+  *side = uint64_t{1} << *depth;
+  if (*side < std::max(m0, m1)) {
+    return Status::InvalidArgument(
+        "requested depth cannot resolve the domain grid");
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> EmptyLevels(size_t depth) {
+  std::vector<std::vector<double>> levels(depth + 1);
+  for (size_t l = 0; l <= depth; ++l) {
+    size_t w = size_t{1} << l;
+    levels[l].assign(w * w, 0.0);
+  }
+  return levels;
+}
+
 }  // namespace
 
 size_t QuadtreeMechanism::ExactLevelsForPolicy(const Policy& policy,
@@ -45,46 +85,9 @@ size_t QuadtreeMechanism::ExactLevelsForPolicy(const Policy& policy,
   return exact;
 }
 
-StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
-    const Dataset& data, const Policy& policy, double epsilon,
-    const QuadtreeOptions& opts, Random& rng) {
-  if (!(epsilon > 0.0)) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
-  if (policy.has_constraints()) {
-    return Status::Unimplemented(
-        "the quadtree mechanism handles unconstrained policies");
-  }
-  const Domain& dom = policy.domain();
-  if (dom.num_attributes() != 2) {
-    return Status::InvalidArgument("quadtree needs a 2-attribute domain");
-  }
-  if (&data.domain() != &dom && data.domain().size() != dom.size()) {
-    return Status::InvalidArgument("dataset domain mismatch");
-  }
-  const uint64_t m0 = dom.attribute(0).cardinality;
-  const uint64_t m1 = dom.attribute(1).cardinality;
-  size_t depth = opts.depth == 0 ? DepthFor(std::max(m0, m1)) : opts.depth;
-  if (depth > kMaxDepth) {
-    return Status::ResourceExhausted("quadtree depth exceeds the cap");
-  }
-  const uint64_t side = uint64_t{1} << depth;
-  if (side < std::max(m0, m1)) {
-    return Status::InvalidArgument(
-        "requested depth cannot resolve the domain grid");
-  }
-
-  // Leaf grid.
-  std::vector<std::vector<double>> levels(depth + 1);
-  for (size_t l = 0; l <= depth; ++l) {
-    size_t w = size_t{1} << l;
-    levels[l].assign(w * w, 0.0);
-  }
-  for (ValueIndex t : data.tuples()) {
-    uint64_t x = dom.Coordinate(t, 0);
-    uint64_t y = dom.Coordinate(t, 1);
-    levels[depth][x * side + y] += 1.0;
-  }
+StatusOr<QuadtreeMechanism> QuadtreeMechanism::FinishRelease(
+    std::vector<std::vector<double>> levels, size_t depth, uint64_t side,
+    const Policy& policy, double epsilon, Random& rng) {
   // Aggregate upwards.
   for (size_t l = depth; l-- > 0;) {
     size_t w = size_t{1} << l;
@@ -103,8 +106,13 @@ StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
   // Exact levels under the policy; everything deeper gets noise. A tuple
   // move changes at most one node per level per endpoint (2 per level),
   // so with per-level budget eps / (#noised levels) each node gets
-  // Lap(2 (#noised levels) / eps).
-  const size_t exact = ExactLevelsForPolicy(policy, depth);
+  // Lap(2 (#noised levels) / eps). Pinned constraints disable the
+  // free-levels optimization entirely: a neighbour step's compensating
+  // moves may cross any partition cell, so no level is exact (the
+  // caller's group-privacy epsilon scaling covers the chained moves).
+  const bool pinned =
+      policy.has_constraints() && policy.constraints().AnyPinned();
+  const size_t exact = pinned ? 0 : ExactLevelsForPolicy(policy, depth);
   const size_t noised = depth - exact;
   if (noised > 0) {
     const double scale = 2.0 * static_cast<double>(noised) / epsilon;
@@ -113,6 +121,46 @@ StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
     }
   }
   return QuadtreeMechanism(side, exact, std::move(levels));
+}
+
+StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
+    const Dataset& data, const Policy& policy, double epsilon,
+    const QuadtreeOptions& opts, Random& rng) {
+  size_t depth = 0;
+  uint64_t side = 0;
+  BLOWFISH_RETURN_IF_ERROR(PlanRelease(policy, epsilon, opts, &depth, &side));
+  const Domain& dom = policy.domain();
+  if (&data.domain() != &dom && data.domain().size() != dom.size()) {
+    return Status::InvalidArgument("dataset domain mismatch");
+  }
+  std::vector<std::vector<double>> levels = EmptyLevels(depth);
+  for (ValueIndex t : data.tuples()) {
+    uint64_t x = dom.Coordinate(t, 0);
+    uint64_t y = dom.Coordinate(t, 1);
+    levels[depth][x * side + y] += 1.0;
+  }
+  return FinishRelease(std::move(levels), depth, side, policy, epsilon, rng);
+}
+
+StatusOr<QuadtreeMechanism> QuadtreeMechanism::Release(
+    const Histogram& hist, const Policy& policy, double epsilon,
+    const QuadtreeOptions& opts, Random& rng) {
+  size_t depth = 0;
+  uint64_t side = 0;
+  BLOWFISH_RETURN_IF_ERROR(PlanRelease(policy, epsilon, opts, &depth, &side));
+  const Domain& dom = policy.domain();
+  if (hist.size() != dom.size()) {
+    return Status::InvalidArgument("histogram size does not match domain");
+  }
+  std::vector<std::vector<double>> levels = EmptyLevels(depth);
+  for (ValueIndex v = 0; v < dom.size(); ++v) {
+    const double count = hist[v];
+    if (count == 0.0) continue;
+    uint64_t x = dom.Coordinate(v, 0);
+    uint64_t y = dom.Coordinate(v, 1);
+    levels[depth][x * side + y] += count;
+  }
+  return FinishRelease(std::move(levels), depth, side, policy, epsilon, rng);
 }
 
 double QuadtreeMechanism::Decompose(size_t level, size_t cx, size_t cy,

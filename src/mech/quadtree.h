@@ -25,6 +25,7 @@
 
 #include "core/constraints.h"
 #include "core/policy.h"
+#include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -34,6 +35,13 @@ struct QuadtreeOptions {
   /// Maximum tree depth; the grid is padded to side 2^depth. 0 means
   /// "deep enough to resolve single grid cells" (capped at 12 -> 4096^2).
   size_t depth = 0;
+  /// Accept constrained policies: the caller has already scaled epsilon
+  /// to the chained-move sensitivity S(h, P) (group privacy over the
+  /// <= S/2 moves of one neighbour step). Pinned constraints also
+  /// disable the free-levels optimization — a compensating move is not
+  /// confined to a partition cell, so no level is exact. Without this
+  /// flag constrained policies are refused.
+  bool caller_calibrated_constraints = false;
 };
 
 /// A released quadtree supporting 2-D rectangle range counts.
@@ -44,6 +52,16 @@ class QuadtreeMechanism {
   /// graph (eps-DP; all levels noised) and uniform-grid PartitionGraph
   /// policies (aligned coarse levels exact).
   static StatusOr<QuadtreeMechanism> Release(const Dataset& data,
+                                             const Policy& policy,
+                                             double epsilon,
+                                             const QuadtreeOptions& opts,
+                                             Random& rng);
+
+  /// The same release fed from a complete histogram over the domain
+  /// (hist[v] tuples at value v) instead of raw rows — the form the
+  /// engine's batch-amortized shared scan produces, so query ops never
+  /// row-walk the dataset themselves.
+  static StatusOr<QuadtreeMechanism> Release(const Histogram& hist,
                                              const Policy& policy,
                                              double epsilon,
                                              const QuadtreeOptions& opts,
@@ -69,6 +87,12 @@ class QuadtreeMechanism {
                     std::vector<std::vector<double>> levels)
       : width_(width), exact_levels_(exact_levels),
         levels_(std::move(levels)) {}
+
+  /// Shared tail of both Release overloads: aggregates the filled leaf
+  /// level upwards, picks the exact levels, noises the rest.
+  static StatusOr<QuadtreeMechanism> FinishRelease(
+      std::vector<std::vector<double>> levels, size_t depth, uint64_t side,
+      const Policy& policy, double epsilon, Random& rng);
 
   /// Sum of released node values covering [x0,x1] x [y0,y1] at the
   /// deepest usable granularity; recursive canonical decomposition.

@@ -284,6 +284,60 @@ TEST(AuditReplayTest, EngineAuditLogReplaysToTheLedgerByteForByte) {
   EXPECT_EQ(skipped_all->charges, 0u);
 }
 
+TEST(AuditReplayTest, EmptyDatasetMeanRefusedBeforeChargingLeavesLogClean) {
+  // `mean` of an empty dataset is refused at ADMISSION (ValidateData,
+  // before sensitivity resolution and charging), not admitted and then
+  // failed in Execute: the audit log must show no charge/refund churn
+  // for the doomed query — only the served histogram's single charge —
+  // and the ledger must still replay byte for byte.
+  const std::string path = TempPath("empty_mean");
+  obs::AuditLog audit;
+  ASSERT_TRUE(audit.Open(path));
+  obs::MetricsRegistry scratch_metrics;
+
+  auto domain = LineDomain(8);
+  Policy policy = Policy::GridPartition(domain, {2}).value();
+  Dataset empty = Dataset::Create(domain, {}).value();
+  ReleaseEngineOptions options;
+  options.root_seed = kSeed;
+  options.default_session_budget = 1.0;
+  options.metrics = &scratch_metrics;
+  options.metrics_scope = "t";
+  options.audit = &audit;
+  auto engine = ReleaseEngine::Create(policy, empty, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto responses = (*engine)->ServeBatch(
+      {Request("mean", 0.25), Request("histogram", 0.25)});
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(responses[0].status.message().find("empty dataset"),
+            std::string::npos)
+      << responses[0].status.message();
+  EXPECT_FALSE(responses[0].receipt.refunded);
+  EXPECT_DOUBLE_EQ(responses[0].receipt.charged, 0.0);
+  EXPECT_TRUE(responses[1].status.ok()) << responses[1].status.ToString();
+  EXPECT_DOUBLE_EQ((*engine)->accountant().Spent(""), 0.25);
+
+  std::ostringstream ledger;
+  ASSERT_TRUE((*engine)->accountant().Save(ledger).ok());
+  audit.Close();
+
+  size_t charges = 0, refunds = 0;
+  for (const std::string& line : SplitLines(ReadFile(path))) {
+    if (line.find("\"event\":\"charge\"") != std::string::npos) ++charges;
+    if (line.find("\"event\":\"refund\"") != std::string::npos) ++refunds;
+  }
+  EXPECT_EQ(charges, 1u);  // the histogram; the refused mean is absent
+  EXPECT_EQ(refunds, 0u);
+
+  std::ifstream replay(path);
+  auto stats = VerifyAuditReplay(replay, "t", ledger.str());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->charges, 1u);
+  EXPECT_EQ(stats->refunds, 0u);
+}
+
 TEST(AuditReplayTest, TamperedLogsAreDetected) {
   const std::string path = TempPath("tamper");
   const std::string ledger = RunAuditedHistory(path, "t");

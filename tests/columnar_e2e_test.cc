@@ -1,7 +1,8 @@
 // Scan-mode equivalence, end to end: every registered QueryOp served
 // through ReleaseEngine under all three ScanModes (row-major walk,
 // per-query columnar kernel, batch-amortized shared scan) at pool sizes
-// {0, 1, 8}, on an unconstrained and a constrained fixture, asserting
+// {0, 1, 8}, on line and grid fixtures (unconstrained and constrained
+// twins of each), asserting
 // byte-identical responses — values, statuses, sensitivities, full
 // budget receipts — and identical budget arithmetic. The representation
 // an engine reads its dataset through must be unobservable in its
@@ -13,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,12 +79,27 @@ struct Fixture {
   std::string name;
   Policy policy;
   Dataset data;
+  /// Kinds expected to refuse this fixture (dimension mismatch or the
+  /// documented hier_range constrained holdout). Refusals are part of
+  /// the transcript: they must be byte-identical across modes and
+  /// pools, same as served payloads.
+  std::vector<std::string> expected_refusals;
 };
 
-/// Line(16) split into four G^P cells; the constrained twin pins one
-/// count constraint from the data (so kmeans and the ordered family
-/// refuse it — those refusals must be mode-invariant too).
+/// Five fixtures covering the registry's whole domain/graph/constraint
+/// matrix: Line(16) split into four G^P cells (plus a constrained twin
+/// pinning one count constraint from the data), Line(16) under the
+/// line secret graph, and an 8x8 grid split into 2x2 G^P cells (plus
+/// its constrained twin). On the partitioned line the refusals are the
+/// spatial op (quadtree needs two attributes) and hier_range (the OH
+/// mechanism resolves theta from line/full/threshold graphs only; on
+/// the pinned twin it refuses as the documented constrained holdout);
+/// on the line graph cell_histogram refuses (no G^P cells) and
+/// hier_range finally serves; on the grid the whole 1-D family refuses
+/// instead.
 std::vector<Fixture> Fixtures() {
+  const std::vector<std::string> kGridRefusals{
+      "cdf", "hier_range", "mean", "quantiles", "range", "wavelet_range"};
   std::vector<Fixture> out;
   auto domain = LineDomain(16);
   Dataset data = MakeData(domain, 300, 13);
@@ -92,7 +109,8 @@ std::vector<Fixture> Fixtures() {
         Policy::Create(domain,
                        std::shared_ptr<const SecretGraph>(part.release()))
             .value();
-    out.push_back(Fixture{"unconstrained", std::move(policy), data});
+    out.push_back(Fixture{"unconstrained", std::move(policy), data,
+                          {"hier_range", "quadtree"}});
   }
   {
     auto part = PartitionGraph::UniformGrid(domain, {4}).value();
@@ -105,7 +123,43 @@ std::vector<Fixture> Fixtures() {
                        std::shared_ptr<const SecretGraph>(part.release()),
                        std::move(cs))
             .value();
-    out.push_back(Fixture{"constrained", std::move(policy), std::move(data)});
+    out.push_back(Fixture{"constrained", std::move(policy), data,
+                          {"hier_range", "quadtree"}});
+  }
+  {
+    Policy policy =
+        Policy::Create(domain, std::make_shared<LineGraph>(domain->size()))
+            .value();
+    out.push_back(Fixture{"line_graph", std::move(policy), std::move(data),
+                          {"cell_histogram", "quadtree"}});
+  }
+  auto grid =
+      std::make_shared<const Domain>(Domain::Grid(8, 2).value());
+  Dataset grid_data = MakeData(grid, 300, 17);
+  {
+    auto part = PartitionGraph::UniformGrid(grid, {2, 2}).value();
+    Policy policy =
+        Policy::Create(grid,
+                       std::shared_ptr<const SecretGraph>(part.release()))
+            .value();
+    out.push_back(Fixture{"grid_unconstrained", std::move(policy), grid_data,
+                          kGridRefusals});
+  }
+  {
+    auto part = PartitionGraph::UniformGrid(grid, {2, 2}).value();
+    ConstraintSet cs;
+    CountQuery corner("corner", [grid](ValueIndex x) {
+      return grid->Coordinate(x, 0) < 2 && grid->Coordinate(x, 1) < 2;
+    });
+    const uint64_t answer = corner.Evaluate(grid_data);
+    cs.AddWithAnswer(std::move(corner), answer);
+    Policy policy =
+        Policy::Create(grid,
+                       std::shared_ptr<const SecretGraph>(part.release()),
+                       std::move(cs))
+            .value();
+    out.push_back(Fixture{"grid_constrained", std::move(policy),
+                          std::move(grid_data), kGridRefusals});
   }
   return out;
 }
@@ -157,15 +211,17 @@ TEST(ColumnarE2eTest, AllOpsByteIdenticalAcrossScanModesAndPoolSizes) {
     ASSERT_EQ(reference.size(),
               QueryOpRegistry::Global().KnownKinds().size());
     const double reference_spent = reference_engine->accountant().Spent("");
-    if (f.name == "unconstrained") {
-      // Every kind serves the unconstrained fixture; on the constrained
-      // one the non-supporting kinds refuse (checked for mode
-      // invariance below, content checked in constrained_ops_e2e_test).
-      for (size_t i = 0; i < reference.size(); ++i) {
-        EXPECT_TRUE(reference[i].status.ok())
-            << reference[i].label << ": "
-            << reference[i].status.ToString();
-      }
+    // Exactly the fixture's expected-refusal set refuses; every other
+    // kind serves. (Refusal CONTENT is checked in
+    // constrained_ops_e2e_test and query_ops_test; here the set
+    // membership plus the byte-identity sweep below pin that refusals
+    // are mode- and pool-invariant too.)
+    for (size_t i = 0; i < reference.size(); ++i) {
+      const bool expect_refusal =
+          std::find(f.expected_refusals.begin(), f.expected_refusals.end(),
+                    reference[i].label) != f.expected_refusals.end();
+      EXPECT_EQ(reference[i].status.ok(), !expect_refusal)
+          << reference[i].label << ": " << reference[i].status.ToString();
     }
     EXPECT_GT(reference_spent, 0.0);
 

@@ -9,9 +9,12 @@
 //    max(eps) — a per-member charge would overrun the exactly-sized
 //    budget below — and both members are noised at the shared
 //    union-cells sensitivity,
-//  * structured refusals from the ops that do NOT serve constrained
-//    policies (kmeans, the ordered S_T family), naming the refusing op
-//    and the refused policy instead of a generic "unsupported" string.
+//  * the formerly refused ops (kmeans, the ordered S_T family) now
+//    serve pinned policies through the cumulative-histogram /
+//    move-norm chain bounds, and the one documented holdout
+//    (hier_range, whose per-node budget split has no per-move distance
+//    bound under chains) refuses with a structured status naming the
+//    refusing op and the refused policy.
 
 #include <gtest/gtest.h>
 
@@ -311,16 +314,48 @@ TEST(ConstrainedOpsE2ETest, ZeroEpsilonMemberRefusedAtUnionScale) {
   EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
 }
 
-TEST(ConstrainedOpsE2ETest, UnsupportedOpsRefuseWithStructuredStatus) {
+TEST(ConstrainedOpsE2ETest, FormerlyRefusedOpsNowServePinnedPolicies) {
+  // kmeans and the ordered S_T family used to refuse every constrained
+  // policy; both now route their linear queries through the weighted
+  // Thm 8.2 chain bound (q_sum/q_size move norms, the cumulative
+  // histogram) and serve pinned fixtures end to end.
   for (const Fixture& f : Fixtures()) {
     SCOPED_TRACE("fixture " + f.name);
     auto engine = MakeEngine(f.policy, f.data);
     const std::vector<QueryResponse> responses = engine->ServeBatch(
         {MakeQueryRequest("kmeans", 0.25, {{"k", "2"}}).value(),
-         MakeQueryRequest("range", 0.25, {{"lo", "0"}, {"hi", "3"}}).value()});
-    ASSERT_EQ(responses.size(), 2u);
+         MakeQueryRequest("range", 0.25, {{"lo", "0"}, {"hi", "3"}}).value(),
+         MakeQueryRequest("cdf", 0.125).value(),
+         MakeQueryRequest("quantiles", 0.125, {{"qs", "0.25,0.75"}})
+             .value()});
+    ASSERT_EQ(responses.size(), 4u);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].status.ok())
+          << "query " << i << ": " << responses[i].status.ToString();
+      EXPECT_FALSE(responses[i].values.empty()) << "query " << i;
+      EXPECT_GT(responses[i].sensitivity, 0.0) << "query " << i;
+    }
+    // Everything was admitted and charged.
+    EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.75);
+  }
+}
+
+TEST(ConstrainedOpsE2ETest, HierRangeRefusesWithStructuredStatus) {
+  // hier_range is the one documented constrained holdout: the ordered
+  // hierarchical mechanism splits its budget per tree node assuming a
+  // per-move distance bound, which Thm 8.2 chains do not provide.
+  // Constrained callers are routed to `range` instead; the refusal
+  // must be structured — naming the op and the refused policy — and
+  // must charge nothing.
+  for (const Fixture& f : Fixtures()) {
+    SCOPED_TRACE("fixture " + f.name);
+    auto engine = MakeEngine(f.policy, f.data);
+    const std::vector<QueryResponse> responses = engine->ServeBatch(
+        {MakeQueryRequest("hier_range", 0.25, {{"lo", "0"}, {"hi", "3"}})
+             .value()});
+    ASSERT_EQ(responses.size(), 1u);
     EXPECT_EQ(responses[0].status.code(), StatusCode::kUnimplemented);
-    EXPECT_NE(responses[0].status.message().find("op 'kmeans'"),
+    EXPECT_NE(responses[0].status.message().find("op 'hier_range'"),
               std::string::npos)
         << responses[0].status.message();
     EXPECT_NE(responses[0].status.message().find("constrained policies"),
@@ -329,11 +364,7 @@ TEST(ConstrainedOpsE2ETest, UnsupportedOpsRefuseWithStructuredStatus) {
               std::string::npos)
         << "refusal must name the policy's secret graph: "
         << responses[0].status.message();
-    EXPECT_EQ(responses[1].status.code(), StatusCode::kUnimplemented);
-    EXPECT_NE(responses[1].status.message().find("op 'range'"),
-              std::string::npos)
-        << responses[1].status.message();
-    // Nothing was charged for refused queries.
+    // Nothing was charged for the refused query.
     EXPECT_DOUBLE_EQ(engine->accountant().Spent(""), 0.0);
   }
 }

@@ -21,7 +21,14 @@
 //  * the group-privacy move bound used by wavelet_range: no neighbour
 //    pair changes more than S(h, P) / 2 tuples — counting ALL changed
 //    tuples, compensations included, since each is one replacement the
-//    wavelet mechanism's epsilon is scaled down for.
+//    wavelet mechanism's epsilon is scaled down for;
+//  * the SIGNED scalar chain bound: for output_dim() == 1 queries the
+//    weighted analysis accumulates signed per-move deltas v(y) - v(x)
+//    (maximized over both orientations) instead of magnitudes, so a
+//    lift's delta cancels against its compensating lower's. The signed
+//    bound still dominates the oracle, never exceeds the per-move
+//    magnitude bound, and is exact on the hand-built line fixture
+//    where the magnitude bound over-noises by 5/3.
 
 #include <gtest/gtest.h>
 
@@ -34,6 +41,7 @@
 #include "core/constraints.h"
 #include "core/neighbors.h"
 #include "core/policy.h"
+#include "core/policy_graph.h"
 #include "core/privacy_loss.h"
 #include "core/secret_graph.h"
 #include "core/sensitivity.h"
@@ -177,6 +185,54 @@ TEST_P(ConstrainedParallelTest, ValueWeightedChainBoundDominatesOracle) {
   };
   const double oracle = BruteForceSensitivity(policy, 2, 100000, sum).value();
   EXPECT_LE(oracle, *analytic + 1e-9) << "seed " << GetParam();
+}
+
+/// The old per-move-magnitude chain bound for a scalar value-weighted
+/// query, recomputed through the public WeightedPolicyGraph API with
+/// weight |v(y) - v(x)|: what ConstrainedLinearQuerySensitivity charged
+/// before the signed refinement.
+StatusOr<double> MagnitudeChainBound(const Policy& policy) {
+  BLOWFISH_ASSIGN_OR_RETURN(
+      WeightedPolicyGraph wpg,
+      WeightedPolicyGraph::Build(
+          policy.constraints(), policy.graph(), policy.domain().size(),
+          [](ValueIndex x, ValueIndex y) {
+            return std::fabs(static_cast<double>(y) -
+                             static_cast<double>(x));
+          },
+          kMaxEdges));
+  return wpg.NeighborStepBound(kMaxVertices);
+}
+
+// Randomized: the signed scalar refinement is a pure tightening — the
+// bound ConstrainedLinearQuerySensitivity now returns for a scalar
+// query never exceeds the per-move-magnitude bound it used to return
+// (a signed delta sum is pointwise <= the magnitude sum, and edge
+// pairs are a subset of all pairs, so the mandatory-edge penalty stays
+// non-negative), while still dominating the exhaustive oracle
+// (certified by ValueWeightedChainBoundDominatesOracle above on the
+// same fixture distribution).
+TEST_P(ConstrainedParallelTest, SignedScalarBoundTightensMagnitudeBound) {
+  Random rng(6000 + GetParam());  // same draws as the oracle harness
+  const uint64_t n = 4 + GetParam() % 3;
+  auto domain = LineDomain(n);
+  std::vector<uint64_t> cell_of = RandomCells(n, 2, rng);
+  ConstraintSet cs = RandomPinnedConstraints(domain, 2, rng);
+  Policy policy =
+      Policy::Create(domain, MakePartition(cell_of), std::move(cs)).value();
+
+  ValueWeightedSumQuery query(
+      [](ValueIndex x) { return static_cast<double>(x); });
+  auto signed_bound = ConstrainedLinearQuerySensitivity(
+      query, policy, kMaxEdges, kMaxEdges, kMaxVertices);
+  auto magnitude = MagnitudeChainBound(policy);
+  ASSERT_EQ(signed_bound.ok(), magnitude.ok());
+  if (!signed_bound.ok()) {
+    EXPECT_EQ(signed_bound.status().code(),
+              StatusCode::kFailedPrecondition);
+    return;
+  }
+  EXPECT_LE(*signed_bound, *magnitude + 1e-9) << "seed " << GetParam();
 }
 
 // Randomized structural harness for the refined Thm 4.3: when the
@@ -423,6 +479,49 @@ TEST(ConstrainedCellFixtureTest, CriticalSetsAndComponents) {
   EXPECT_EQ(crit.component_queries[0], std::vector<size_t>{0});
   EXPECT_EQ(crit.ComponentOfCell(0), std::optional<size_t>{0});
   EXPECT_EQ(crit.ComponentOfCell(1), std::nullopt);
+}
+
+TEST(SignedScalarFixtureTest, SignedBoundExactWhereMagnitudeOverNoises) {
+  // Line(5) under the LINE secret graph, v(x) = x, one pinned count of
+  // {2, 3, 4}. A neighbour step crossing the constraint pairs a lift
+  // with a compensating lower, at least one of them a G edge:
+  //  * magnitude bound: edge lift 1 -> 2 (weight 1) + any lower 4 -> 0
+  //    (weight 4) = 5 — equivalently any-lift 4 minus the lift penalty
+  //    (any 4 - edge 1 = 3) plus any-lower 4;
+  //  * signed bound: the lift's positive delta cancels against the
+  //    lower's negative one. s = +1: any lift 0 -> 4 (+4) + best lower
+  //    2 -> 1 (-1), edge-lower penalty 0, = 3; s = -1 is symmetric.
+  // The oracle realizes exactly 3 ({1, 4} vs {2, 0}: 1 -> 2 is the
+  // edge, 4 -> 0 the compensation, net |2 + 0 - 1 - 4| = 3), so the
+  // signed bound is EXACT here while the magnitude bound over-noises
+  // by 5/3.
+  auto domain = LineDomain(5);
+  ConstraintSet cs;
+  cs.AddWithAnswer(
+      CountQuery("mid", [](ValueIndex x) { return x >= 2 && x <= 4; }), 1);
+  Policy policy =
+      Policy::Create(domain, std::make_shared<LineGraph>(5), std::move(cs))
+          .value();
+
+  ValueWeightedSumQuery query(
+      [](ValueIndex x) { return static_cast<double>(x); });
+  auto signed_bound = ConstrainedLinearQuerySensitivity(
+      query, policy, kMaxEdges, kMaxEdges, kMaxVertices);
+  ASSERT_TRUE(signed_bound.ok()) << signed_bound.status().ToString();
+  EXPECT_DOUBLE_EQ(*signed_bound, 3.0);
+
+  auto magnitude = MagnitudeChainBound(policy);
+  ASSERT_TRUE(magnitude.ok()) << magnitude.status().ToString();
+  EXPECT_DOUBLE_EQ(*magnitude, 5.0);
+
+  auto sum = [](const Dataset& d) {
+    double total = 0.0;
+    for (ValueIndex t : d.tuples()) total += static_cast<double>(t);
+    return std::vector<double>{total};
+  };
+  const double oracle =
+      BruteForceSensitivity(policy, 2, 100000, sum).value();
+  EXPECT_DOUBLE_EQ(oracle, 3.0);
 }
 
 TEST(ConstrainedCellFixtureTest, MechParallelCellReleaseEndToEnd) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/batch_request.h"
 #include "net/protocol.h"
 #include "util/random.h"
 
@@ -268,6 +269,74 @@ TEST(NetFrameFuzzTest, DeterministicEdgeCases) {
       static_cast<char>(over & 0xff)};
   cap_over.Feed(over_prefix, sizeof(over_prefix));
   EXPECT_EQ(cap_over.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(NetFrameFuzzTest, QuantilesQsListIsBoundCheckedAtParseTime) {
+  // The `qs=` list must be rejected STRUCTURALLY at parse time — empty,
+  // out-of-[0,1], or non-strictly-increasing lists never reach
+  // admission (where they would be refused only after the request is
+  // already minted). This is the wire-facing surface: a daemon parses
+  // hostile batch text straight off a frame.
+  auto expect_invalid = [](const std::string& qs) {
+    auto requests =
+        ParseBatchRequests("quantiles eps=0.25 qs=" + qs + "\n");
+    ASSERT_FALSE(requests.ok()) << "qs=" << qs;
+    EXPECT_EQ(requests.status().code(), StatusCode::kInvalidArgument)
+        << "qs=" << qs;
+    EXPECT_NE(requests.status().message().find("'qs'"), std::string::npos)
+        << requests.status().ToString();
+  };
+  expect_invalid("");         // present-but-empty list
+  expect_invalid("0.5,0.2");  // non-monotone
+  expect_invalid("0.5,0.5");  // must be STRICTLY increasing
+  expect_invalid("1.5");      // out of [0, 1]
+  expect_invalid("-0.1");
+  expect_invalid("nan");      // non-finite never parses
+  expect_invalid(",0.5");     // leading comma -> empty token
+
+  // The closed endpoints are legal, as is omitting qs entirely.
+  EXPECT_TRUE(ParseBatchRequests("quantiles eps=0.25 qs=0,0.5,1\n").ok());
+  EXPECT_TRUE(ParseBatchRequests("quantiles eps=0.25\n").ok());
+
+  // Seeded fuzz: the parser's accept/reject decision must exactly match
+  // the declared grammar (finite doubles, strictly increasing, within
+  // [0, 1], non-empty) — and never crash on any generated list.
+  Random root(kSeed + 5);
+  uint64_t accepted = 0;
+  for (uint64_t iter = 0; iter < 2000; ++iter) {
+    Random rng = root.Fork(iter);
+    const int n = static_cast<int>(rng.UniformInt(1, 4));
+    std::vector<double> values;
+    std::string qs;
+    for (int i = 0; i < n; ++i) {
+      // Mostly in-range draws so ascending in-range lists actually
+      // occur; the tails exercise the bound checks.
+      const double v = rng.Bernoulli(0.8) ? rng.Uniform(0.0, 1.0)
+                                          : rng.Uniform(-0.5, 1.5);
+      values.push_back(v);
+      if (i > 0) qs += ",";
+      qs += std::to_string(v);  // fixed 6-decimal tokens, always finite
+    }
+    // What the parser actually sees: the values after one decimal
+    // round-trip (to_string may collapse close neighbours to equal
+    // tokens, which the strict-monotonicity check must then reject).
+    std::vector<double> seen;
+    for (double v : values) seen.push_back(std::stod(std::to_string(v)));
+    bool valid = true;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] < 0.0 || seen[i] > 1.0) valid = false;
+      if (i > 0 && seen[i] <= seen[i - 1]) valid = false;
+    }
+    auto requests =
+        ParseBatchRequests("quantiles eps=0.25 qs=" + qs + "\n");
+    ASSERT_EQ(requests.ok(), valid)
+        << "iteration " << iter << " qs=" << qs << ": "
+        << requests.status().ToString();
+    if (requests.ok()) ++accepted;
+  }
+  // The generator must exercise both verdicts heavily.
+  EXPECT_GT(accepted, 200u);
+  EXPECT_LT(accepted, 1800u);
 }
 
 TEST(NetFrameFuzzTest, UintFieldsRejectSignAndWhitespaceSmuggling) {

@@ -176,15 +176,15 @@ TEST(MeanOpTest, ConstrainedPolicyServedWithChainBound) {
   // query q = #(x < 2). A constrained neighbour step is a lift + a
   // compensating lower, at least one of which is a G^P edge while the
   // other may change a tuple between ANY two values (compensations are
-  // not confined to E(G)); the weighted policy-graph bound charges each
-  // move its own |v(x) - v(y)|. Heaviest chain: in-cell lift 3 -> 0
-  // (weight 3) plus the cross-cell compensating lower 0 -> 7 (weight 7)
-  // = 10, against an unconstrained max-edge value of 3. For this scalar
-  // query the bound is sound but not exact — a lift's signed delta
-  // (toward {0, 1}) partly cancels a lower's (away from it), so Def 4.1
-  // neighbours net less (e.g. {2, 0} vs {1, 7} nets 6); the randomized
+  // not confined to E(G)). For this scalar query the bound accumulates
+  // *signed* per-move deltas v(y) - v(x): a lift's delta (toward
+  // {0, 1}) partly cancels a lower's (away from it), so the heaviest
+  // chain nets lift 2 -> 1 (delta -1) plus lower 0 -> 7 (delta +7)
+  // = 6 — realized by the Def 4.1 neighbours {2, 0} vs {1, 7} — where
+  // the old per-move-magnitude sum charged 3 + 7 = 10. The randomized
   // ValueWeightedChainBoundDominatesOracle seeds certify the dominance
-  // direction.
+  // direction, and SignedScalarBoundTightensMagnitudeBound pins the
+  // signed <= magnitude ordering.
   auto domain = LineDomain(8);
   auto part = PartitionGraph::UniformGrid(domain, {2}).value();
   ConstraintSet constraints;
@@ -200,7 +200,7 @@ TEST(MeanOpTest, ConstrainedPolicyServedWithChainBound) {
   auto responses =
       engine->ServeBatch({MakeQueryRequest("mean", 0.5).value()});
   ASSERT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
-  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 10.0);
+  EXPECT_DOUBLE_EQ(responses[0].sensitivity, 6.0);
   EXPECT_EQ(responses[0].values.size(), 1u);
 }
 

@@ -470,10 +470,11 @@ TEST(ReleaseEngineTest, DeliveredReceiptsAreSettledAndNotRefundable) {
 }
 
 TEST(ReleaseEngineTest, FailedQueryCarriesNoPartialPayload) {
-  // quantiles={0.5, 2.0}: the first quantile is computed (from a noisy
-  // cumulative) before the out-of-range second one fails. The refund is
-  // only sound if nothing was published, so the partial noisy value must
-  // be dropped along with the charge.
+  // range hi=1000 on Line(32): the noisy cumulative is computed before
+  // the out-of-domain post-processing fails. The refund is only sound
+  // if nothing was published, so the partial noisy release must be
+  // dropped along with the charge. (An out-of-[0,1] quantile no longer
+  // reaches Execute — qs= is bound-checked at parse time.)
   auto domain = LineDomain(32);
   Policy policy = Policy::Line(domain).value();
   Dataset data = MakeData(domain, 200);
@@ -482,7 +483,7 @@ TEST(ReleaseEngineTest, FailedQueryCarriesNoPartialPayload) {
   options.default_session_budget = 1.0;
   auto engine = MakeEngine(policy, data, options);
 
-  QueryRequest bad = Request("quantiles", 0.3, {{"qs", "0.5,2.0"}});
+  QueryRequest bad = Request("range", 0.3, {{"lo", "2"}, {"hi", "1000"}});
   auto responses = engine->ServeBatch({bad});
   ASSERT_FALSE(responses[0].status.ok());
   EXPECT_TRUE(responses[0].values.empty());
