@@ -83,8 +83,8 @@ Status BlowfishClient::CheckTraceEcho(
       "/span " + std::to_string(sent.span_id));
 }
 
-StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
-    const std::string& text, const ResultCallback& on_result) {
+StatusOr<uint64_t> BlowfishClient::SubmitInternal(const std::string& text,
+                                                  bool tagged) {
   // Ship the batch file line by line, exactly as written — the server
   // reassembles and parses with the same grammar `batch` uses, so the
   // two paths cannot drift.
@@ -120,9 +120,11 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
     ++batch_index_;
   }
 
+  const uint64_t handle = next_handle_++;
+  const std::string tag = tagged ? "b" + std::to_string(handle) : "";
   const uint64_t send_start_us = traced ? obs::MonotonicMicros() : 0;
   BLOWFISH_RETURN_IF_ERROR(
-      WritePayload(EncodeSubmitPayload(lines.size(), ctx)));
+      WritePayload(EncodeSubmitPayload(lines.size(), ctx, tag)));
   for (const std::string& line : lines) {
     BLOWFISH_RETURN_IF_ERROR(WritePayload(EncodeReqPayload(line)));
   }
@@ -134,98 +136,187 @@ StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
     tracer_->Write(std::move(span));
   }
 
-  // The assembly loop splits its wall time two ways: decode_us is the
+  PendingBatch batch;
+  batch.tag = tag;
+  batch.num_lines = lines.size();
+  batch.ctx = ctx;
+  pending_.emplace(handle, std::move(batch));
+  return handle;
+}
+
+StatusOr<uint64_t> BlowfishClient::SubmitPipelined(
+    const std::string& text) {
+  return SubmitInternal(text, /*tagged=*/true);
+}
+
+StatusOr<BlowfishClient::PendingBatch*> BlowfishClient::ResolveBatch(
+    const std::string& tag) {
+  if (!tag.empty()) {
+    for (auto& [handle, batch] : pending_) {
+      if (batch.tag == tag) return &batch;
+    }
+    return Status::Internal("frame tagged batch=" + tag +
+                            " matches no batch in flight");
+  }
+  // Untagged frame. First preference: the sole untagged batch (its
+  // frames are legitimately tag-free on any server). Fallback: the
+  // sole pending batch of ANY kind — a server predating tag echo
+  // strips nothing, it just never echoes, and with one batch in
+  // flight attribution is still unambiguous.
+  PendingBatch* untagged = nullptr;
+  size_t untagged_count = 0;
+  for (auto& [handle, batch] : pending_) {
+    if (batch.tag.empty()) {
+      untagged = &batch;
+      ++untagged_count;
+    }
+  }
+  if (untagged_count == 1) return untagged;
+  if (pending_.size() == 1) return &pending_.begin()->second;
+  return Status::Internal(
+      "untagged reply frame is ambiguous with " +
+      std::to_string(pending_.size()) + " batches in flight");
+}
+
+Status BlowfishClient::ApplyToBatch(const WireMessage& msg,
+                                    PendingBatch* batch,
+                                    const ResultCallback& on_result) {
+  if (msg.verb == kVerbResult) {
+    BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, batch->ctx));
+    BLOWFISH_ASSIGN_OR_RETURN(auto result, ParseResultPayload(msg));
+    const size_t index = result.first;
+    // One response per request line at most: an index past what we
+    // submitted is a server bug (or the wrong service), not a resize
+    // request — unchecked, a hostile 'i=4e9' would be a huge
+    // allocation.
+    if (index >= batch->num_lines) {
+      return Status::Internal("RESULT index " + std::to_string(index) +
+                              " out of range for a batch of " +
+                              std::to_string(batch->num_lines) + " lines");
+    }
+    if (index >= batch->responses.size()) {
+      batch->responses.resize(index + 1);
+      batch->seen.resize(index + 1, false);
+    }
+    if (batch->seen[index]) {
+      return Status::Internal("duplicate RESULT for query " +
+                              std::to_string(index));
+    }
+    batch->seen[index] = true;
+    batch->responses[index] = std::move(result.second);
+    batch->arrival_order.push_back(index);
+    if (on_result) on_result(index, batch->responses[index]);
+    return Status::OK();
+  }
+  if (msg.verb == kVerbReceipt) {
+    BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, batch->ctx));
+    size_t index = 0;
+    BudgetReceipt receipt;
+    BLOWFISH_RETURN_IF_ERROR(ParseReceiptPayload(msg, &index, &receipt));
+    if (index >= batch->responses.size() || !batch->seen[index]) {
+      return Status::Internal("RECEIPT for unknown query " +
+                              std::to_string(index));
+    }
+    batch->responses[index].receipt = std::move(receipt);
+    return Status::OK();
+  }
+  if (msg.verb == kVerbDone) {
+    BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, batch->ctx));
+    BLOWFISH_ASSIGN_OR_RETURN(uint64_t n, GetUintField(msg, "n"));
+    if (n != batch->responses.size()) {
+      return Status::Internal(
+          "DONE count " + std::to_string(n) + " does not match " +
+          std::to_string(batch->responses.size()) + " streamed results");
+    }
+    for (size_t i = 0; i < batch->seen.size(); ++i) {
+      if (!batch->seen[i]) {
+        return Status::Internal("no RESULT for query " +
+                                std::to_string(i));
+      }
+    }
+    batch->done = true;
+    return Status::OK();
+  }
+  if (msg.verb == kVerbErr) {
+    // A batch-scoped failure: the batch dies, the connection does not.
+    Status error;
+    BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &error));
+    batch->failed = error.ok() ? Status::Internal("ERR frame with code=OK")
+                               : error;
+    batch->done = true;
+    return Status::OK();
+  }
+  return Status::Internal("unexpected " + msg.verb + " frame mid-batch");
+}
+
+StatusOr<std::vector<QueryResponse>> BlowfishClient::AwaitBatch(
+    uint64_t handle, const ResultCallback& on_result) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument("AwaitBatch(" + std::to_string(handle) +
+                                   "): no such batch in flight");
+  }
+  PendingBatch* target = &it->second;
+  // Results that arrived while some OTHER batch was being awaited:
+  // replay them now, in their original wire arrival order, so
+  // on_result sees exactly the stream it would have seen live.
+  if (on_result) {
+    for (size_t index : target->arrival_order) {
+      on_result(index, target->responses[index]);
+    }
+  }
+
+  // The pump loop splits its wall time two ways: decode_us is the
   // cumulative time blocked reading frames off the socket, the rest is
   // parse/assemble work — the client_decode / client_assemble spans.
+  const bool traced = tracer_ != nullptr;
   const uint64_t assemble_start_us = traced ? obs::MonotonicMicros() : 0;
   uint64_t decode_us = 0;
-  std::vector<QueryResponse> responses;
-  std::vector<bool> seen;
-  while (true) {
+  while (!target->done) {
     const uint64_t read_start_us = traced ? obs::MonotonicMicros() : 0;
     BLOWFISH_ASSIGN_OR_RETURN(std::string payload, ReadPayload());
     if (traced) decode_us += obs::MonotonicMicros() - read_start_us;
     BLOWFISH_ASSIGN_OR_RETURN(WireMessage msg, ParseWireMessage(payload));
-    if (msg.verb == kVerbResult) {
-      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
-      BLOWFISH_ASSIGN_OR_RETURN(auto result, ParseResultPayload(msg));
-      const size_t index = result.first;
-      // One response per request line at most: an index past what we
-      // submitted is a server bug (or the wrong service), not a resize
-      // request — unchecked, a hostile 'i=4e9' would be a huge
-      // allocation.
-      if (index >= lines.size()) {
-        return Status::Internal("RESULT index " + std::to_string(index) +
-                                " out of range for a batch of " +
-                                std::to_string(lines.size()) + " lines");
-      }
-      if (index >= responses.size()) {
-        responses.resize(index + 1);
-        seen.resize(index + 1, false);
-      }
-      if (seen[index]) {
-        return Status::Internal("duplicate RESULT for query " +
-                                std::to_string(index));
-      }
-      seen[index] = true;
-      responses[index] = std::move(result.second);
-      if (on_result) on_result(index, responses[index]);
-      continue;
-    }
-    if (msg.verb == kVerbReceipt) {
-      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
-      size_t index = 0;
-      BudgetReceipt receipt;
-      BLOWFISH_RETURN_IF_ERROR(ParseReceiptPayload(msg, &index, &receipt));
-      if (index >= responses.size() || !seen[index]) {
-        return Status::Internal("RECEIPT for unknown query " +
-                                std::to_string(index));
-      }
-      responses[index].receipt = std::move(receipt);
-      continue;
-    }
-    if (msg.verb == kVerbDone) {
-      BLOWFISH_RETURN_IF_ERROR(CheckTraceEcho(msg, ctx));
-      BLOWFISH_ASSIGN_OR_RETURN(uint64_t n, GetUintField(msg, "n"));
-      if (n != responses.size()) {
-        return Status::Internal(
-            "DONE count " + std::to_string(n) + " does not match " +
-            std::to_string(responses.size()) + " streamed results");
-      }
-      for (size_t i = 0; i < seen.size(); ++i) {
-        if (!seen[i]) {
-          return Status::Internal("no RESULT for query " +
-                                  std::to_string(i));
-        }
-      }
-      if (traced && tracer_->enabled()) {
-        const uint64_t total_us =
-            obs::MonotonicMicros() - assemble_start_us;
-        // Both spans cover the whole assembly loop; their durations
-        // are CUMULATIVE slices of it (blocked-on-socket vs. local
-        // work), not contiguous intervals.
-        obs::TraceEvent decode_span("client_decode");
-        decode_span.Uint("ts_us", assemble_start_us)
-            .Uint("dur_us", decode_us);
-        ctx.Stamp(&decode_span);
-        tracer_->Write(std::move(decode_span));
-        obs::TraceEvent assemble_span("client_assemble");
-        assemble_span.Uint("ts_us", assemble_start_us)
-            .Uint("dur_us", total_us - decode_us);
-        ctx.Stamp(&assemble_span);
-        tracer_->Write(std::move(assemble_span));
-      }
-      return responses;
-    }
-    if (msg.verb == kVerbErr) {
-      Status error;
-      BLOWFISH_RETURN_IF_ERROR(ParseStatusFields(msg, &error));
-      return error.ok() ? Status::Internal("ERR frame with code=OK")
-                        : error;
-    }
-    return Status::Internal("unexpected " + msg.verb +
-                            " frame mid-batch");
+    BLOWFISH_ASSIGN_OR_RETURN(std::string tag, ParseBatchTag(msg));
+    BLOWFISH_ASSIGN_OR_RETURN(PendingBatch * batch, ResolveBatch(tag));
+    // Frames for other in-flight batches buffer into their pending
+    // state; only the awaited batch streams through on_result.
+    BLOWFISH_RETURN_IF_ERROR(
+        ApplyToBatch(msg, batch, batch == target ? on_result : nullptr));
   }
+
+  std::vector<QueryResponse> responses = std::move(target->responses);
+  const Status failed = target->failed;
+  const obs::TraceContext ctx = target->ctx;
+  pending_.erase(it);
+  if (!failed.ok()) return failed;
+  if (traced && tracer_->enabled()) {
+    const uint64_t total_us = obs::MonotonicMicros() - assemble_start_us;
+    // Both spans cover the whole pump loop; their durations are
+    // CUMULATIVE slices of it (blocked-on-socket vs. local work), not
+    // contiguous intervals.
+    obs::TraceEvent decode_span("client_decode");
+    decode_span.Uint("ts_us", assemble_start_us)
+        .Uint("dur_us", decode_us);
+    ctx.Stamp(&decode_span);
+    tracer_->Write(std::move(decode_span));
+    obs::TraceEvent assemble_span("client_assemble");
+    assemble_span.Uint("ts_us", assemble_start_us)
+        .Uint("dur_us", total_us - decode_us);
+    ctx.Stamp(&assemble_span);
+    tracer_->Write(std::move(assemble_span));
+  }
+  return responses;
+}
+
+StatusOr<std::vector<QueryResponse>> BlowfishClient::SubmitBatchText(
+    const std::string& text, const ResultCallback& on_result) {
+  // Untagged submit + immediate await: byte-identical on the wire to
+  // the pre-pipelining client, and interoperable with servers that do
+  // not echo batch tags.
+  BLOWFISH_ASSIGN_OR_RETURN(uint64_t handle,
+                            SubmitInternal(text, /*tagged=*/false));
+  return AwaitBatch(handle, on_result);
 }
 
 StatusOr<std::vector<MetricSample>> BlowfishClient::FetchSamples(

@@ -13,12 +13,25 @@
 // The client is blocking and single-threaded by design: one client per
 // connection per thread. Concurrency comes from running many clients
 // (the soak test drives eight at once), not from sharing one.
+//
+// Pipelining: SubmitPipelined() ships a batch tagged with a unique
+// batch= key and returns a handle WITHOUT reading a reply; AwaitBatch()
+// later demultiplexes the interleaved RESULT / RECEIPT / DONE frames
+// of every in-flight batch by their echoed tags and returns when the
+// awaited batch completes. Many batches can be in flight on one
+// connection; the reactor server executes them concurrently and
+// interleaves their reply frames freely. SubmitBatchText() is
+// submit-then-await with NO tag — its wire bytes are identical to the
+// pre-pipelining client's, and it interoperates with servers that do
+// not echo tags (any frame with no tag routes to the sole pending
+// batch).
 
 #ifndef BLOWFISH_NET_CLIENT_H_
 #define BLOWFISH_NET_CLIENT_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +81,25 @@ class BlowfishClient {
   StatusOr<std::vector<QueryResponse>> SubmitBatchText(
       const std::string& text, const ResultCallback& on_result = nullptr);
 
+  /// Ships one batch tagged `batch=b<handle>` and returns immediately —
+  /// no reply frame is read. Claim the responses later with
+  /// AwaitBatch(). Any number of batches may be in flight; the server
+  /// runs them concurrently (subject to its engine pool) and the tag
+  /// echo keeps their interleaved frames attributable.
+  StatusOr<uint64_t> SubmitPipelined(const std::string& text);
+
+  /// Blocks until the given in-flight batch completes, reading and
+  /// demultiplexing frames for EVERY in-flight batch along the way
+  /// (results for the others are buffered into their pending state and
+  /// delivered by their own AwaitBatch calls). Returns the batch's
+  /// responses with final receipts, exactly like SubmitBatchText; a
+  /// batch-scoped ERR comes back as that batch's Status with the
+  /// connection still usable. `on_result` fires in wire arrival order;
+  /// results that arrived while awaiting a different batch are
+  /// replayed, in their original arrival order, before any reads.
+  StatusOr<std::vector<QueryResponse>> AwaitBatch(
+      uint64_t handle, const ResultCallback& on_result = nullptr);
+
   /// Requests the daemon's metrics snapshot on this connection (STATS
   /// verb). Samples arrive in the server's sorted order; values are
   /// bit-exact doubles. Usable between batches at any point.
@@ -116,7 +148,39 @@ class BlowfishClient {
   void Abort();
 
  private:
+  /// One batch in flight: its identity on the wire (tag, trace
+  /// context), its assembly state, and the arrival-order log that lets
+  /// a later AwaitBatch replay on_result faithfully.
+  struct PendingBatch {
+    std::string tag;  // "" for an untagged (SubmitBatchText) batch
+    size_t num_lines = 0;
+    obs::TraceContext ctx;
+    std::vector<QueryResponse> responses;
+    std::vector<bool> seen;
+    /// Indices in wire arrival order, for replaying on_result.
+    std::vector<size_t> arrival_order;
+    bool done = false;
+    /// Batch-scoped ERR: the batch failed, the connection lives on.
+    Status failed;
+  };
+
   explicit BlowfishClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Splits, validates, and ships SUBMIT + REQ frames (tagged when
+  /// `tagged`), registers the pending batch, returns its handle.
+  StatusOr<uint64_t> SubmitInternal(const std::string& text, bool tagged);
+
+  /// Maps a reply frame's (possibly absent) batch tag to the pending
+  /// batch it belongs to. An untagged frame routes to the sole
+  /// untagged pending batch, or — for servers that do not echo tags —
+  /// to the sole pending batch of any kind.
+  StatusOr<PendingBatch*> ResolveBatch(const std::string& tag);
+
+  /// Applies one RESULT/RECEIPT/DONE/ERR frame to its batch (all the
+  /// index/duplicate/count checks); fires `on_result` when set (the
+  /// batch being awaited).
+  Status ApplyToBatch(const WireMessage& msg, PendingBatch* batch,
+                      const ResultCallback& on_result);
 
   Status WritePayload(const std::string& payload);
   /// Reads the next frame payload; EOF and decode errors are errors
@@ -136,6 +200,11 @@ class BlowfishClient {
 
   Socket sock_;
   FrameDecoder decoder_;
+  /// Batches submitted but not yet claimed by an AwaitBatch, keyed by
+  /// handle. std::map: iteration order is deterministic and the sole-
+  /// pending fallback in ResolveBatch needs begin() to be stable.
+  std::map<uint64_t, PendingBatch> pending_;
+  uint64_t next_handle_ = 1;
   /// Tracing state; tracer_ == nullptr until EnableTracing.
   obs::TraceWriter* tracer_ = nullptr;
   uint64_t trace_seed_ = 0;

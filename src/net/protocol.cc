@@ -250,7 +250,8 @@ std::string EncodeOkPayload() {
   return b.payload();
 }
 
-std::string EncodeErrorPayload(const Status& status) {
+std::string EncodeErrorPayload(const Status& status,
+                               const std::string& batch_tag) {
   WireMessageBuilder b(kVerbErr);
   b.Add("code", StatusCodeToString(status.code()));
   // Error messages echo client-controlled text of up to a full frame,
@@ -264,7 +265,9 @@ std::string EncodeErrorPayload(const Status& status) {
                  std::to_string(status.message().size()) + " bytes]";
     b.Add("msg", truncated);
   }
-  return b.payload();
+  std::string payload = b.payload();
+  AppendBatchTag(&payload, batch_tag);
+  return payload;
 }
 
 Status ParseStatusFields(const WireMessage& msg, Status* out) {
@@ -284,11 +287,13 @@ Status ParseStatusFields(const WireMessage& msg, Status* out) {
 }
 
 std::string EncodeSubmitPayload(size_t num_lines,
-                                const obs::TraceContext& trace) {
+                                const obs::TraceContext& trace,
+                                const std::string& batch_tag) {
   WireMessageBuilder b(kVerbSubmit);
   b.AddUint("n", num_lines);
   std::string payload = b.payload();
   AppendTraceContext(&payload, trace);
+  AppendBatchTag(&payload, batch_tag);
   return payload;
 }
 
@@ -310,6 +315,23 @@ StatusOr<obs::TraceContext> ParseTraceContext(const WireMessage& msg) {
     BLOWFISH_ASSIGN_OR_RETURN(trace.span_id, GetUintField(msg, "span"));
   }
   return trace;
+}
+
+void AppendBatchTag(std::string* payload, const std::string& tag) {
+  if (tag.empty()) return;
+  payload->append(" batch=");
+  payload->append(EscapeWireField(tag));
+}
+
+StatusOr<std::string> ParseBatchTag(const WireMessage& msg) {
+  const std::string* tag = msg.Find("batch");
+  if (tag == nullptr) return std::string();
+  if (tag->size() > kMaxBatchTagBytes) {
+    return Status::InvalidArgument(
+        "batch tag exceeds the " + std::to_string(kMaxBatchTagBytes) +
+        "-byte cap");
+  }
+  return *tag;
 }
 
 std::string EncodeReqPayload(const std::string& line) {
@@ -345,9 +367,11 @@ std::string EncodeResultPayload(size_t index,
 
 std::string EncodeBoundedResultPayload(size_t index,
                                        const QueryResponse& response,
-                                       const obs::TraceContext& trace) {
+                                       const obs::TraceContext& trace,
+                                       const std::string& batch_tag) {
   std::string payload = EncodeResultPayload(index, response);
   AppendTraceContext(&payload, trace);
+  AppendBatchTag(&payload, batch_tag);
   if (payload.size() <= kMaxFramePayload) return payload;
   QueryResponse bounded;
   bounded.status = Status::ResourceExhausted(
@@ -362,6 +386,7 @@ std::string EncodeBoundedResultPayload(size_t index,
   bounded.receipt = response.receipt;
   std::string bounded_payload = EncodeResultPayload(index, bounded);
   AppendTraceContext(&bounded_payload, trace);
+  AppendBatchTag(&bounded_payload, batch_tag);
   return bounded_payload;
 }
 

@@ -78,6 +78,12 @@ constexpr uint32_t kProtocolVersion = 1;
 /// escaping (worst case 3x).
 constexpr size_t kMaxRequestLine = size_t{64} << 10;  // 64 KiB
 
+/// Cap on the optional `batch=` tag a pipelining client puts on SUBMIT
+/// (raw bytes, before escaping). The tag is an opaque client-chosen
+/// demultiplexing key echoed on every frame of the batch; it rides in
+/// frame headers that must stay small, so it is bounded tightly.
+constexpr size_t kMaxBatchTagBytes = 64;
+
 /// Cap on the message text of an ERR frame. Error messages echo
 /// client-controlled bytes (bad verbs, tenant ids, malformed tokens)
 /// that are bounded only by the 1 MiB frame cap on the way IN — and
@@ -167,11 +173,15 @@ std::string EncodeHelloPayload(const std::string& policy_id,
 /// OK proto=<version>
 std::string EncodeOkPayload();
 
-/// ERR code=<CODE_NAME> msg=<escaped> — a structured Status on the
-/// wire. Messages past kMaxErrorMessageBytes are truncated (with a
-/// marker naming the original length), so the payload always fits one
-/// frame no matter how much client text the status echoes.
-std::string EncodeErrorPayload(const Status& status);
+/// ERR code=<CODE_NAME> msg=<escaped> [batch=<tag>] — a structured
+/// Status on the wire. Messages past kMaxErrorMessageBytes are
+/// truncated (with a marker naming the original length), so the
+/// payload always fits one frame no matter how much client text the
+/// status echoes. `batch_tag`, when non-empty, scopes the error to one
+/// pipelined batch (that batch failed; the connection stays usable) —
+/// an untagged ERR is connection-level.
+std::string EncodeErrorPayload(const Status& status,
+                               const std::string& batch_tag = "");
 
 /// Reconstructs the Status carried by an ERR message (or by the
 /// code/msg pair of a RESULT) into *out. code=OK yields Status::OK().
@@ -179,11 +189,15 @@ std::string EncodeErrorPayload(const Status& status);
 /// keys) — distinct from the carried status itself.
 Status ParseStatusFields(const WireMessage& msg, Status* out);
 
-/// SUBMIT n=<request line count> [trace=<id> span=<id>] — the trace
-/// keys appear iff `trace` is valid (client tracing enabled).
+/// SUBMIT n=<request line count> [trace=<id> span=<id>] [batch=<tag>]
+/// — the trace keys appear iff `trace` is valid (client tracing
+/// enabled); the batch tag iff `batch_tag` is non-empty (pipelining
+/// client). Both are optional keys under the evolution contract: an
+/// old server carries and ignores them.
 std::string EncodeSubmitPayload(size_t num_lines,
                                 const obs::TraceContext& trace =
-                                    obs::TraceContext());
+                                    obs::TraceContext(),
+                                const std::string& batch_tag = "");
 
 // ---- Trace context (optional keys, see the evolution contract) -------------
 
@@ -196,6 +210,21 @@ void AppendTraceContext(std::string* payload, const obs::TraceContext& trace);
 /// keys yield an invalid (zeroed) context — not an error; present but
 /// malformed values ARE an error (known keys parse strictly).
 StatusOr<obs::TraceContext> ParseTraceContext(const WireMessage& msg);
+
+// ---- Batch tag (optional key, see the evolution contract) ------------------
+
+/// Appends ` batch=<escaped tag>` to an encoded payload when `tag` is
+/// non-empty; no-op otherwise. The server echoes a SUBMIT's tag on
+/// every RESULT/RECEIPT/DONE (and batch-scoped ERR) of that batch so a
+/// client multiplexing pipelined batches on one connection can demux
+/// the interleaved reply frames. One-batch-at-a-time clients never
+/// send the key and never see it echoed.
+void AppendBatchTag(std::string* payload, const std::string& tag);
+
+/// Extracts the optional batch= key from any message. Absent (or
+/// explicitly empty) yields "" — not an error; a tag past
+/// kMaxBatchTagBytes IS an error (known keys parse strictly).
+StatusOr<std::string> ParseBatchTag(const WireMessage& msg);
 
 /// REQ line=<escaped batch-file line>
 std::string EncodeReqPayload(const std::string& line);
@@ -212,12 +241,14 @@ std::string EncodeResultPayload(size_t index, const QueryResponse& response);
 /// receipt but a ResourceExhausted status and no values — the client
 /// gets a structured per-query error instead of a poisoned connection
 /// (or, in Debug builds, an EncodeFrame assert in the daemon). A valid
-/// `trace` is echoed on the frame — appended before the bound check,
-/// so the echo can never push a payload past the cap.
+/// `trace` — and a non-empty `batch_tag` — is echoed on the frame,
+/// appended before the bound check, so the echo can never push a
+/// payload past the cap.
 std::string EncodeBoundedResultPayload(size_t index,
                                        const QueryResponse& response,
                                        const obs::TraceContext& trace =
-                                           obs::TraceContext());
+                                           obs::TraceContext(),
+                                       const std::string& batch_tag = "");
 
 /// RECEIPT i=<index> <receipt...> — the final receipt state after the
 /// batch future resolved (refunds applied, charges settled).

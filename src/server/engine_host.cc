@@ -120,7 +120,8 @@ StatusOr<ReleaseEngine*> EngineHost::GetOrCreateEngine(
 std::future<StatusOr<std::vector<QueryResponse>>> EngineHost::SubmitBatch(
     const std::string& policy_id, const std::string& dataset_id,
     std::vector<QueryRequest> requests,
-    QueryCompletionCallback on_complete, const obs::TraceContext& trace) {
+    QueryCompletionCallback on_complete, const obs::TraceContext& trace,
+    BatchDoneCallback on_done) {
   obs::TraceWriter* tracer = options_.tracer != nullptr
                                  ? options_.tracer
                                  : obs::TraceWriter::Global();
@@ -129,7 +130,8 @@ std::future<StatusOr<std::vector<QueryResponse>>> EngineHost::SubmitBatch(
   return pool_->Submit(
       [this, key = TenantKey{policy_id, dataset_id},
        requests = std::move(requests),
-       on_complete = std::move(on_complete), trace, tracer,
+       on_complete = std::move(on_complete),
+       on_done = std::move(on_done), trace, tracer,
        enqueue_us]() -> StatusOr<std::vector<QueryResponse>> {
         // Queue-wait span: time between SubmitBatch and a pool worker
         // picking the batch up — emitted before serving so a reader
@@ -143,8 +145,15 @@ std::future<StatusOr<std::vector<QueryResponse>>> EngineHost::SubmitBatch(
           tracer->Write(std::move(span));
         }
         auto engine = GetOrCreateEngine(key);
-        if (!engine.ok()) return engine.status();
-        return (*engine)->ServeBatch(requests, on_complete, trace);
+        StatusOr<std::vector<QueryResponse>> result =
+            engine.ok()
+                ? (*engine)->ServeBatch(requests, on_complete, trace)
+                : StatusOr<std::vector<QueryResponse>>(engine.status());
+        // The epilogue runs here — settlement done, callbacks done —
+        // not at future-resolution time, so an event-driven caller
+        // needs no thread parked on the future at all.
+        if (on_done) on_done(result);
+        return result;
       });
 }
 

@@ -95,6 +95,16 @@ struct TenantOptions {
 
 class EngineHost {
  public:
+  /// Fires on the pool thread that served a batch, immediately after
+  /// the batch finished (receipts settled, refunds applied) and BEFORE
+  /// the SubmitBatch future resolves. This is the non-blocking
+  /// alternative to future.get(): an event-driven caller (the net
+  /// layer's reactor) uses it to emit the batch's RECEIPT/DONE frames
+  /// without parking a thread on the future. Runs after every
+  /// on_complete callback of the batch has returned.
+  using BatchDoneCallback =
+      std::function<void(const StatusOr<std::vector<QueryResponse>>&)>;
+
   explicit EngineHost(EngineHostOptions options = {});
 
   EngineHost(const EngineHost&) = delete;
@@ -130,11 +140,19 @@ class EngineHost {
   /// `trace`, when valid, is the batch's wire-propagated trace context
   /// (threaded into the engine's spans and audit lines); the host also
   /// emits a "queue_wait" span covering enqueue -> pool pickup.
+  ///
+  /// `on_done`, when set, receives the same value the future will
+  /// carry, on the serving pool thread, before the future resolves —
+  /// including the pre-engine failures (unknown tenant, construction
+  /// error) that never fire on_complete. With a zero-thread pool the
+  /// whole batch (and therefore on_done) runs inline on the submitting
+  /// thread before SubmitBatch returns.
   std::future<StatusOr<std::vector<QueryResponse>>> SubmitBatch(
       const std::string& policy_id, const std::string& dataset_id,
       std::vector<QueryRequest> requests,
       QueryCompletionCallback on_complete = nullptr,
-      const obs::TraceContext& trace = obs::TraceContext());
+      const obs::TraceContext& trace = obs::TraceContext(),
+      BatchDoneCallback on_done = nullptr);
 
   /// Synchronous convenience: SubmitBatch + get(); called from one of
   /// this host's own pool workers, it serves the batch inline instead

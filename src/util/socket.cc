@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -34,6 +36,16 @@ StatusOr<sockaddr_in> MakeAddress(const std::string& address,
   return addr;
 }
 
+Status SetNonBlockingFd(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -48,7 +60,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 StatusOr<Socket> Socket::ConnectTcp(const std::string& address,
                                     uint16_t port) {
   BLOWFISH_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!sock.valid()) return ErrnoStatus("socket");
   int rc;
   do {
@@ -81,7 +93,8 @@ Status Socket::SendAll(const void* data, size_t len,
               deadline - std::chrono::steady_clock::now())
               .count();
       if (remaining <= 0) {
-        return Status::Internal("send timed out (peer not reading)");
+        return Status::DeadlineExceeded(
+            "send timed out (peer not reading)");
       }
       pollfd pfd;
       pfd.fd = fd_;
@@ -93,7 +106,8 @@ Status Socket::SendAll(const void* data, size_t len,
         return ErrnoStatus("poll");
       }
       if (rc == 0) {
-        return Status::Internal("send timed out (peer not reading)");
+        return Status::DeadlineExceeded(
+            "send timed out (peer not reading)");
       }
     }
     // Under a deadline the send must not block — a blocking send() of
@@ -110,7 +124,8 @@ Status Socket::SendAll(const void* data, size_t len,
         // deadline remains.
         if (total_timeout_ms > 0) continue;
         // SO_SNDTIMEO expired: the peer stopped reading.
-        return Status::Internal("send timed out (peer not reading)");
+        return Status::DeadlineExceeded(
+            "send timed out (peer not reading)");
       }
       return ErrnoStatus("send");
     }
@@ -136,6 +151,43 @@ StatusOr<size_t> Socket::Recv(void* buf, size_t cap) {
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
     return ErrnoStatus("recv");
+  }
+}
+
+Status Socket::SetNonBlocking(bool on) {
+  return SetNonBlockingFd(fd_, on);
+}
+
+IoResult Socket::SendNb(const void* data, size_t len, size_t* n,
+                        Status* error) {
+  *n = 0;
+  while (true) {
+    const ssize_t rc = ::send(fd_, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (rc > 0) {
+      *n = static_cast<size_t>(rc);
+      return IoResult::kOk;
+    }
+    if (rc == 0) return IoResult::kWouldBlock;  // len == 0 only
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (error != nullptr) *error = ErrnoStatus("send");
+    return IoResult::kError;
+  }
+}
+
+IoResult Socket::RecvNb(void* buf, size_t cap, size_t* n, Status* error) {
+  *n = 0;
+  while (true) {
+    const ssize_t rc = ::recv(fd_, buf, cap, MSG_DONTWAIT);
+    if (rc > 0) {
+      *n = static_cast<size_t>(rc);
+      return IoResult::kOk;
+    }
+    if (rc == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (error != nullptr) *error = ErrnoStatus("recv");
+    return IoResult::kError;
   }
 }
 
@@ -175,7 +227,7 @@ StatusOr<ListenSocket> ListenSocket::BindTcp(const std::string& address,
                                              uint16_t port, int backlog) {
   BLOWFISH_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
   ListenSocket sock;
-  sock.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  sock.fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (sock.fd_ < 0) return ErrnoStatus("socket");
   int one = 1;
   ::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -195,9 +247,23 @@ StatusOr<ListenSocket> ListenSocket::BindTcp(const std::string& address,
   return sock;
 }
 
+bool ListenSocket::IsTransientAcceptError(int errno_value) {
+  switch (errno_value) {
+    case EMFILE:        // process fd limit — frees up when fds close
+    case ENFILE:        // system fd limit — likewise
+    case ECONNABORTED:  // the pending connection died in the backlog
+    case ENOBUFS:       // kernel buffer pressure
+    case ENOMEM:        // kernel memory pressure
+    case EPROTO:        // protocol error on the pending connection
+      return true;
+    default:
+      return false;
+  }
+}
+
 StatusOr<Socket> ListenSocket::Accept() {
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd >= 0) {
       Socket sock(fd);
       int one = 1;
@@ -205,10 +271,39 @@ StatusOr<Socket> ListenSocket::Accept() {
       return sock;
     }
     if (errno == EINTR) continue;
+    // Transient failures are structurally distinct from shutdown so a
+    // caller can back off and retry instead of abandoning the
+    // listener (the bug that used to kill the accept loop for good).
+    if (IsTransientAcceptError(errno)) {
+      return Status::ResourceExhausted(
+          "accept: " + std::string(std::strerror(errno)));
+    }
     // EINVAL after shutdown(2): the accept loop's clean exit path.
     return Status::FailedPrecondition("accept: " +
                                       std::string(std::strerror(errno)));
   }
+}
+
+IoResult ListenSocket::TryAccept(Socket* out, int* errno_out) {
+  while (true) {
+    const int fd =
+        ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = Socket(fd);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno_out != nullptr) *errno_out = errno;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (IsTransientAcceptError(errno)) return IoResult::kError;
+    return IoResult::kEof;  // shutdown / fatal: stop accepting
+  }
+}
+
+Status ListenSocket::SetNonBlocking(bool on) {
+  return SetNonBlockingFd(fd_, on);
 }
 
 void ListenSocket::Shutdown() {
@@ -216,6 +311,48 @@ void ListenSocket::Shutdown() {
 }
 
 void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+WakeupFd& WakeupFd::operator=(WakeupFd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<WakeupFd> WakeupFd::Create() {
+  WakeupFd wake;
+  wake.fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake.fd_ < 0) return ErrnoStatus("eventfd");
+  return wake;
+}
+
+void WakeupFd::Signal() {
+  if (fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wake.
+  ssize_t rc;
+  do {
+    rc = ::write(fd_, &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+}
+
+void WakeupFd::Drain() {
+  if (fd_ < 0) return;
+  uint64_t count = 0;
+  ssize_t rc;
+  do {
+    rc = ::read(fd_, &count, sizeof(count));
+  } while (rc < 0 && errno == EINTR);
+}
+
+void WakeupFd::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -150,6 +154,7 @@ inline const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -161,6 +166,7 @@ inline bool StatusCodeFromString(const std::string& name,
       StatusCode::kNotFound,        StatusCode::kOutOfRange,
       StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
       StatusCode::kUnimplemented,   StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
   };
   for (StatusCode c : kAll) {
     if (name == StatusCodeToString(c)) {

@@ -1191,6 +1191,9 @@ TEST(NetE2eTest, SendTimeoutUnblocksAWriterOnAStalledPeer) {
     status = accepted->SendAll(chunk.data(), chunk.size(), 100);
   }
   EXPECT_FALSE(status.ok());
+  // Structured code, not a string probe: callers (the server's dead-peer
+  // policy among them) branch on kDeadlineExceeded.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(status.message().find("timed out"), std::string::npos);
 }
 
@@ -1218,6 +1221,7 @@ TEST(NetE2eTest, SendDeadlineCoversATrickleReadingPeer) {
   const std::string huge(size_t{64} << 20, 'x');
   const Status status = accepted->SendAll(huge.data(), huge.size(), 300);
   EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(status.message().find("timed out"), std::string::npos);
   stop_reading.store(true);
   accepted->ShutdownBoth();

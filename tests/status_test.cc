@@ -32,6 +32,8 @@ TEST(StatusTest, AllFactoryCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -22,7 +22,7 @@
 //                          [--ledger_file spend.ledger]
 //   blowfish_cli remote    --port 7070 [--host 127.0.0.1]
 //                          --policy <policy_id> --tenant <name>
-//                          --requests reqs.txt [--stream]
+//                          --requests reqs.txt [--stream] [--pipeline 4]
 //                          [--trace_file c.jsonl] [--trace_seed 7]
 //   blowfish_cli stats     --port 7070 [--host 127.0.0.1]
 //   blowfish_cli stats     --metrics_file m.prom
@@ -672,9 +672,36 @@ int RunRemote(Args& args) {
   const bool stream = args.GetBool("stream");
   BlowfishClient::ResultCallback on_result;
   if (stream) on_result = StreamPrinter("");
-  auto responses = (*client)->SubmitBatchText(*request_text, on_result);
-  if (!responses.ok()) return Fail(responses.status().ToString());
-  if (!stream) PrintWireResponses(*responses);
+  size_t pipeline = 1;
+  if (const char* p = args.Get("pipeline")) {
+    auto n = ParseNonNegativeInt(p, "--pipeline");
+    if (!n.ok()) return Fail(n.status().ToString());
+    if (*n < 1) return Fail("--pipeline must be at least 1");
+    pipeline = static_cast<size_t>(*n);
+  }
+  if (pipeline == 1) {
+    auto responses = (*client)->SubmitBatchText(*request_text, on_result);
+    if (!responses.ok()) return Fail(responses.status().ToString());
+    if (!stream) PrintWireResponses(*responses);
+  } else {
+    // Pipelined mode: ship N copies of the batch back to back on one
+    // connection (no reads in between), then claim them in submit
+    // order. The daemon runs them concurrently; the batch tags keep
+    // the interleaved reply frames attributable.
+    std::vector<uint64_t> handles;
+    handles.reserve(pipeline);
+    for (size_t i = 0; i < pipeline; ++i) {
+      auto handle = (*client)->SubmitPipelined(*request_text);
+      if (!handle.ok()) return Fail(handle.status().ToString());
+      handles.push_back(*handle);
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+      std::printf("# batch %zu/%zu\n", i + 1, handles.size());
+      auto responses = (*client)->AwaitBatch(handles[i], on_result);
+      if (!responses.ok()) return Fail(responses.status().ToString());
+      if (!stream) PrintWireResponses(*responses);
+    }
+  }
   Status bye = (*client)->Bye();
   if (!bye.ok()) return Fail(bye.ToString());
   obs::TraceWriter::Global()->Close();
@@ -913,7 +940,9 @@ int main(int argc, char** argv) {
                  "       blowfish_cli remote   --port <p> "
                  "[--host 127.0.0.1] --policy <id> --tenant <name>\n"
                  "                             --requests <file> "
-                 "[--stream] [--trace_file <f> [--trace_seed <n>]]\n"
+                 "[--stream] [--pipeline <n>]\n"
+                 "                             [--trace_file <f> "
+                 "[--trace_seed <n>]]\n"
                  "       blowfish_cli stats    --port <p> "
                  "[--host 127.0.0.1] | --metrics_file <file>\n"
                  "       blowfish_cli health   --port <p> "

@@ -1,7 +1,9 @@
 // blowfish_serverd — the TCP wire-protocol daemon.
 //
 //   blowfish_serverd --config host.cfg [--port 7070] [--bind 127.0.0.1]
-//                    [--threads 4] [--cache_file warm.cache]
+//                    [--threads 4] [--io_threads 2]
+//                    [--max_connections 10000] [--idle_timeout_ms 300000]
+//                    [--cache_file warm.cache]
 //                    [--print_port] [--metrics_file m.prom]
 //                    [--trace_file t.jsonl] [--audit_file a.jsonl]
 //
@@ -12,6 +14,12 @@
 //   * --port 0 (the default) binds an ephemeral port; the bound port is
 //     printed on startup (just the number with --print_port, so
 //     scripts and tests can scrape it).
+//   * Connections are served by an epoll reactor on --io_threads
+//     event-loop threads (engine work stays on the --threads pool).
+//     --max_connections caps concurrent connections (0 = unlimited; at
+//     the cap a new connection gets a structured RESOURCE_EXHAUSTED
+//     ERR and a close); --idle_timeout_ms evicts connections with no
+//     traffic and nothing in flight (0 = never).
 //   * On SIGTERM/SIGINT the daemon drains gracefully: it stops
 //     accepting, lets every in-flight batch finish and flush its
 //     frames, joins the connection threads, then writes the budget
@@ -88,6 +96,11 @@ void DumpMetrics(const std::string& path) {
 int Run(int argc, char** argv) {
   std::string config_path;
   ServerOptions server_options;
+  // Operational defaults for a long-lived daemon (the library defaults
+  // in ServerOptions are "off" so embedded/test servers opt in): cap
+  // the connection herd and evict idle peers after five minutes.
+  server_options.max_connections = 10000;
+  server_options.idle_timeout_ms = 300000;
   std::string threads_override;
   std::string cache_file_override;
   std::string metrics_file;
@@ -119,6 +132,25 @@ int Run(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Fail("--threads needs a value");
       threads_override = v;
+    } else if (flag == "--io_threads") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--io_threads needs a value");
+      auto n = ParseNonNegativeInt(v, "--io_threads");
+      if (!n.ok()) return Fail(n.status().ToString());
+      if (*n < 1) return Fail("--io_threads must be at least 1");
+      server_options.io_threads = static_cast<size_t>(*n);
+    } else if (flag == "--max_connections") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--max_connections needs a value");
+      auto n = ParseNonNegativeInt(v, "--max_connections");
+      if (!n.ok()) return Fail(n.status().ToString());
+      server_options.max_connections = static_cast<size_t>(*n);
+    } else if (flag == "--idle_timeout_ms") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--idle_timeout_ms needs a value");
+      auto n = ParseNonNegativeInt(v, "--idle_timeout_ms");
+      if (!n.ok()) return Fail(n.status().ToString());
+      server_options.idle_timeout_ms = static_cast<int>(*n);
     } else if (flag == "--cache_file") {
       const char* v = value();
       if (v == nullptr) return Fail("--cache_file needs a file");
@@ -140,9 +172,10 @@ int Run(int argc, char** argv) {
     } else {
       return Fail("unknown flag '" + flag +
                   "' (usage: blowfish_serverd --config <file> [--port p] "
-                  "[--bind addr] [--threads n] [--cache_file f] "
-                  "[--print_port] [--metrics_file f] [--trace_file f] "
-                  "[--audit_file f])");
+                  "[--bind addr] [--threads n] [--io_threads n] "
+                  "[--max_connections n] [--idle_timeout_ms ms] "
+                  "[--cache_file f] [--print_port] [--metrics_file f] "
+                  "[--trace_file f] [--audit_file f])");
     }
   }
   if (config_path.empty()) {
